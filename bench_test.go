@@ -1,0 +1,283 @@
+// Benchmark harness: one benchmark per table/figure of the paper (see the
+// experiment index in DESIGN.md). The artifacts themselves — the formatted
+// Table I, ANOVA lines and Table II — are printed by `go run
+// ./cmd/userstudy`; the benchmarks here measure the cost of regenerating
+// each of them and of the individual techniques.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/simstudy"
+	"repro/internal/sp"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *eval.Study
+	benchErr   error
+)
+
+// benchSetup builds the three city networks once for all benchmarks.
+func benchSetup(b *testing.B) *eval.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = eval.NewStudy(2022)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// benchQueries pre-samples queries of one band so the planner benchmarks
+// measure planning, not workload sampling.
+func benchQueries(b *testing.B, city *eval.City, band simstudy.Band, n int) []eval.Query {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	out := make([]eval.Query, 0, n)
+	for len(out) < n {
+		q, ok := city.SampleQuery(rng, band)
+		if !ok {
+			b.Fatalf("cannot sample %v-band query", band)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// --- Table I ----------------------------------------------------------------
+
+// BenchmarkTableIResponse measures one full study response: sampling a
+// query, running all four approaches, extracting features and producing
+// the four ratings — the unit of work behind every row of Table I.
+func BenchmarkTableIResponse(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	cell := simstudy.Cell{City: "Melbourne", Resident: true, Band: simstudy.Medium}
+	params := simstudy.DefaultRaterParams()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := city.RunCell(cell, 1, params, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIStatistics measures the statistical pipeline of Table I
+// and §IV-A on a full-size 520×4 rating matrix: grouping, means, standard
+// deviations and the one-way ANOVA.
+func BenchmarkTableIStatistics(b *testing.B) {
+	// A deterministic synthetic record set the size of the real study.
+	sched := simstudy.PaperSchedule()
+	rng := rand.New(rand.NewSource(5))
+	var recs []eval.Record
+	for _, cc := range sched {
+		for i := 0; i < cc.N; i++ {
+			var rec eval.Record
+			rec.Cell = cc.Cell
+			for a := 0; a < eval.NumApproaches; a++ {
+				rec.Ratings[a] = 1 + rng.Intn(5)
+				rec.Sim[a] = rng.Float64()
+				rec.NumRoutes[a] = 3
+			}
+			recs = append(recs, rec)
+		}
+	}
+	cities := []string{"Melbourne", "Dhaka", "Copenhagen"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.FormatTableI(recs, cities)
+		_ = eval.ANOVAReport(recs, cities)
+	}
+}
+
+// --- Table II ---------------------------------------------------------------
+
+// BenchmarkTableIISimT measures Eq. (1) Sim(T) over a 3-route set, the
+// per-query measurement behind every cell of Table II.
+func BenchmarkTableIISimT(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	q := benchQueries(b, city, simstudy.Medium, 1)[0]
+	rs, err := city.RunPlanners(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a := 0; a < eval.NumApproaches; a++ {
+			_ = path.SimT(city.Graph, rs.Sets[a])
+		}
+	}
+}
+
+// BenchmarkTableIIFormatting measures assembling the full Table II text
+// from a study-size record set.
+func BenchmarkTableIIFormatting(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var recs []eval.Record
+	for _, cc := range simstudy.PaperSchedule() {
+		for i := 0; i < cc.N; i++ {
+			var rec eval.Record
+			rec.Cell = cc.Cell
+			for a := 0; a < eval.NumApproaches; a++ {
+				rec.Sim[a] = rng.Float64()
+				rec.NumRoutes[a] = 3
+			}
+			recs = append(recs, rec)
+		}
+	}
+	cities := []string{"Melbourne", "Dhaka", "Copenhagen"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.FormatTableII(recs, cities)
+	}
+}
+
+// --- Fig. 1: the plateau pipeline --------------------------------------------
+
+// BenchmarkFig1PlateauPipeline measures the full Choice Routing pipeline
+// of Fig. 1: two shortest-path trees, the tree join that enumerates
+// plateaus, and route assembly from the top plateaus.
+func BenchmarkFig1PlateauPipeline(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Copenhagen"]
+	q := benchQueries(b, city, simstudy.Medium, 1)[0]
+	planner := core.NewPlateaus(city.Graph, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Alternatives(q.S, q.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1TreeJoin isolates the join step (§II-B notes it is linear
+// in the tree size and dominated by the two Dijkstra searches).
+func BenchmarkFig1TreeJoin(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Copenhagen"]
+	q := benchQueries(b, city, simstudy.Medium, 1)[0]
+	planner := core.NewPlateaus(city.Graph, core.Options{})
+	w := city.Graph.CopyWeights()
+	fwd := sp.BuildTree(city.Graph, w, q.S, sp.Forward)
+	bwd := sp.BuildTree(city.Graph, w, q.T, sp.Backward)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = planner.FindPlateaus(fwd, bwd)
+	}
+}
+
+// --- Figs. 2-3: the demo query processor -------------------------------------
+
+// BenchmarkFig2QueryProcessor measures one demo-system query: nearest-
+// vertex matching for both endpoints plus all four approaches, the work
+// behind each "Submit" press in Fig. 2.
+func BenchmarkFig2QueryProcessor(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	bb := city.Graph.BBox()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv, _ := city.Index.Nearest(bb.Center())
+		tv, _ := city.Index.Nearest(bb.Center())
+		_ = sv
+		_ = tv
+		q := eval.Query{S: graph.NodeID(i % city.Graph.NumNodes()), T: graph.NodeID((i*7 + 13) % city.Graph.NumNodes())}
+		if q.S == q.T {
+			continue
+		}
+		if _, err := city.RunPlanners(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 4: rank flips between datasets -------------------------------------
+
+// BenchmarkFig4RankFlip measures the Fig. 4 analysis for one query:
+// compute both providers' routes and re-time every route under both
+// weight vectors to detect ranking flips.
+func BenchmarkFig4RankFlip(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	q := benchQueries(b, city, simstudy.Medium, 1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gr, err1 := city.Planners[0].Alternatives(q.S, q.T)
+		pr, err2 := city.Planners[1].Alternatives(q.S, q.T)
+		if err1 != nil || err2 != nil {
+			b.Fatal(err1, err2)
+		}
+		for _, a := range gr {
+			for _, p := range pr {
+				_ = a.TimeS > p.TimeS
+				_ = a.TimeUnder(city.Traffic) < p.TimeUnder(city.Traffic)
+			}
+		}
+	}
+}
+
+// --- Per-technique computation cost (§II) -------------------------------------
+
+func benchPlanner(b *testing.B, mk func(city *eval.City) core.Planner) {
+	study := benchSetup(b)
+	for _, name := range study.CityNames() {
+		city := study.Cities[name]
+		queries := benchQueries(b, city, simstudy.Medium, 8)
+		pl := mk(city)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := pl.Alternatives(q.S, q.T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPlannerPenalty(b *testing.B) {
+	benchPlanner(b, func(c *eval.City) core.Planner { return core.NewPenalty(c.Graph, core.Options{}) })
+}
+
+func BenchmarkPlannerPlateaus(b *testing.B) {
+	benchPlanner(b, func(c *eval.City) core.Planner { return core.NewPlateaus(c.Graph, core.Options{}) })
+}
+
+func BenchmarkPlannerDissimilarity(b *testing.B) {
+	benchPlanner(b, func(c *eval.City) core.Planner { return core.NewDissimilarity(c.Graph, core.Options{}) })
+}
+
+func BenchmarkPlannerCommercial(b *testing.B) {
+	benchPlanner(b, func(c *eval.City) core.Planner { return core.NewCommercial(c.Graph, c.Traffic, core.Options{}) })
+}
+
+// BenchmarkPlannerYen runs the related-work baseline on the smallest city
+// only; Yen is polynomially more expensive, which is exactly the §II-D
+// point about why it is not used for alternative routes directly.
+func BenchmarkPlannerYen(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Copenhagen"]
+	queries := benchQueries(b, city, simstudy.Small, 4)
+	pl := core.NewYen(city.Graph, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := pl.Alternatives(q.S, q.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Ministudy runs a scaled-down version of the full user study (10% of the
+// paper's 520-response schedule) and prints the same Table I / Table II /
+// ANOVA artifacts — a fast way to see the whole pipeline without the
+// full-size run of cmd/userstudy.
+//
+// Run with:
+//
+//	go run ./examples/ministudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/eval"
+	"repro/internal/simstudy"
+)
+
+func main() {
+	study, err := eval.NewStudy(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := simstudy.ScaledSchedule(0.10)
+	fmt.Printf("Mini study: %d responses (10%% of the paper's schedule)\n\n",
+		simstudy.TotalResponses(sched))
+	if err := study.Run(sched, simstudy.DefaultRaterParams(), 7); err != nil {
+		log.Fatal(err)
+	}
+	cities := study.CityNames()
+	fmt.Println(eval.FormatTableI(study.Records, cities))
+	fmt.Println(eval.ANOVAReport(study.Records, cities))
+	fmt.Println(eval.FormatTableII(study.Records, cities))
+
+	// Every study artifact is also available programmatically.
+	res := eval.Filter(study.Records, func(r eval.Record) bool { return r.Resident })
+	fmt.Printf("Programmatic access example: %d resident responses collected.\n", len(res))
+}

@@ -1,0 +1,317 @@
+// Package ch implements contraction hierarchies (Geisberger et al.), the
+// classic routing-engine speedup technique. §II-B of the paper discusses
+// how plateau-based alternative routing must stay compatible with such
+// optimisations ("many routing engines compute only a subset of the source
+// or destination tree"); this package provides the optimisation itself:
+// after a one-off preprocessing phase that contracts nodes in importance
+// order and inserts shortcuts, point-to-point queries run as bidirectional
+// upward searches that settle a tiny fraction of the graph, returning
+// exact shortest paths that unpack to original edge sequences.
+package ch
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// arc is one directed edge of the hierarchy graph: either an original
+// road edge or a shortcut replacing two lower arcs.
+type arc struct {
+	to     graph.NodeID
+	weight float64
+	// orig is the original edge ID for road arcs, -1 for shortcuts.
+	orig graph.EdgeID
+	// skip1, skip2 are the two replaced arcs (indices into arcs) for
+	// shortcuts, -1 otherwise.
+	skip1, skip2 int32
+}
+
+// Hierarchy is a preprocessed contraction hierarchy over a road network
+// with fixed weights. It is immutable after Build and safe for concurrent
+// queries.
+type Hierarchy struct {
+	g    *graph.Graph
+	rank []int32 // contraction order; higher rank = more important
+	arcs []arc
+	// upFwd[v] lists arcs v->w with rank[w] > rank[v];
+	// upBwd[v] lists arcs u->v (stored at v) with rank[u] > rank[v].
+	upFwd [][]int32
+	upBwd [][]int32
+	// arcFrom[i] is the tail node of arcs[i].
+	arcFrom []graph.NodeID
+}
+
+// buildGraph is the mutable adjacency used during contraction.
+type buildGraph struct {
+	arcs       []arc
+	out        [][]int32 // arc indices leaving each node
+	in         [][]int32 // arc indices entering each node (arc.to == node owner is implicit for out; for in we store the arc plus its from node)
+	inFrom     [][]graph.NodeID
+	contracted []bool
+}
+
+func (b *buildGraph) addArc(from, to graph.NodeID, w float64, orig graph.EdgeID, skip1, skip2 int32) int32 {
+	idx := int32(len(b.arcs))
+	b.arcs = append(b.arcs, arc{to: to, weight: w, orig: orig, skip1: skip1, skip2: skip2})
+	b.out[from] = append(b.out[from], idx)
+	b.in[to] = append(b.in[to], idx)
+	b.inFrom[to] = append(b.inFrom[to], from)
+	return idx
+}
+
+// Build preprocesses the graph under the given weights. Typical cost is a
+// few node-degrees of work per node; the witness searches are bounded, so
+// preprocessing may insert slightly more shortcuts than strictly necessary
+// (hurting nothing but memory).
+func Build(g *graph.Graph, weights []float64) *Hierarchy {
+	n := g.NumNodes()
+	bg := &buildGraph{
+		out:        make([][]int32, n),
+		in:         make([][]int32, n),
+		inFrom:     make([][]graph.NodeID, n),
+		contracted: make([]bool, n),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		bg.addArc(ed.From, ed.To, weights[e], graph.EdgeID(e), -1, -1)
+	}
+
+	// Priority queue over contraction priority with lazy updates.
+	pq := &nodePQ{}
+	heap.Init(pq)
+	for v := 0; v < n; v++ {
+		heap.Push(pq, pqItem{node: graph.NodeID(v), prio: priority(bg, graph.NodeID(v), 0)})
+	}
+	rank := make([]int32, n)
+	contractedCount := 0
+	neighborsContracted := make([]int, n)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pqItem)
+		v := item.node
+		if bg.contracted[v] {
+			continue
+		}
+		// Lazy update: if the recomputed priority is no longer minimal,
+		// requeue.
+		cur := priority(bg, v, neighborsContracted[v])
+		if pq.Len() > 0 && cur > (*pq)[0].prio {
+			heap.Push(pq, pqItem{node: v, prio: cur})
+			continue
+		}
+		contract(bg, v)
+		rank[v] = int32(contractedCount)
+		contractedCount++
+		bg.contracted[v] = true
+		for _, ai := range bg.out[v] {
+			neighborsContracted[bg.arcs[ai].to]++
+		}
+		for _, u := range bg.inFrom[v] {
+			neighborsContracted[u]++
+		}
+	}
+
+	h := &Hierarchy{
+		g:     g,
+		rank:  rank,
+		arcs:  bg.arcs,
+		upFwd: make([][]int32, n),
+		upBwd: make([][]int32, n),
+	}
+	// Split arcs into upward-forward and upward-backward adjacency.
+	from := make([]graph.NodeID, len(bg.arcs))
+	for v := 0; v < n; v++ {
+		for _, ai := range bg.out[v] {
+			from[ai] = graph.NodeID(v)
+		}
+	}
+	for ai := range bg.arcs {
+		u := from[ai]
+		w := bg.arcs[ai].to
+		if rank[u] < rank[w] {
+			h.upFwd[u] = append(h.upFwd[u], int32(ai))
+		} else if rank[u] > rank[w] {
+			h.upBwd[w] = append(h.upBwd[w], int32(ai))
+		}
+	}
+	h.arcFrom = from
+	return h
+}
+
+// priority is the contraction order heuristic: edge difference plus the
+// contracted-neighbors term that spreads contraction evenly.
+func priority(bg *buildGraph, v graph.NodeID, contractedNeighbors int) float64 {
+	shortcuts := countShortcuts(bg, v)
+	removed := 0
+	for _, ai := range bg.out[v] {
+		if !bg.contracted[bg.arcs[ai].to] {
+			removed++
+		}
+	}
+	for i, ai := range bg.in[v] {
+		_ = ai
+		if !bg.contracted[bg.inFrom[v][i]] {
+			removed++
+		}
+	}
+	return float64(shortcuts-removed) + 0.7*float64(contractedNeighbors)
+}
+
+// countShortcuts estimates how many shortcuts contracting v would insert.
+func countShortcuts(bg *buildGraph, v graph.NodeID) int {
+	count := 0
+	forEachPair(bg, v, func(_, _ graph.NodeID, _ float64, needed bool) {
+		if needed {
+			count++
+		}
+	})
+	return count
+}
+
+// contract removes v from the remaining graph, inserting shortcuts for
+// every (u, w) pair whose shortest connection runs through v.
+func contract(bg *buildGraph, v graph.NodeID) {
+	type sc struct {
+		u, w     graph.NodeID
+		weight   float64
+		in, out  int32
+	}
+	var add []sc
+	inArc := make(map[graph.NodeID]int32)
+	for i, ai := range bg.in[v] {
+		u := bg.inFrom[v][i]
+		if bg.contracted[u] || u == v {
+			continue
+		}
+		if prev, ok := inArc[u]; !ok || bg.arcs[ai].weight < bg.arcs[prev].weight {
+			inArc[u] = ai
+		}
+	}
+	forEachPair(bg, v, func(u, w graph.NodeID, weight float64, needed bool) {
+		if needed {
+			add = append(add, sc{u: u, w: w, weight: weight, in: inArc[u], out: outArc(bg, v, w)})
+		}
+	})
+	for _, s := range add {
+		bg.addArc(s.u, s.w, s.weight, -1, s.in, s.out)
+	}
+}
+
+func outArc(bg *buildGraph, v, w graph.NodeID) int32 {
+	best := int32(-1)
+	bestW := math.Inf(1)
+	for _, ai := range bg.out[v] {
+		if bg.arcs[ai].to == w && bg.arcs[ai].weight < bestW {
+			best, bestW = ai, bg.arcs[ai].weight
+		}
+	}
+	return best
+}
+
+// forEachPair visits every (u, w) neighbour pair of v among uncontracted
+// nodes and reports whether a shortcut u->w of the combined weight is
+// needed (no witness path avoiding v is as short).
+func forEachPair(bg *buildGraph, v graph.NodeID, visit func(u, w graph.NodeID, weight float64, needed bool)) {
+	// Cheapest in/out arcs per distinct neighbour.
+	inW := make(map[graph.NodeID]float64)
+	for i, ai := range bg.in[v] {
+		u := bg.inFrom[v][i]
+		if bg.contracted[u] || u == v {
+			continue
+		}
+		if w, ok := inW[u]; !ok || bg.arcs[ai].weight < w {
+			inW[u] = bg.arcs[ai].weight
+		}
+	}
+	outW := make(map[graph.NodeID]float64)
+	for _, ai := range bg.out[v] {
+		w := bg.arcs[ai].to
+		if bg.contracted[w] || w == v {
+			continue
+		}
+		if cur, ok := outW[w]; !ok || bg.arcs[ai].weight < cur {
+			outW[w] = bg.arcs[ai].weight
+		}
+	}
+	for u, wu := range inW {
+		// One bounded witness search from u covers all targets.
+		var maxVia float64
+		for w, wv := range outW {
+			if w == u {
+				continue
+			}
+			if wu+wv > maxVia {
+				maxVia = wu + wv
+			}
+		}
+		if maxVia == 0 {
+			continue
+		}
+		dist := witnessSearch(bg, u, v, maxVia)
+		for w, wv := range outW {
+			if w == u {
+				continue
+			}
+			via := wu + wv
+			d, seen := dist[w]
+			needed := !seen || d > via+1e-12
+			visit(u, w, via, needed)
+		}
+	}
+}
+
+// witnessSearch runs a bounded Dijkstra from u among uncontracted nodes,
+// skipping v, cut off at maxDist and a settle budget.
+func witnessSearch(bg *buildGraph, u, v graph.NodeID, maxDist float64) map[graph.NodeID]float64 {
+	const settleBudget = 60
+	dist := map[graph.NodeID]float64{u: 0}
+	settled := map[graph.NodeID]bool{}
+	pq := &nodePQ{}
+	heap.Init(pq)
+	heap.Push(pq, pqItem{node: u, prio: 0})
+	count := 0
+	for pq.Len() > 0 && count < settleBudget {
+		item := heap.Pop(pq).(pqItem)
+		if settled[item.node] || item.prio > maxDist {
+			if item.prio > maxDist {
+				break
+			}
+			continue
+		}
+		settled[item.node] = true
+		count++
+		for _, ai := range bg.out[item.node] {
+			a := bg.arcs[ai]
+			if a.to == v || bg.contracted[a.to] {
+				continue
+			}
+			nd := item.prio + a.weight
+			if cur, ok := dist[a.to]; (!ok || nd < cur) && nd <= maxDist {
+				dist[a.to] = nd
+				heap.Push(pq, pqItem{node: a.to, prio: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// pqItem / nodePQ: a simple priority queue for preprocessing.
+type pqItem struct {
+	node graph.NodeID
+	prio float64
+}
+
+type nodePQ []pqItem
+
+func (q nodePQ) Len() int            { return len(q) }
+func (q nodePQ) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q nodePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x any)         { *q = append(*q, x.(pqItem)) }
+func (q *nodePQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,157 @@
+package ch
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Dist returns the exact shortest travel time from s to t, or +Inf if t is
+// unreachable. The search is the standard bidirectional upward Dijkstra:
+// the forward frontier climbs rank-increasing arcs from s, the backward
+// frontier climbs from t, and the best meeting node gives the answer.
+func (h *Hierarchy) Dist(s, t graph.NodeID) float64 {
+	d, _, _, _ := h.query(s, t)
+	return d
+}
+
+// Path returns the shortest s-t path as original graph edges together with
+// its travel time. Shortcuts are unpacked recursively. It returns
+// (nil, +Inf) when t is unreachable.
+func (h *Hierarchy) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
+	d, meet, parF, parB := h.query(s, t)
+	if math.IsInf(d, 1) {
+		return nil, d
+	}
+	if s == t {
+		return []graph.EdgeID{}, 0
+	}
+	// Forward chain: arcs from s up to the meeting node, then backward
+	// chain from the meeting node down to t.
+	var upArcs []int32
+	for cur := meet; cur != s; {
+		ai := parF[cur]
+		upArcs = append(upArcs, ai)
+		cur = h.arcFrom[ai]
+	}
+	reverseInt32(upArcs)
+	var downArcs []int32
+	for cur := meet; cur != t; {
+		ai := parB[cur]
+		downArcs = append(downArcs, ai)
+		cur = h.arcs[ai].to
+	}
+	var edges []graph.EdgeID
+	for _, ai := range upArcs {
+		h.unpack(ai, &edges)
+	}
+	for _, ai := range downArcs {
+		h.unpack(ai, &edges)
+	}
+	return edges, d
+}
+
+// unpack appends the original edges of an arc, expanding shortcuts.
+func (h *Hierarchy) unpack(ai int32, out *[]graph.EdgeID) {
+	a := h.arcs[ai]
+	if a.orig >= 0 {
+		*out = append(*out, a.orig)
+		return
+	}
+	h.unpack(a.skip1, out)
+	h.unpack(a.skip2, out)
+}
+
+// query runs the bidirectional upward search and returns the distance,
+// meeting node and both parent-arc maps.
+func (h *Hierarchy) query(s, t graph.NodeID) (float64, graph.NodeID, map[graph.NodeID]int32, map[graph.NodeID]int32) {
+	if s == t {
+		return 0, s, nil, nil
+	}
+	distF := map[graph.NodeID]float64{s: 0}
+	distB := map[graph.NodeID]float64{t: 0}
+	parF := map[graph.NodeID]int32{}
+	parB := map[graph.NodeID]int32{}
+	pqF, pqB := &nodePQ{}, &nodePQ{}
+	heap.Init(pqF)
+	heap.Init(pqB)
+	heap.Push(pqF, pqItem{node: s, prio: 0})
+	heap.Push(pqB, pqItem{node: t, prio: 0})
+	setF := map[graph.NodeID]bool{}
+	setB := map[graph.NodeID]bool{}
+
+	best := math.Inf(1)
+	meet := graph.InvalidNode
+	improve := func(v graph.NodeID) {
+		df, okF := distF[v]
+		db, okB := distB[v]
+		if okF && okB && df+db < best {
+			best = df + db
+			meet = v
+		}
+	}
+
+	for pqF.Len() > 0 || pqB.Len() > 0 {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if pqF.Len() > 0 {
+			topF = (*pqF)[0].prio
+		}
+		if pqB.Len() > 0 {
+			topB = (*pqB)[0].prio
+		}
+		if math.Min(topF, topB) >= best {
+			break
+		}
+		if topF <= topB && pqF.Len() > 0 {
+			it := heap.Pop(pqF).(pqItem)
+			if setF[it.node] {
+				continue
+			}
+			setF[it.node] = true
+			improve(it.node)
+			for _, ai := range h.upFwd[it.node] {
+				a := h.arcs[ai]
+				nd := it.prio + a.weight
+				if cur, ok := distF[a.to]; !ok || nd < cur {
+					distF[a.to] = nd
+					parF[a.to] = ai
+					heap.Push(pqF, pqItem{node: a.to, prio: nd})
+				}
+			}
+		} else if pqB.Len() > 0 {
+			it := heap.Pop(pqB).(pqItem)
+			if setB[it.node] {
+				continue
+			}
+			setB[it.node] = true
+			improve(it.node)
+			for _, ai := range h.upBwd[it.node] {
+				u := h.arcFrom[ai]
+				nd := it.prio + h.arcs[ai].weight
+				if cur, ok := distB[u]; !ok || nd < cur {
+					distB[u] = nd
+					parB[u] = ai
+					heap.Push(pqB, pqItem{node: u, prio: nd})
+				}
+			}
+		}
+	}
+	if meet == graph.InvalidNode {
+		return math.Inf(1), meet, nil, nil
+	}
+	return best, meet, parF, parB
+}
+
+// NumArcs returns the hierarchy's arc count (original edges + shortcuts),
+// a preprocessing size measure.
+func (h *Hierarchy) NumArcs() int { return len(h.arcs) }
+
+// NumShortcuts returns the number of inserted shortcut arcs.
+func (h *Hierarchy) NumShortcuts() int { return len(h.arcs) - h.g.NumEdges() }
+
+func reverseInt32(xs []int32) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,381 @@
+// Package citygen generates synthetic road networks for the three study
+// cities. The paper extracts Melbourne, Dhaka and Copenhagen from
+// OpenStreetMap via Geofabrik; those downloads are unavailable offline, so
+// this package substitutes city-scale synthetic networks whose profiles
+// mirror what the paper highlights about the cities — "widely different
+// population, traffic congestion, and density":
+//
+//   - Melbourne: a large regular grid with arterial roads, a motorway
+//     bypass ring with spaced ramps, a CBD block of alternating one-way
+//     streets, and an east-west river crossed only at bridges.
+//   - Dhaka: a very dense, irregular low-speed street mesh with sparse
+//     arterials, no motorways, and a river with few crossings.
+//   - Copenhagen: a medium-density grid with ring arterials, a northwest
+//     orientation of one-ways absent, lower speeds, and a north-south
+//     harbor with bridge crossings.
+//
+// The generator emits an osm.Data extract (and can therefore also write
+// OSM XML), so graphs are produced through the same Road Network
+// Constructor code path the paper uses for real data.
+package citygen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/osm"
+)
+
+// RiverSpec carves a river through the grid: all street segments crossing
+// the river line are removed except at bridge columns/rows.
+type RiverSpec struct {
+	// Present enables the river.
+	Present bool
+	// Vertical selects a north-south river (harbor); default east-west.
+	Vertical bool
+	// PositionFrac locates the river line as a fraction of the grid extent.
+	PositionFrac float64
+	// BridgeEvery keeps every Nth crossing as a bridge.
+	BridgeEvery int
+}
+
+// MotorwaySpec adds a motorway bypass ring around the grid with ramps.
+type MotorwaySpec struct {
+	// Present enables the ring.
+	Present bool
+	// OffsetMeters is the ring's distance outside the grid boundary.
+	OffsetMeters float64
+	// RampEvery connects the ring to the grid at every Nth perimeter node.
+	RampEvery int
+	// SpeedKmh is the ring speed (default 100).
+	SpeedKmh float64
+}
+
+// Profile parameterizes a synthetic city.
+type Profile struct {
+	Name   string
+	Center geo.Point
+	// Rows and Cols define the street grid; BlockMeters the spacing.
+	Rows, Cols  int
+	BlockMeters float64
+	// JitterFrac randomly displaces intersections by up to this fraction
+	// of a block, turning the grid into an irregular mesh (Dhaka).
+	JitterFrac float64
+	// KeepStreetProb is the probability that a grid street segment exists.
+	KeepStreetProb float64
+	// ArterialEvery makes every Nth row and column a primary road
+	// (0 disables arterials).
+	ArterialEvery int
+	ArterialSpeed float64
+	StreetSpeed   float64
+	StreetClass   graph.RoadClass
+	// OnewayRows applies alternating one-way directions to this many
+	// central rows (a CBD pattern).
+	OnewayRows int
+	River      RiverSpec
+	Motorway   MotorwaySpec
+}
+
+// Melbourne returns the Melbourne-like profile: large grid, arterials,
+// motorway ring, CBD one-ways, east-west river (the Yarra).
+func Melbourne() Profile {
+	return Profile{
+		Name:           "Melbourne",
+		Center:         geo.Point{Lat: -37.8136, Lon: 144.9631},
+		Rows:           80,
+		Cols:           80,
+		BlockMeters:    280,
+		JitterFrac:     0.10,
+		KeepStreetProb: 0.97,
+		ArterialEvery:  10,
+		ArterialSpeed:  80,
+		StreetSpeed:    40,
+		StreetClass:    graph.Residential,
+		OnewayRows:     6,
+		River: RiverSpec{
+			Present:      true,
+			PositionFrac: 0.45,
+			BridgeEvery:  6,
+		},
+		Motorway: MotorwaySpec{
+			Present:      true,
+			OffsetMeters: 600,
+			RampEvery:    14,
+			SpeedKmh:     100,
+		},
+	}
+}
+
+// Dhaka returns the Dhaka-like profile: very dense irregular low-speed
+// mesh, sparse arterials, no motorway, river with few crossings.
+func Dhaka() Profile {
+	return Profile{
+		Name:           "Dhaka",
+		Center:         geo.Point{Lat: 23.8103, Lon: 90.4125},
+		Rows:           72,
+		Cols:           72,
+		BlockMeters:    120,
+		JitterFrac:     0.30,
+		KeepStreetProb: 0.88,
+		ArterialEvery:  12,
+		ArterialSpeed:  50,
+		StreetSpeed:    20,
+		StreetClass:    graph.Residential,
+		OnewayRows:     0,
+		River: RiverSpec{
+			Present:      true,
+			PositionFrac: 0.75,
+			BridgeEvery:  12,
+		},
+	}
+}
+
+// Copenhagen returns the Copenhagen-like profile: medium grid, ring
+// arterials, moderate speeds, north-south harbor with bridges.
+func Copenhagen() Profile {
+	return Profile{
+		Name:           "Copenhagen",
+		Center:         geo.Point{Lat: 55.6761, Lon: 12.5683},
+		Rows:           68,
+		Cols:           68,
+		BlockMeters:    240,
+		JitterFrac:     0.12,
+		KeepStreetProb: 0.95,
+		ArterialEvery:  7,
+		ArterialSpeed:  70,
+		StreetSpeed:    35,
+		StreetClass:    graph.Residential,
+		OnewayRows:     4,
+		River: RiverSpec{
+			Present:      true,
+			Vertical:     true,
+			PositionFrac: 0.55,
+			BridgeEvery:  8,
+		},
+		Motorway: MotorwaySpec{
+			Present:      true,
+			OffsetMeters: 500,
+			RampEvery:    16,
+			SpeedKmh:     90,
+		},
+	}
+}
+
+// Profiles returns the three study cities in the paper's order.
+func Profiles() []Profile {
+	return []Profile{Melbourne(), Dhaka(), Copenhagen()}
+}
+
+// ProfileByName returns the named city profile (case-sensitive).
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("citygen: unknown city %q (have Melbourne, Dhaka, Copenhagen)", name)
+}
+
+// EmitData generates the city as an OSM extract, deterministically in
+// (profile, seed).
+func (p Profile) EmitData(seed int64) *osm.Data {
+	rng := rand.New(rand.NewSource(seed))
+	data := &osm.Data{}
+	rows, cols := p.Rows, p.Cols
+	half := func(n int) float64 { return float64(n-1) / 2 }
+
+	// Grid intersections; OSM node IDs are 1-based row-major.
+	nodeID := func(r, c int) int64 { return int64(r*cols+c) + 1 }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			jn := (rng.Float64()*2 - 1) * p.JitterFrac * p.BlockMeters
+			je := (rng.Float64()*2 - 1) * p.JitterFrac * p.BlockMeters
+			pt := geo.Offset(p.Center,
+				(float64(r)-half(rows))*p.BlockMeters+jn,
+				(float64(c)-half(cols))*p.BlockMeters+je)
+			data.Nodes = append(data.Nodes, osm.Node{ID: nodeID(r, c), Lat: pt.Lat, Lon: pt.Lon})
+		}
+	}
+
+	riverRow, riverCol := -1, -1
+	if p.River.Present {
+		if p.River.Vertical {
+			riverCol = int(float64(cols) * p.River.PositionFrac)
+		} else {
+			riverRow = int(float64(rows) * p.River.PositionFrac)
+		}
+	}
+	// crossesRiver reports whether the segment between grid positions
+	// crosses the river line, and whether that crossing is a bridge.
+	crossesRiver := func(r1, c1, r2, c2 int) (crosses, bridge bool) {
+		if riverRow >= 0 && ((r1 < riverRow && r2 >= riverRow) || (r2 < riverRow && r1 >= riverRow)) {
+			return true, p.River.BridgeEvery > 0 && c1%p.River.BridgeEvery == 0
+		}
+		if riverCol >= 0 && ((c1 < riverCol && c2 >= riverCol) || (c2 < riverCol && c1 >= riverCol)) {
+			return true, p.River.BridgeEvery > 0 && r1%p.River.BridgeEvery == 0
+		}
+		return false, false
+	}
+
+	onewayLo := rows/2 - p.OnewayRows/2
+	onewayHi := onewayLo + p.OnewayRows
+
+	wayID := int64(1_000_000)
+	addWay := func(a, b int64, class graph.RoadClass, speed float64, lanes int, oneway string) {
+		tags := map[string]string{
+			"highway":  highwayTag(class),
+			"maxspeed": fmt.Sprintf("%.0f", speed),
+		}
+		if lanes > 0 {
+			tags["lanes"] = fmt.Sprintf("%d", lanes)
+		}
+		if oneway != "" {
+			tags["oneway"] = oneway
+		}
+		data.Ways = append(data.Ways, osm.Way{ID: wayID, NodeIDs: []int64{a, b}, Tags: tags})
+		wayID++
+	}
+
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Horizontal segment to the east neighbour.
+			if c+1 < cols {
+				cross, bridge := crossesRiver(r, c, r, c+1)
+				keep := !cross || bridge
+				if keep && (cross || rng.Float64() < p.KeepStreetProb) {
+					class, speed, lanes := p.streetKind(r, -1)
+					oneway := ""
+					if p.OnewayRows > 0 && r >= onewayLo && r < onewayHi && class == p.StreetClass {
+						if r%2 == 0 {
+							oneway = "yes"
+						} else {
+							oneway = "-1"
+						}
+					}
+					addWay(nodeID(r, c), nodeID(r, c+1), class, speed, lanes, oneway)
+				}
+			}
+			// Vertical segment to the north neighbour.
+			if r+1 < rows {
+				cross, bridge := crossesRiver(r, c, r+1, c)
+				keep := !cross || bridge
+				if keep && (cross || rng.Float64() < p.KeepStreetProb) {
+					class, speed, lanes := p.streetKind(-1, c)
+					addWay(nodeID(r, c), nodeID(r+1, c), class, speed, lanes, "")
+				}
+			}
+		}
+	}
+
+	// Motorway bypass ring with ramps.
+	if p.Motorway.Present {
+		speed := p.Motorway.SpeedKmh
+		if speed <= 0 {
+			speed = 100
+		}
+		ringID := int64(rows*cols) + 1
+		var ringNodes []int64
+		addRingNode := func(north, east float64) int64 {
+			pt := geo.Offset(p.Center, north, east)
+			data.Nodes = append(data.Nodes, osm.Node{ID: ringID, Lat: pt.Lat, Lon: pt.Lon})
+			ringNodes = append(ringNodes, ringID)
+			ringID++
+			return ringID - 1
+		}
+		extN := (half(rows))*p.BlockMeters + p.Motorway.OffsetMeters
+		extE := (half(cols))*p.BlockMeters + p.Motorway.OffsetMeters
+		// Corner-to-corner ring nodes every RampEvery blocks along each side.
+		step := p.Motorway.RampEvery
+		if step <= 0 {
+			step = 8
+		}
+		type ramp struct {
+			ring int64
+			grid int64
+		}
+		var ramps []ramp
+		// South and north sides (varying column), then west and east sides.
+		for c := 0; c < cols; c += step {
+			east := (float64(c) - half(cols)) * p.BlockMeters
+			s := addRingNode(-extN, east)
+			n := addRingNode(extN, east)
+			ramps = append(ramps, ramp{s, nodeID(0, c)}, ramp{n, nodeID(rows-1, c)})
+		}
+		for r := step; r < rows-1; r += step {
+			north := (float64(r) - half(rows)) * p.BlockMeters
+			w := addRingNode(north, -extE)
+			e := addRingNode(north, extE)
+			ramps = append(ramps, ramp{w, nodeID(r, 0)}, ramp{e, nodeID(r, cols-1)})
+		}
+		// Chain ring nodes into a loop ordered by angle around the center.
+		ordered := orderByAngle(data, ringNodes, p.Center)
+		for i := range ordered {
+			a := ordered[i]
+			b := ordered[(i+1)%len(ordered)]
+			tags := map[string]string{
+				"highway":  "motorway",
+				"maxspeed": fmt.Sprintf("%.0f", speed),
+				"lanes":    "3",
+				"oneway":   "no", // bidirectional carriageway pair, simplified
+			}
+			data.Ways = append(data.Ways, osm.Way{ID: wayID, NodeIDs: []int64{a, b}, Tags: tags})
+			wayID++
+		}
+		for _, rp := range ramps {
+			tags := map[string]string{
+				"highway":  "motorway_link",
+				"maxspeed": "60",
+				"oneway":   "no",
+			}
+			data.Ways = append(data.Ways, osm.Way{ID: wayID, NodeIDs: []int64{rp.ring, rp.grid}, Tags: tags})
+			wayID++
+		}
+	}
+	return data
+}
+
+// streetKind classifies a grid street: arterial rows/columns are primary.
+func (p Profile) streetKind(row, col int) (graph.RoadClass, float64, int) {
+	if p.ArterialEvery > 0 {
+		if (row >= 0 && row%p.ArterialEvery == 0) || (col >= 0 && col%p.ArterialEvery == 0) {
+			return graph.Primary, p.ArterialSpeed, 2
+		}
+	}
+	return p.StreetClass, p.StreetSpeed, 1
+}
+
+func highwayTag(c graph.RoadClass) string {
+	// RoadClass.String values match OSM highway tag values by construction.
+	return c.String()
+}
+
+// orderByAngle sorts ring node IDs by bearing around center so the ring
+// forms a simple loop.
+func orderByAngle(d *osm.Data, ids []int64, center geo.Point) []int64 {
+	pos := make(map[int64]geo.Point, len(ids))
+	for _, n := range d.Nodes {
+		pos[n.ID] = geo.Point{Lat: n.Lat, Lon: n.Lon}
+	}
+	out := append([]int64(nil), ids...)
+	angle := func(id int64) float64 {
+		return geo.Bearing(center, pos[id])
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && angle(out[j]) < angle(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Generate builds the city's road-network graph through the OSM
+// constructor pipeline.
+func (p Profile) Generate(seed int64) (*graph.Graph, error) {
+	g, err := osm.BuildGraph(p.EmitData(seed), nil)
+	if err != nil {
+		return nil, fmt.Errorf("citygen: generating %s: %w", p.Name, err)
+	}
+	return g, nil
+}

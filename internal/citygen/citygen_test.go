@@ -1,0 +1,265 @@
+package citygen
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/osm"
+	"repro/internal/sp"
+)
+
+func TestProfilesGenerate(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			g, err := p.Generate(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumNodes() < 500 {
+				t.Errorf("%s: only %d nodes; city too small", p.Name, g.NumNodes())
+			}
+			if g.NumEdges() < 2*g.NumNodes()-100 {
+				t.Errorf("%s: %d edges for %d nodes; too sparse", p.Name, g.NumEdges(), g.NumNodes())
+			}
+			bb := g.BBox()
+			if !bb.Contains(p.Center) {
+				t.Errorf("%s: center %v outside network bbox", p.Name, p.Center)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Melbourne()
+	g1, err := p.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := p.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed must reproduce the same city")
+	}
+	for e := 0; e < g1.NumEdges(); e++ {
+		if g1.Edge(graph.EdgeID(e)) != g2.Edge(graph.EdgeID(e)) {
+			t.Fatalf("edge %d differs between identical seeds", e)
+		}
+	}
+	g3, err := p.Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() == g1.NumEdges() && g3.NumNodes() == g1.NumNodes() {
+		same := true
+		for e := 0; e < g1.NumEdges() && same; e++ {
+			if g1.Edge(graph.EdgeID(e)) != g3.Edge(graph.EdgeID(e)) {
+				same = false
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical cities")
+		}
+	}
+}
+
+func TestCityCharacteristicsDiffer(t *testing.T) {
+	mel, err := Melbourne().Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dha, err := Dhaka().Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dhaka is denser: more nodes per km².
+	melArea := mel.BBox().WidthMeters() * mel.BBox().HeightMeters() / 1e6
+	dhaArea := dha.BBox().WidthMeters() * dha.BBox().HeightMeters() / 1e6
+	melDensity := float64(mel.NumNodes()) / melArea
+	dhaDensity := float64(dha.NumNodes()) / dhaArea
+	if dhaDensity <= melDensity {
+		t.Errorf("Dhaka density %.1f should exceed Melbourne %.1f nodes/km²", dhaDensity, melDensity)
+	}
+	// Dhaka is slower: mean speed strictly below Melbourne's.
+	meanSpeed := func(g *graph.Graph) float64 {
+		var s float64
+		for e := 0; e < g.NumEdges(); e++ {
+			s += g.Edge(graph.EdgeID(e)).SpeedKmh
+		}
+		return s / float64(g.NumEdges())
+	}
+	if meanSpeed(dha) >= meanSpeed(mel) {
+		t.Errorf("Dhaka mean speed %.1f should be below Melbourne %.1f", meanSpeed(dha), meanSpeed(mel))
+	}
+	// Melbourne has motorway edges, Dhaka none.
+	hasMotorway := func(g *graph.Graph) bool {
+		for e := 0; e < g.NumEdges(); e++ {
+			if g.Edge(graph.EdgeID(e)).Class == graph.Motorway {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasMotorway(mel) {
+		t.Error("Melbourne should have a motorway ring")
+	}
+	if hasMotorway(dha) {
+		t.Error("Dhaka should not have motorways")
+	}
+}
+
+func TestCitiesAreWellConnected(t *testing.T) {
+	// Random vertex pairs should almost always be mutually reachable
+	// (BuildGraph keeps the largest weak component; one-way CBD rows are
+	// alternating, so strong connectivity should hold broadly).
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			g, err := p.Generate(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := g.CopyWeights()
+			rng := rand.New(rand.NewSource(5))
+			fail := 0
+			const trials = 40
+			for i := 0; i < trials; i++ {
+				s := graph.NodeID(rng.Intn(g.NumNodes()))
+				d := graph.NodeID(rng.Intn(g.NumNodes()))
+				if s == d {
+					continue
+				}
+				if _, dist := sp.ShortestPath(g, w, s, d); math.IsInf(dist, 1) {
+					fail++
+				}
+			}
+			if fail > trials/10 {
+				t.Errorf("%s: %d/%d random pairs unreachable", p.Name, fail, trials)
+			}
+		})
+	}
+}
+
+func TestRiverLimitsCrossings(t *testing.T) {
+	// Count vertical edges crossing the Melbourne river latitude: must be
+	// far fewer than the grid width.
+	p := Melbourne()
+	data := p.EmitData(1)
+	g, err := osm.BuildGraph(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riverFrac := p.River.PositionFrac
+	// River latitude: row index riverRow at (riverRow - (rows-1)/2) blocks north.
+	riverRow := int(float64(p.Rows) * riverFrac)
+	riverOffset := (float64(riverRow) - float64(p.Rows-1)/2 - 0.5) * p.BlockMeters
+	riverLat := p.Center.Lat + riverOffset/111320.0*1 // approximate degrees
+	crossings := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		a, b := g.Point(ed.From).Lat, g.Point(ed.To).Lat
+		if (a < riverLat) != (b < riverLat) {
+			crossings++
+		}
+	}
+	// Two-way bridges: crossings counts directed edges; bridge count is
+	// crossings/2. With BridgeEvery=5 over 40 columns: 8 bridges.
+	if crossings == 0 {
+		t.Fatal("river should have at least one bridge")
+	}
+	if crossings/2 > p.Cols/2 {
+		t.Errorf("too many river crossings (%d bridges for %d columns)", crossings/2, p.Cols)
+	}
+}
+
+func TestOnewayCBDPresent(t *testing.T) {
+	p := Melbourne()
+	data := p.EmitData(1)
+	oneway := 0
+	for i := range data.Ways {
+		if v, ok := data.Ways[i].Tags["oneway"]; ok && (v == "yes" || v == "-1") {
+			oneway++
+		}
+	}
+	if oneway == 0 {
+		t.Error("Melbourne profile should emit one-way CBD streets")
+	}
+	// Dhaka has none.
+	data = Dhaka().EmitData(1)
+	for i := range data.Ways {
+		if v, ok := data.Ways[i].Tags["oneway"]; ok && (v == "yes" || v == "-1") {
+			t.Fatal("Dhaka profile should not emit one-way streets")
+		}
+	}
+}
+
+func TestEmitXMLPipeline(t *testing.T) {
+	// citygen -> XML -> Parse -> BuildGraph must equal citygen -> BuildGraph.
+	p := Copenhagen()
+	data := p.EmitData(2)
+	var buf bytes.Buffer
+	if err := data.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := osm.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := osm.BuildGraph(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := osm.BuildGraph(parsed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("XML pipeline mismatch: %d/%d vs %d/%d nodes/edges",
+			g1.NumNodes(), g1.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"Melbourne", "Dhaka", "Copenhagen"} {
+		p, err := ProfileByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("ProfileByName(%q) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := ProfileByName("Atlantis"); err == nil {
+		t.Error("unknown city should error")
+	}
+}
+
+func TestArterialsPresent(t *testing.T) {
+	for _, p := range Profiles() {
+		g, err := p.Generate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		primaries := 0
+		for e := 0; e < g.NumEdges(); e++ {
+			if g.Edge(graph.EdgeID(e)).Class == graph.Primary {
+				primaries++
+			}
+		}
+		if primaries == 0 {
+			t.Errorf("%s: no primary arterials", p.Name)
+		}
+	}
+}
+
+func BenchmarkGenerateMelbourne(b *testing.B) {
+	p := Melbourne()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

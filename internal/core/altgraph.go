@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/sp"
+)
+
+// AlternativeGraph is the §II-D representation of Bader et al. ("Alternative
+// route graphs in road networks"): instead of k discrete routes, a compact
+// subgraph that is the union of good s-t paths. Alternative routes can
+// then be extracted with different ranking functions depending on user
+// preference.
+//
+// The quality measures follow Bader et al.'s trio:
+//
+//   - TotalDistance: the summed weight of the subgraph's edges, normalized
+//     by the fastest s-t travel time — how much road the graph offers.
+//   - AverageDistance: the mean stretch of the distinct s-t paths in the
+//     subgraph — how reasonable those offers are.
+//   - DecisionEdges: the number of branching choices a driver faces.
+type AlternativeGraph struct {
+	g *graph.Graph
+	// weights are the travel-time weights the graph was built with.
+	weights []float64
+	S, T    graph.NodeID
+	// FastestS is the fastest s-t travel time.
+	FastestS float64
+	// Edges is the set of edges in the alternative graph.
+	Edges map[graph.EdgeID]bool
+	// out is the adjacency restricted to the subgraph.
+	out map[graph.NodeID][]graph.EdgeID
+}
+
+// BuildAlternativeGraph unions the routes of the given planners into an
+// alternative graph for the query. Planner errors other than ErrNoRoute
+// are returned; if no planner finds any route, ErrNoRoute is returned.
+func BuildAlternativeGraph(g *graph.Graph, weights []float64, s, t graph.NodeID, planners ...Planner) (*AlternativeGraph, error) {
+	if err := validateQuery(g, s, t); err != nil {
+		return nil, err
+	}
+	_, fastest := sp.ShortestPath(g, weights, s, t)
+	if math.IsInf(fastest, 1) {
+		return nil, ErrNoRoute
+	}
+	ag := &AlternativeGraph{
+		g:        g,
+		weights:  weights,
+		S:        s,
+		T:        t,
+		FastestS: fastest,
+		Edges:    make(map[graph.EdgeID]bool),
+		out:      make(map[graph.NodeID][]graph.EdgeID),
+	}
+	got := false
+	for _, pl := range planners {
+		routes, err := pl.Alternatives(s, t)
+		if err == ErrNoRoute {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: alternative graph via %s: %w", pl.Name(), err)
+		}
+		got = true
+		for _, r := range routes {
+			ag.AddRoute(r)
+		}
+	}
+	if !got {
+		return nil, ErrNoRoute
+	}
+	return ag, nil
+}
+
+// AddRoute merges a route's edges into the graph.
+func (ag *AlternativeGraph) AddRoute(r path.Path) {
+	for _, e := range r.Edges {
+		if ag.Edges[e] {
+			continue
+		}
+		ag.Edges[e] = true
+		from := ag.g.Edge(e).From
+		ag.out[from] = append(ag.out[from], e)
+	}
+}
+
+// NumEdges returns the number of edges in the alternative graph.
+func (ag *AlternativeGraph) NumEdges() int { return len(ag.Edges) }
+
+// TotalDistance is Bader et al.'s normalized size measure: the summed edge
+// weight of the subgraph divided by the fastest s-t travel time. 1.0 means
+// the graph is exactly the fastest path; larger values offer more road.
+func (ag *AlternativeGraph) TotalDistance() float64 {
+	if ag.FastestS <= 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for e := range ag.Edges {
+		sum += ag.weights[e]
+	}
+	return sum / ag.FastestS
+}
+
+// DecisionEdges counts the driver's branching choices: for every node in
+// the subgraph, each outgoing subgraph edge beyond the first is a decision.
+func (ag *AlternativeGraph) DecisionEdges() int {
+	d := 0
+	for _, out := range ag.out {
+		if len(out) > 1 {
+			d += len(out) - 1
+		}
+	}
+	return d
+}
+
+// Paths enumerates up to maxPaths distinct simple s-t paths in the
+// subgraph by depth-first search, in discovery order.
+func (ag *AlternativeGraph) Paths(maxPaths int) []path.Path {
+	var out []path.Path
+	var edges []graph.EdgeID
+	onPath := make(map[graph.NodeID]bool)
+	var dfs func(v graph.NodeID)
+	dfs = func(v graph.NodeID) {
+		if len(out) >= maxPaths {
+			return
+		}
+		if v == ag.T {
+			if p, err := path.New(ag.g, ag.weights, ag.S, append([]graph.EdgeID(nil), edges...)); err == nil {
+				out = append(out, p)
+			}
+			return
+		}
+		onPath[v] = true
+		// Deterministic order: cheapest continuation first.
+		nexts := append([]graph.EdgeID(nil), ag.out[v]...)
+		sort.Slice(nexts, func(i, j int) bool { return ag.weights[nexts[i]] < ag.weights[nexts[j]] })
+		for _, e := range nexts {
+			to := ag.g.Edge(e).To
+			if onPath[to] {
+				continue
+			}
+			edges = append(edges, e)
+			dfs(to)
+			edges = edges[:len(edges)-1]
+			if len(out) >= maxPaths {
+				break
+			}
+		}
+		onPath[v] = false
+	}
+	dfs(ag.S)
+	return out
+}
+
+// AverageDistance is the mean stretch (path time over fastest time) of the
+// subgraph's distinct s-t paths, sampled up to the given enumeration
+// budget. It returns +Inf if the subgraph contains no s-t path.
+func (ag *AlternativeGraph) AverageDistance(maxPaths int) float64 {
+	paths := ag.Paths(maxPaths)
+	if len(paths) == 0 || ag.FastestS <= 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range paths {
+		sum += p.TimeS / ag.FastestS
+	}
+	return sum / float64(len(paths))
+}

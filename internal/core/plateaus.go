@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/sp"
+)
+
+// Plateaus implements Cotares' Choice Routing technique (Jones, US patent
+// 8,249,810; Abraham et al. 2013): build a forward shortest-path tree from
+// the source and a backward tree from the target, join them, and extract
+// "plateaus" — maximal chains of edges used by *both* trees. Every plateau
+// spawns a candidate route: shortest path from s to the plateau's start,
+// the plateau itself, then the shortest path from its end to t. Plateaus
+// are ranked by the Cotares goodness score C − R (plateau cost minus
+// generated route cost; 0 is best and is achieved exactly by the fastest
+// path, which is itself a plateau).
+type Plateaus struct {
+	g    *graph.Graph
+	base []float64
+	opts Options
+}
+
+// NewPlateaus returns a Plateaus planner over g using the graph's base
+// travel-time weights.
+func NewPlateaus(g *graph.Graph, opts Options) *Plateaus {
+	return &Plateaus{g: g, base: g.CopyWeights(), opts: opts.withDefaults()}
+}
+
+// Name implements Planner.
+func (p *Plateaus) Name() string { return "Plateaus" }
+
+// Plateau is a maximal chain of edges that appears in both the forward and
+// the backward shortest-path tree. Exposed for visualization (Fig. 1 of
+// the paper) and tests.
+type Plateau struct {
+	Edges []graph.EdgeID
+	Start graph.NodeID // end closer to the source
+	End   graph.NodeID // end closer to the target
+	CostS float64      // summed weight of the chain ("length" in the paper)
+	// RouteCostS is the travel time of the route this plateau generates:
+	// distF(Start) + CostS + distB(End).
+	RouteCostS float64
+}
+
+// Score is the Cotares ranking quantity C − R: plateau cost minus route
+// cost. It is ≤ 0; closer to 0 is better.
+func (pl Plateau) Score() float64 { return pl.CostS - pl.RouteCostS }
+
+// Alternatives implements Planner.
+func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	if err := validateQuery(p.g, s, t); err != nil {
+		return nil, err
+	}
+	if s == t {
+		return trivialQuery(p.g, p.base, s), nil
+	}
+	fwd := sp.BuildTree(p.g, p.base, s, sp.Forward)
+	if !fwd.Reached(t) {
+		return nil, ErrNoRoute
+	}
+	bwd := sp.BuildTree(p.g, p.base, t, sp.Backward)
+	fastest := fwd.Dist[t]
+
+	plateaus := p.FindPlateaus(fwd, bwd)
+	// Rank by score descending (closest to zero first); ties by route cost.
+	sort.Slice(plateaus, func(i, j int) bool {
+		si, sj := plateaus[i].Score(), plateaus[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		return plateaus[i].RouteCostS < plateaus[j].RouteCostS
+	})
+
+	var routes []path.Path
+	for _, pl := range plateaus {
+		if len(routes) >= p.opts.K {
+			break
+		}
+		if pl.RouteCostS > p.opts.UpperBound*fastest+1e-9 {
+			continue
+		}
+		cand, ok := p.assemble(fwd, bwd, pl, s)
+		if !ok {
+			continue
+		}
+		if admit(p.g, cand, routes, p.opts.SimilarityCutoff) {
+			routes = append(routes, cand)
+		}
+	}
+	if len(routes) == 0 {
+		return nil, ErrNoRoute
+	}
+	return routes, nil
+}
+
+// FindPlateaus joins a forward and a backward shortest-path tree and
+// returns all maximal plateau chains, unranked. Exposed for the Fig. 1
+// walkthrough example and for tests of the plateau invariants.
+func (p *Plateaus) FindPlateaus(fwd, bwd *sp.Tree) []Plateau {
+	g := p.g
+	// An edge e = (u,v) is a plateau edge iff it is the forward-tree edge
+	// into v and the backward-tree edge out of u.
+	isPlateau := func(e graph.EdgeID) bool {
+		ed := g.Edge(e)
+		return fwd.Parent[ed.To] == e && bwd.Parent[ed.From] == e
+	}
+	// next[u] = the plateau edge leaving u, if any. Because plateau edges
+	// come from trees, each node has at most one incoming and one outgoing
+	// plateau edge, so chains are simple paths.
+	next := make(map[graph.NodeID]graph.EdgeID)
+	hasIncoming := make(map[graph.NodeID]bool)
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		if isPlateau(id) {
+			ed := g.Edge(id)
+			next[ed.From] = id
+			hasIncoming[ed.To] = true
+		}
+	}
+	var out []Plateau
+	for start, first := range next {
+		if hasIncoming[start] {
+			continue // interior of a chain; walk starts only at heads
+		}
+		pl := Plateau{Start: start}
+		cur := start
+		e, ok := first, true
+		for ok {
+			pl.Edges = append(pl.Edges, e)
+			pl.CostS += p.base[e]
+			cur = g.Edge(e).To
+			e, ok = next[cur]
+		}
+		pl.End = cur
+		if math.IsInf(fwd.Dist[pl.Start], 1) || math.IsInf(bwd.Dist[pl.End], 1) {
+			continue // defensive; tree edges imply reachability
+		}
+		pl.RouteCostS = fwd.Dist[pl.Start] + pl.CostS + bwd.Dist[pl.End]
+		out = append(out, pl)
+	}
+	return out
+}
+
+// assemble builds the full route for a plateau: s →(fwd tree) Start,
+// plateau chain, End →(bwd tree) t.
+func (p *Plateaus) assemble(fwd, bwd *sp.Tree, pl Plateau, s graph.NodeID) (path.Path, bool) {
+	head := fwd.PathTo(p.g, pl.Start)
+	if head == nil {
+		return path.Path{}, false
+	}
+	tail := bwd.PathTo(p.g, pl.End)
+	if tail == nil {
+		return path.Path{}, false
+	}
+	edges := make([]graph.EdgeID, 0, len(head)+len(pl.Edges)+len(tail))
+	edges = append(edges, head...)
+	edges = append(edges, pl.Edges...)
+	edges = append(edges, tail...)
+	cand, err := path.New(p.g, p.base, s, edges)
+	if err != nil {
+		return path.Path{}, false
+	}
+	return cand, true
+}

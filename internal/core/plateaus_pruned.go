@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/sp"
+)
+
+// PrunedPlateaus is the §II-B "compatibility with routing optimisations"
+// variant of the Plateaus planner: instead of two full Dijkstra trees it
+// builds elliptically pruned trees that only explore nodes able to lie on
+// a route within UpperBound × the fastest travel time. As the paper
+// argues, such trees "must still cover all feasible routes... and so when
+// they are combined, they still yield the same choice routes" — which the
+// test suite verifies against the full-tree planner.
+type PrunedPlateaus struct {
+	g     *graph.Graph
+	base  []float64
+	opts  Options
+	scale float64 // admissible seconds-per-meter lower bound
+	// LastReachedFwd/Bwd record how many nodes the last query's trees
+	// explored, for instrumentation and tests.
+	LastReachedFwd int
+	LastReachedBwd int
+}
+
+// NewPrunedPlateaus returns the pruned-tree plateau planner.
+func NewPrunedPlateaus(g *graph.Graph, opts Options) *PrunedPlateaus {
+	base := g.CopyWeights()
+	return &PrunedPlateaus{
+		g:     g,
+		base:  base,
+		opts:  opts.withDefaults(),
+		scale: sp.MinSecondsPerMeter(g, base),
+	}
+}
+
+// Name implements Planner.
+func (p *PrunedPlateaus) Name() string { return "Plateaus(pruned)" }
+
+// Alternatives implements Planner.
+func (p *PrunedPlateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	if err := validateQuery(p.g, s, t); err != nil {
+		return nil, err
+	}
+	if s == t {
+		return trivialQuery(p.g, p.base, s), nil
+	}
+	// The ellipse needs the fastest time first; a bidirectional search is
+	// cheap relative to tree building.
+	_, fastest := sp.BidirectionalShortestPath(p.g, p.base, s, t)
+	if math.IsInf(fastest, 1) {
+		return nil, ErrNoRoute
+	}
+	maxCost := p.opts.UpperBound * fastest
+	fwd := sp.BuildPrunedTree(p.g, p.base, s, sp.Forward, t, maxCost, p.scale)
+	bwd := sp.BuildPrunedTree(p.g, p.base, t, sp.Backward, s, maxCost, p.scale)
+	p.LastReachedFwd = sp.CountReached(fwd)
+	p.LastReachedBwd = sp.CountReached(bwd)
+	if !fwd.Reached(t) {
+		return nil, ErrNoRoute
+	}
+
+	inner := &Plateaus{g: p.g, base: p.base, opts: p.opts}
+	plateaus := inner.FindPlateaus(fwd, bwd)
+	sort.Slice(plateaus, func(i, j int) bool {
+		si, sj := plateaus[i].Score(), plateaus[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		return plateaus[i].RouteCostS < plateaus[j].RouteCostS
+	})
+	var routes []path.Path
+	for _, pl := range plateaus {
+		if len(routes) >= p.opts.K {
+			break
+		}
+		if pl.RouteCostS > maxCost+1e-9 {
+			continue
+		}
+		cand, ok := inner.assemble(fwd, bwd, pl, s)
+		if !ok {
+			continue
+		}
+		if admit(p.g, cand, routes, p.opts.SimilarityCutoff) {
+			routes = append(routes, cand)
+		}
+	}
+	if len(routes) == 0 {
+		return nil, ErrNoRoute
+	}
+	return routes, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// These tests cover the §IV-C refinement options the paper lists as "can
+// be easily included" but deliberately left out of the studied
+// configuration: similarity cutoffs and local-optimality filtering.
+
+func TestLocalOptimalityFilterKeepsOnlyCleanRoutes(t *testing.T) {
+	g := testCity(t)
+	w := g.CopyWeights()
+	s, dst := graph.NodeID(0), graph.NodeID(11*12+11)
+	opts := Options{LocalOptimalityWindow: 0.5}
+	for _, pl := range []Planner{NewPenalty(g, opts), NewDissimilarity(g, opts)} {
+		routes, err := pl.Alternatives(s, dst)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		fastest := routes[0].TimeS
+		for i, r := range routes {
+			ratio := path.CheckLocalOptimality(g, w, r, 0.5*fastest)
+			if ratio > 1.02+1e-9 {
+				t.Errorf("%s route %d local-optimality ratio %f exceeds tolerance", pl.Name(), i, ratio)
+			}
+		}
+	}
+}
+
+func TestLocalOptimalityFilterNeverDropsTheFastestRoute(t *testing.T) {
+	g := testCity(t)
+	s, dst := graph.NodeID(3), graph.NodeID(130)
+	strict := Options{LocalOptimalityWindow: 1.0, LocalOptimalityTolerance: 0.001}
+	routes, err := NewPenalty(g, strict).Alternatives(s, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) < 1 {
+		t.Fatal("the fastest route is always locally optimal and must survive")
+	}
+	base, err := NewPenalty(g, Options{}).Alternatives(s, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !path.Equal(routes[0], base[0]) {
+		t.Error("filtering must not change the fastest route")
+	}
+}
+
+func TestLocalOptimalityFilterIsRestrictive(t *testing.T) {
+	// Across a set of queries, the filtered planner must return at most as
+	// many routes as the unfiltered one, and strictly fewer somewhere
+	// (penalty detours on a grid are rarely all locally optimal).
+	g := testCity(t)
+	queries := [][2]graph.NodeID{{0, 143}, {5, 138}, {12, 131}, {60, 83}, {3, 140}}
+	plain := NewPenalty(g, Options{})
+	filtered := NewPenalty(g, Options{LocalOptimalityWindow: 0.6, LocalOptimalityTolerance: 0.001})
+	droppedSomewhere := false
+	for _, q := range queries {
+		a, err1 := plain.Alternatives(q[0], q[1])
+		b, err2 := filtered.Alternatives(q[0], q[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%v: %v / %v", q, err1, err2)
+		}
+		if len(b) > len(a) {
+			t.Errorf("query %v: filter added routes (%d > %d)", q, len(b), len(a))
+		}
+		if len(b) < len(a) {
+			droppedSomewhere = true
+		}
+	}
+	if !droppedSomewhere {
+		t.Log("filter dropped nothing on these queries (acceptable but unusual)")
+	}
+}
+
+func TestLocalOptimalityToleranceDefault(t *testing.T) {
+	o := Options{LocalOptimalityWindow: 0.5}.withDefaults()
+	if o.LocalOptimalityTolerance != 0.02 {
+		t.Errorf("tolerance default = %f, want 0.02", o.LocalOptimalityTolerance)
+	}
+	o = Options{}.withDefaults()
+	if o.LocalOptimalityTolerance != 0 {
+		t.Errorf("tolerance without window = %f, want 0", o.LocalOptimalityTolerance)
+	}
+	o = Options{LocalOptimalityWindow: 0.5, LocalOptimalityTolerance: 0.1}.withDefaults()
+	if o.LocalOptimalityTolerance != 0.1 {
+		t.Error("explicit tolerance clobbered")
+	}
+}
+
+func TestSimilarityCutoffOnPlateaus(t *testing.T) {
+	g := testCity(t)
+	s, dst := graph.NodeID(0), graph.NodeID(11*12+11)
+	routes, err := NewPlateaus(g, Options{SimilarityCutoff: 0.5}).Alternatives(s, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(routes); i++ {
+		for j := i + 1; j < len(routes); j++ {
+			if sim := path.Jaccard(g, routes[i], routes[j]); sim > 0.5+1e-9 {
+				t.Errorf("plateau routes %d,%d similarity %f > cutoff", i, j, sim)
+			}
+		}
+	}
+}
+
+func TestRefinementsComposable(t *testing.T) {
+	// All refinements together still produce at least the fastest route.
+	g := testCity(t)
+	opts := Options{
+		SimilarityCutoff:         0.6,
+		LocalOptimalityWindow:    0.5,
+		ApplyUpperBoundToPenalty: true,
+	}
+	routes, err := NewPenalty(g, opts).Alternatives(0, 143)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) < 1 {
+		t.Fatal("composed refinements must keep the fastest route")
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/sp"
+)
+
+// Tests for the §II-D related-work baselines: Pareto (skyline paths), ESX
+// (edge-exclusion kSPwLO) and alternative graphs (Bader et al.).
+
+func TestParetoFirstRouteIsFastest(t *testing.T) {
+	g := testCity(t)
+	w := g.CopyWeights()
+	s, dst := graph.NodeID(0), graph.NodeID(11*12+11)
+	routes, err := NewPareto(g, Options{}).Alternatives(s, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fastest := sp.ShortestPath(g, w, s, dst)
+	if math.Abs(routes[0].TimeS-fastest) > 1e-6 {
+		t.Errorf("first skyline path time %f, want fastest %f", routes[0].TimeS, fastest)
+	}
+}
+
+func TestParetoSkylineIsNonDominated(t *testing.T) {
+	g := testCity(t)
+	s, dst := graph.NodeID(3), graph.NodeID(130)
+	sky := NewPareto(g, Options{}).Skyline(s, dst)
+	if len(sky) == 0 {
+		t.Fatal("empty skyline on a connected grid")
+	}
+	for i := range sky {
+		for j := range sky {
+			if i == j {
+				continue
+			}
+			if dominates(sky[i].TimeS, sky[i].LengthM, sky[j].TimeS, sky[j].LengthM) {
+				t.Fatalf("skyline member %d dominates member %d: (%f,%f) vs (%f,%f)",
+					i, j, sky[i].TimeS, sky[i].LengthM, sky[j].TimeS, sky[j].LengthM)
+			}
+		}
+	}
+	// Ascending time implies descending distance on a clean skyline.
+	for i := 1; i < len(sky); i++ {
+		if sky[i].TimeS < sky[i-1].TimeS-1e-9 {
+			t.Error("skyline not in ascending time order")
+		}
+		if sky[i].LengthM > sky[i-1].LengthM+1e-6 {
+			t.Errorf("skyline distance not descending: %f then %f", sky[i-1].LengthM, sky[i].LengthM)
+		}
+	}
+}
+
+func TestParetoFindsShorterButSlowerPath(t *testing.T) {
+	// Handcrafted: a fast long motorway route vs a short slow street.
+	b := graph.NewBuilder(4, 4)
+	o := geo.Point{Lat: 0, Lon: 0}
+	s := b.AddNode(o)
+	m := b.AddNode(geo.Offset(o, 3000, 2500)) // motorway dogleg via the north
+	dst := b.AddNode(geo.Offset(o, 0, 5000))
+	b.AddEdge(graph.EdgeSpec{From: s, To: m, Class: graph.Motorway})
+	b.AddEdge(graph.EdgeSpec{From: m, To: dst, Class: graph.Motorway})
+	b.AddEdge(graph.EdgeSpec{From: s, To: dst, Class: graph.Residential, SpeedKmh: 30})
+	g := b.Build()
+	// Direct: 5 km at 30/1.3 → 780 s. Via motorway: ~7.8 km at 100 → ~281 s.
+	sky := NewPareto(g, Options{UpperBound: 4}).Skyline(s, dst)
+	if len(sky) != 2 {
+		t.Fatalf("skyline size = %d, want 2 (fast-long and slow-short)", len(sky))
+	}
+	if sky[0].LengthM < sky[1].LengthM {
+		t.Error("faster skyline path should be the longer one here")
+	}
+}
+
+func TestParetoContract(t *testing.T) {
+	g := testCity(t)
+	p := NewPareto(g, Options{})
+	if _, err := p.Alternatives(-1, 3); err == nil {
+		t.Error("invalid source should error")
+	}
+	routes, err := p.Alternatives(5, 5)
+	if err != nil || len(routes) != 1 || !routes[0].Empty() {
+		t.Error("s==t should yield one empty route")
+	}
+	gd, a, c := disconnectedPair(t)
+	if _, err := NewPareto(gd, Options{}).Alternatives(a, c); err != ErrNoRoute {
+		t.Errorf("unreachable: want ErrNoRoute, got %v", err)
+	}
+}
+
+func TestParetoRespectsUpperBound(t *testing.T) {
+	g := testCity(t)
+	s, dst := graph.NodeID(0), graph.NodeID(143)
+	sky := NewPareto(g, Options{}).Skyline(s, dst)
+	fastest := sky[0].TimeS
+	for i, p := range sky {
+		if p.TimeS > DefaultUpperBound*fastest+1e-6 {
+			t.Errorf("skyline path %d stretch %f exceeds bound", i, p.TimeS/fastest)
+		}
+	}
+}
+
+func TestESXPairwiseDissimilarity(t *testing.T) {
+	g := testCity(t)
+	s, dst := graph.NodeID(0), graph.NodeID(11*12+11)
+	routes, err := NewESX(g, Options{}).Alternatives(s, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) < 2 {
+		t.Fatalf("ESX found only %d routes on a grid city", len(routes))
+	}
+	for i := 0; i < len(routes); i++ {
+		for j := i + 1; j < len(routes); j++ {
+			if sim := path.Jaccard(g, routes[i], routes[j]); sim >= DefaultTheta {
+				t.Errorf("ESX routes %d,%d similarity %f ≥ θ", i, j, sim)
+			}
+		}
+	}
+}
+
+func TestESXFirstRouteIsFastestAndBounded(t *testing.T) {
+	g := testCity(t)
+	w := g.CopyWeights()
+	s, dst := graph.NodeID(3), graph.NodeID(130)
+	routes, err := NewESX(g, Options{}).Alternatives(s, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fastest := sp.ShortestPath(g, w, s, dst)
+	if math.Abs(routes[0].TimeS-fastest) > 1e-6 {
+		t.Errorf("first ESX route %f, want fastest %f", routes[0].TimeS, fastest)
+	}
+	for i, r := range routes {
+		if r.TimeS > DefaultUpperBound*fastest+1e-6 {
+			t.Errorf("ESX route %d stretch %f exceeds bound", i, r.TimeS/fastest)
+		}
+	}
+}
+
+func TestESXContract(t *testing.T) {
+	g := testCity(t)
+	x := NewESX(g, Options{})
+	routes, err := x.Alternatives(7, 7)
+	if err != nil || len(routes) != 1 || !routes[0].Empty() {
+		t.Error("s==t should yield one empty route")
+	}
+	gd, a, c := disconnectedPair(t)
+	if _, err := NewESX(gd, Options{}).Alternatives(a, c); err != ErrNoRoute {
+		t.Errorf("unreachable: want ErrNoRoute, got %v", err)
+	}
+}
+
+func TestAlternativeGraphMeasures(t *testing.T) {
+	g := testCity(t)
+	w := g.CopyWeights()
+	s, dst := graph.NodeID(0), graph.NodeID(11*12+11)
+	ag, err := BuildAlternativeGraph(g, w, s, dst,
+		NewPlateaus(g, Options{}), NewPenalty(g, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.NumEdges() == 0 {
+		t.Fatal("alternative graph has no edges")
+	}
+	// TotalDistance ≥ 1: the union includes at least the fastest path.
+	if td := ag.TotalDistance(); td < 1-1e-9 {
+		t.Errorf("TotalDistance = %f, want ≥ 1", td)
+	}
+	// With two planners' routes merged there must be decision points.
+	if ag.DecisionEdges() == 0 {
+		t.Error("union of 6 routes should contain decision edges")
+	}
+	paths := ag.Paths(50)
+	if len(paths) < 2 {
+		t.Fatalf("alternative graph yields %d paths, want ≥ 2", len(paths))
+	}
+	for i, p := range paths {
+		if p.Source() != s || p.Target() != dst {
+			t.Errorf("path %d endpoints wrong", i)
+		}
+	}
+	avg := ag.AverageDistance(50)
+	if avg < 1-1e-9 || math.IsInf(avg, 1) {
+		t.Errorf("AverageDistance = %f, want finite ≥ 1", avg)
+	}
+}
+
+func TestAlternativeGraphSingleRouteDegenerate(t *testing.T) {
+	// Union of just the fastest path: TotalDistance 1, no decisions.
+	g := testCity(t)
+	w := g.CopyWeights()
+	s, dst := graph.NodeID(0), graph.NodeID(60)
+	ag, err := BuildAlternativeGraph(g, w, s, dst, NewYen(g, Options{K: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td := ag.TotalDistance(); math.Abs(td-1) > 1e-9 {
+		t.Errorf("single-path TotalDistance = %f, want 1", td)
+	}
+	if ag.DecisionEdges() != 0 {
+		t.Errorf("single-path DecisionEdges = %d, want 0", ag.DecisionEdges())
+	}
+	if got := ag.AverageDistance(10); math.Abs(got-1) > 1e-9 {
+		t.Errorf("single-path AverageDistance = %f, want 1", got)
+	}
+}
+
+func TestAlternativeGraphErrors(t *testing.T) {
+	g := testCity(t)
+	w := g.CopyWeights()
+	if _, err := BuildAlternativeGraph(g, w, -1, 5, NewPlateaus(g, Options{})); err == nil {
+		t.Error("invalid source should error")
+	}
+	gd, a, c := disconnectedPair(t)
+	wd := gd.CopyWeights()
+	if _, err := BuildAlternativeGraph(gd, wd, a, c, NewPlateaus(gd, Options{})); err != ErrNoRoute {
+		t.Errorf("unreachable: want ErrNoRoute, got %v", err)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		t1, d1, t2, d2 float64
+		want           bool
+	}{
+		{1, 1, 2, 2, true},
+		{1, 2, 2, 2, true},
+		{2, 2, 2, 2, false}, // equal: no strict improvement
+		{1, 3, 2, 2, false}, // trade-off
+		{3, 1, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := dominates(c.t1, c.d1, c.t2, c.d2); got != c.want {
+			t.Errorf("dominates(%v,%v,%v,%v) = %v, want %v", c.t1, c.d1, c.t2, c.d2, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package eval is the experiment harness: it assembles the per-city study
+// setup (network, planners, traffic data), samples query workloads
+// stratified by the paper's route-length bands, replays the 520-response
+// study schedule through the simulated raters, and formats Table I
+// (ratings + ANOVA) and Table II (route similarity) in the paper's layout.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/citygen"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/simstudy"
+	"repro/internal/sp"
+	"repro/internal/spatial"
+	"repro/internal/traffic"
+)
+
+// NumApproaches is the number of compared techniques (Table I columns).
+const NumApproaches = 4
+
+// City bundles everything needed to answer study queries for one city.
+type City struct {
+	Profile citygen.Profile
+	Graph   *graph.Graph
+	Index   *spatial.Index
+	// Public is the OSM-derived weight vector (displayed travel times).
+	Public []float64
+	// Traffic is the real-traffic weight vector: the commercial provider
+	// plans on it, and resident raters partially judge by it.
+	Traffic []float64
+	// Planners in Table I column order: GMaps, Plateaus, Dissimilarity,
+	// Penalty.
+	Planners [NumApproaches]core.Planner
+}
+
+// NewCity generates the city network and constructs the four planners.
+// seed controls both the synthetic network and the traffic field.
+func NewCity(profile citygen.Profile, seed int64) (*City, error) {
+	g, err := profile.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	tw := traffic.Apply(g, traffic.DefaultModel(uint64(seed)*2654435761+1))
+	opts := core.Options{}
+	c := &City{
+		Profile: profile,
+		Graph:   g,
+		Index:   spatial.NewIndex(g, 16),
+		Public:  g.CopyWeights(),
+		Traffic: tw,
+	}
+	c.Planners = [NumApproaches]core.Planner{
+		core.NewCommercial(g, tw, opts),
+		core.NewPlateaus(g, opts),
+		core.NewDissimilarity(g, opts),
+		core.NewPenalty(g, opts),
+	}
+	return c, nil
+}
+
+// Query is one s–t study query with its fastest (public) travel time and
+// the route-length band it belongs to.
+type Query struct {
+	S, T       graph.NodeID
+	FastestS   float64 // seconds, public weights
+	FastestMin float64
+	Band       simstudy.Band
+}
+
+// SampleQuery draws a uniform query whose fastest travel time falls in the
+// given band for this city. It returns ok=false if no such pair was found
+// within the attempt budget (which indicates a band unreachable on this
+// network).
+func (c *City) SampleQuery(rng *rand.Rand, band simstudy.Band) (Query, bool) {
+	lo, hi := simstudy.BandBounds(c.Profile.Name, band)
+	const maxAttempts = 40
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		s := graph.NodeID(rng.Intn(c.Graph.NumNodes()))
+		tree := sp.BuildTree(c.Graph, c.Public, s, sp.Forward)
+		var candidates []graph.NodeID
+		for v := graph.NodeID(0); int(v) < c.Graph.NumNodes(); v++ {
+			if v == s || !tree.Reached(v) {
+				continue
+			}
+			min := tree.Dist[v] / 60
+			if min > lo && min <= hi {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		t := candidates[rng.Intn(len(candidates))]
+		return Query{
+			S:          s,
+			T:          t,
+			FastestS:   tree.Dist[t],
+			FastestMin: tree.Dist[t] / 60,
+			Band:       band,
+		}, true
+	}
+	return Query{}, false
+}
+
+// RouteSets holds the four approaches' answers to one query.
+type RouteSets struct {
+	Query
+	Sets [NumApproaches][]path.Path
+}
+
+// RunPlanners answers q with all four approaches. A planner error other
+// than "no route" is returned; an empty set is recorded if a planner finds
+// nothing (which cannot happen for queries sampled from the public
+// weights, but is tolerated defensively).
+func (c *City) RunPlanners(q Query) (RouteSets, error) {
+	rs := RouteSets{Query: q}
+	for i, pl := range c.Planners {
+		routes, err := pl.Alternatives(q.S, q.T)
+		if err == core.ErrNoRoute {
+			continue
+		}
+		if err != nil {
+			return rs, fmt.Errorf("eval: %s on %d->%d: %w", pl.Name(), q.S, q.T, err)
+		}
+		rs.Sets[i] = routes
+	}
+	return rs, nil
+}
+
+// FastestPrivate returns the fastest s–t travel time under the traffic
+// weights, for feature extraction.
+func (c *City) FastestPrivate(s, t graph.NodeID) float64 {
+	_, d := sp.BidirectionalShortestPath(c.Graph, c.Traffic, s, t)
+	return d
+}
+
+// Record is one study response with the objective measurements Table II
+// needs alongside the ratings.
+type Record struct {
+	simstudy.Response
+	// Sim is Eq. (1) Sim(T) per approach for this query's route sets.
+	Sim [NumApproaches]float64
+	// NumRoutes is the number of routes each approach reported.
+	NumRoutes [NumApproaches]int
+}
+
+// RunCell generates n responses for one schedule cell on this city.
+func (c *City) RunCell(cell simstudy.Cell, n int, params simstudy.RaterParams, rng *rand.Rand) ([]Record, error) {
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		q, ok := c.SampleQuery(rng, cell.Band)
+		if !ok {
+			return nil, fmt.Errorf("eval: %s: no %s-band queries exist on this network", c.Profile.Name, cell.Band)
+		}
+		rs, err := c.RunPlanners(q)
+		if err != nil {
+			return nil, err
+		}
+		fastPriv := c.FastestPrivate(q.S, q.T)
+		if math.IsInf(fastPriv, 1) {
+			continue // not mutually reachable under traffic weights; resample
+		}
+		rater := simstudy.NewRater(rng, cell.Resident, params)
+		rec := Record{
+			Response: simstudy.Response{
+				Cell:       cell,
+				FastestMin: q.FastestMin,
+			},
+		}
+		var feats [NumApproaches]simstudy.Features
+		for i := 0; i < NumApproaches; i++ {
+			feats[i] = simstudy.ExtractFeatures(c.Graph, c.Traffic, rs.Sets[i], q.FastestS, fastPriv)
+			rec.Ratings[i] = rater.Rate(feats[i])
+			rec.Sim[i] = path.SimT(c.Graph, rs.Sets[i])
+			rec.NumRoutes[i] = len(rs.Sets[i])
+		}
+		rec.Comment = simstudy.Comment(rng, feats)
+		out = append(out, rec)
+	}
+	return out, nil
+}

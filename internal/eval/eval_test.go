@@ -1,0 +1,291 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/simstudy"
+	"repro/internal/stats"
+)
+
+// sharedStudy is built once; city generation plus planner setup is the
+// expensive part and is read-only across tests.
+var sharedStudy *Study
+
+func getStudy(t testing.TB) *Study {
+	t.Helper()
+	if sharedStudy == nil {
+		s, err := NewStudy(2022)
+		if err != nil {
+			t.Fatalf("NewStudy: %v", err)
+		}
+		sharedStudy = s
+	}
+	return sharedStudy
+}
+
+func TestNewStudyHasThreeCities(t *testing.T) {
+	s := getStudy(t)
+	if len(s.Cities) != 3 {
+		t.Fatalf("cities = %d, want 3", len(s.Cities))
+	}
+	want := []string{"Melbourne", "Dhaka", "Copenhagen"}
+	got := s.CityNames()
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("CityNames[%d] = %s, want %s", i, got[i], name)
+		}
+		if s.Cities[name] == nil {
+			t.Errorf("city %s missing", name)
+		}
+	}
+}
+
+func TestSampleQueryRespectsBands(t *testing.T) {
+	s := getStudy(t)
+	for _, cityName := range s.CityNames() {
+		city := s.Cities[cityName]
+		rng := rand.New(rand.NewSource(7))
+		for b := simstudy.Small; b < simstudy.NumBands; b++ {
+			q, ok := city.SampleQuery(rng, b)
+			if !ok {
+				t.Fatalf("%s: cannot sample %s-band query — network extent wrong", cityName, b)
+			}
+			lo, hi := simstudy.BandBounds(cityName, b)
+			if q.FastestMin <= lo || q.FastestMin > hi {
+				t.Errorf("%s %s: fastest %.2f min outside (%g, %g]", cityName, b, q.FastestMin, lo, hi)
+			}
+			if got, ok2 := simstudy.BandOf(cityName, q.FastestMin); !ok2 || got != b {
+				t.Errorf("%s: BandOf(%.2f) = %v,%v want %v", cityName, q.FastestMin, got, ok2, b)
+			}
+		}
+	}
+}
+
+func TestRunPlannersProducesSets(t *testing.T) {
+	s := getStudy(t)
+	city := s.Cities["Melbourne"]
+	rng := rand.New(rand.NewSource(3))
+	q, ok := city.SampleQuery(rng, simstudy.Medium)
+	if !ok {
+		t.Fatal("no medium query")
+	}
+	rs, err := city.RunPlanners(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range rs.Sets {
+		if len(set) == 0 {
+			t.Errorf("approach %d returned no routes", i)
+		}
+		if len(set) > 3 {
+			t.Errorf("approach %d returned %d routes, want ≤3", i, len(set))
+		}
+		for _, r := range set {
+			if r.Source() != q.S || r.Target() != q.T {
+				t.Errorf("approach %d route endpoints wrong", i)
+			}
+		}
+	}
+}
+
+func TestStudyRunMatchesSchedule(t *testing.T) {
+	s := getStudy(t)
+	sched := simstudy.ScaledSchedule(0.04) // 1-3 responses per cell
+	if err := s.Run(sched, simstudy.DefaultRaterParams(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(s.Records), simstudy.TotalResponses(sched); got != want {
+		t.Fatalf("records = %d, want %d", got, want)
+	}
+	// Per-cell counts must match exactly.
+	counts := map[simstudy.Cell]int{}
+	for _, r := range s.Records {
+		counts[r.Cell]++
+	}
+	for _, cc := range sched {
+		if counts[cc.Cell] != cc.N {
+			t.Errorf("cell %+v: %d records, want %d", cc.Cell, counts[cc.Cell], cc.N)
+		}
+	}
+	for _, r := range s.Records {
+		for a := 0; a < NumApproaches; a++ {
+			if r.Ratings[a] < 1 || r.Ratings[a] > 5 {
+				t.Fatalf("rating %d out of range", r.Ratings[a])
+			}
+			if r.Sim[a] < 0 || r.Sim[a] > 1 {
+				t.Fatalf("Sim %f out of range", r.Sim[a])
+			}
+			if r.NumRoutes[a] < 0 || r.NumRoutes[a] > 3 {
+				t.Fatalf("NumRoutes %d out of range", r.NumRoutes[a])
+			}
+		}
+		if r.FastestMin <= 0 || r.FastestMin > 80 {
+			t.Fatalf("fastest %.2f min out of study range", r.FastestMin)
+		}
+	}
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	s := getStudy(t)
+	sched := simstudy.ScaledSchedule(0.02)
+	params := simstudy.DefaultRaterParams()
+	if err := s.Run(sched, params, 9); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]Record(nil), s.Records...)
+	if err := s.Run(sched, params, 9); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(s.Records) {
+		t.Fatal("rerun changed record count")
+	}
+	for i := range first {
+		if first[i] != s.Records[i] {
+			t.Fatalf("record %d differs between identical runs:\n%+v\n%+v", i, first[i], s.Records[i])
+		}
+	}
+}
+
+func TestDissimilaritySimAlwaysBelowTheta(t *testing.T) {
+	s := getStudy(t)
+	sched := simstudy.ScaledSchedule(0.04)
+	if err := s.Run(sched, simstudy.DefaultRaterParams(), 11); err != nil {
+		t.Fatal(err)
+	}
+	const dissimIdx = 2
+	for _, r := range s.Records {
+		if r.NumRoutes[dissimIdx] >= 2 && r.Sim[dissimIdx] >= 0.5 {
+			t.Errorf("Dissimilarity Sim(T) = %.3f ≥ θ=0.5 in %s", r.Sim[dissimIdx], r.City)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := getStudy(t)
+	sched := simstudy.ScaledSchedule(0.04)
+	if err := s.Run(sched, simstudy.DefaultRaterParams(), 13); err != nil {
+		t.Fatal(err)
+	}
+	t1 := FormatTableI(s.Records, s.CityNames())
+	for _, want := range []string{
+		"TABLE I", "All Cities", "Melbourne", "Dhaka", "Copenhagen",
+		"Google Maps", "Plateaus", "Dissimilarity", "Penalty",
+		"All responses", "Small Routes (0, 10] (mins)",
+		"Medium Routes (10, 20] (mins)", // Dhaka's split
+		"Residents", "Non-resd.",
+	} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	t2 := FormatTableII(s.Records, s.CityNames())
+	for _, want := range []string{"TABLE II", "Sim(T)", "All Cities", "Long Routes"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	an := ANOVAReport(s.Records, s.CityNames())
+	for _, want := range []string{"ANOVA", "Melbourne (all)", "Dhaka (residents)", "F(3, "} {
+		if !strings.Contains(an, want) {
+			t.Errorf("ANOVA report missing %q", want)
+		}
+	}
+}
+
+func TestRatingsLandInPaperRegime(t *testing.T) {
+	// With a moderately sized sample, per-approach means across all
+	// records must fall in Table I's observed range.
+	s := getStudy(t)
+	sched := simstudy.ScaledSchedule(0.15)
+	if err := s.Run(sched, simstudy.DefaultRaterParams(), 17); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < NumApproaches; a++ {
+		xs := RatingsOf(s.Records, a)
+		m, sd := stats.Mean(xs), stats.StdDev(xs)
+		if m < 2.7 || m > 4.1 {
+			t.Errorf("approach %s mean %.2f outside plausible range", simstudy.ApproachNames[a], m)
+		}
+		if sd < 0.9 || sd > 1.6 {
+			t.Errorf("approach %s sd %.2f outside plausible range", simstudy.ApproachNames[a], sd)
+		}
+	}
+}
+
+func TestScheduleUnknownCityErrors(t *testing.T) {
+	s := getStudy(t)
+	bad := []simstudy.CellCount{{Cell: simstudy.Cell{City: "Atlantis", Resident: true, Band: simstudy.Small}, N: 1}}
+	if err := s.Run(bad, simstudy.DefaultRaterParams(), 1); err == nil {
+		t.Error("unknown city in schedule should error")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	s := getStudy(t)
+	city := s.Cities["Melbourne"]
+	configs := DefaultAblationConfigs(city)
+	rows, err := city.RunAblation(configs, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(configs) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(configs))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.MeanRoutes <= 0 {
+			t.Errorf("%s: no routes", r.Name)
+		}
+		if r.MeanSimT < 0 || r.MeanSimT > 1 {
+			t.Errorf("%s: Sim(T) %f out of range", r.Name, r.MeanSimT)
+		}
+		if r.MeanMaxStretch < 1-1e-9 {
+			t.Errorf("%s: max stretch %f below 1", r.Name, r.MeanMaxStretch)
+		}
+		byName[r.Name] = r
+	}
+	// Directional checks that make the ablation meaningful:
+	// weaker penalties give more similar routes; Yen is the most similar.
+	if byName["Penalty factor 1.1"].MeanSimT <= byName["Penalty factor 2.0"].MeanSimT {
+		t.Error("penalty 1.1 should yield more similar routes than 2.0")
+	}
+	if byName["Yen k-shortest (baseline)"].MeanSimT <= byName["Dissimilarity (paper, θ 0.5)"].MeanSimT {
+		t.Error("Yen should be far more similar than Dissimilarity")
+	}
+	// A small θ is a loose dissimilarity demand (more similarity allowed);
+	// a large θ is strict.
+	if byName["Dissimilarity θ 0.3"].MeanSimT <= byName["Dissimilarity θ 0.7"].MeanSimT {
+		t.Error("θ 0.3 (loose) should allow more similarity than θ 0.7 (strict)")
+	}
+	out := FormatAblation("Melbourne", rows, 15)
+	if !strings.Contains(out, "ABLATION") || !strings.Contains(out, "Penalty factor 2.0") {
+		t.Error("ablation table missing content")
+	}
+}
+
+func TestSubsetAndExtractors(t *testing.T) {
+	recs := []Record{
+		{Response: simstudy.Response{Cell: simstudy.Cell{City: "Melbourne", Resident: true, Band: simstudy.Small}, Ratings: [4]int{5, 4, 3, 2}}, Sim: [4]float64{0.5, 0, 0, 0}, NumRoutes: [4]int{3, 2, 3, 3}},
+		{Response: simstudy.Response{Cell: simstudy.Cell{City: "Dhaka", Resident: false, Band: simstudy.Long}, Ratings: [4]int{1, 2, 3, 4}}, Sim: [4]float64{0.9, 0, 0, 0}, NumRoutes: [4]int{2, 3, 3, 3}},
+	}
+	if got := subset(recs, "Melbourne", nil, nil); len(got) != 1 {
+		t.Errorf("city subset = %d, want 1", len(got))
+	}
+	res := true
+	if got := subset(recs, "", &res, nil); len(got) != 1 || got[0].City != "Melbourne" {
+		t.Error("resident subset wrong")
+	}
+	b := simstudy.Long
+	if got := subset(recs, "", nil, &b); len(got) != 1 || got[0].City != "Dhaka" {
+		t.Error("band subset wrong")
+	}
+	if got := RatingsOf(recs, 0); got[0] != 5 || got[1] != 1 {
+		t.Errorf("RatingsOf = %v", got)
+	}
+	// Approach 0 reported 3 routes only in the first record.
+	if got := SimsOf(recs, 0, 3); len(got) != 1 || got[0] != 0.5 {
+		t.Errorf("SimsOf = %v", got)
+	}
+}

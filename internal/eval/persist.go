@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/simstudy"
+	"repro/internal/stats"
+)
+
+// CSV persistence of study records, for external analysis (R, pandas) and
+// for re-running the statistics without re-running the routing.
+
+var csvHeader = []string{
+	"city", "resident", "band", "fastest_min",
+	"rating_gmaps", "rating_plateaus", "rating_dissimilarity", "rating_penalty",
+	"sim_gmaps", "sim_plateaus", "sim_dissimilarity", "sim_penalty",
+	"nroutes_gmaps", "nroutes_plateaus", "nroutes_dissimilarity", "nroutes_penalty",
+}
+
+// WriteRecordsCSV writes study records in a flat CSV layout.
+func WriteRecordsCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("eval: writing CSV header: %w", err)
+	}
+	for i, r := range recs {
+		row := []string{
+			r.City,
+			strconv.FormatBool(r.Resident),
+			r.Band.String(),
+			strconv.FormatFloat(r.FastestMin, 'f', 4, 64),
+		}
+		for a := 0; a < NumApproaches; a++ {
+			row = append(row, strconv.Itoa(r.Ratings[a]))
+		}
+		for a := 0; a < NumApproaches; a++ {
+			row = append(row, strconv.FormatFloat(r.Sim[a], 'f', 6, 64))
+		}
+		for a := 0; a < NumApproaches; a++ {
+			row = append(row, strconv.Itoa(r.NumRoutes[a]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRecordsCSV reads records written by WriteRecordsCSV.
+func ReadRecordsCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("eval: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != "city" {
+		return nil, fmt.Errorf("eval: unexpected CSV header %v", header)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eval: reading CSV line %d: %w", line, err)
+		}
+		var rec Record
+		rec.City = row[0]
+		rec.Resident, err = strconv.ParseBool(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("eval: line %d resident: %w", line, err)
+		}
+		band, err := parseBand(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("eval: line %d: %w", line, err)
+		}
+		rec.Band = band
+		rec.FastestMin, err = strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("eval: line %d fastest: %w", line, err)
+		}
+		for a := 0; a < NumApproaches; a++ {
+			v, err := strconv.Atoi(row[4+a])
+			if err != nil || v < 1 || v > 5 {
+				return nil, fmt.Errorf("eval: line %d rating %d invalid: %q", line, a, row[4+a])
+			}
+			rec.Ratings[a] = v
+		}
+		for a := 0; a < NumApproaches; a++ {
+			v, err := strconv.ParseFloat(row[8+a], 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("eval: line %d sim %d invalid: %q", line, a, row[8+a])
+			}
+			rec.Sim[a] = v
+		}
+		for a := 0; a < NumApproaches; a++ {
+			v, err := strconv.Atoi(row[12+a])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("eval: line %d nroutes %d invalid: %q", line, a, row[12+a])
+			}
+			rec.NumRoutes[a] = v
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseBand(s string) (simstudy.Band, error) {
+	switch s {
+	case "Small":
+		return simstudy.Small, nil
+	case "Medium":
+		return simstudy.Medium, nil
+	case "Long":
+		return simstudy.Long, nil
+	default:
+		return 0, fmt.Errorf("unknown band %q", s)
+	}
+}
+
+// RMAnovaReport renders the within-subjects (repeated measures) variant of
+// the §IV-A analysis: each response's four ratings form one subject row.
+// The paper names this test; its printed dfs correspond to the
+// between-subjects layout, so both reports are available.
+func RMAnovaReport(recs []Record, cities []string) string {
+	var sb strings.Builder
+	sb.WriteString("One-way repeated-measures ANOVA (subject = respondent)\n")
+	line := func(label string, rs []Record) {
+		data := make([][]float64, len(rs))
+		for i, r := range rs {
+			row := make([]float64, NumApproaches)
+			for a := 0; a < NumApproaches; a++ {
+				row[a] = float64(r.Ratings[a])
+			}
+			data[i] = row
+		}
+		res, err := stats.RepeatedMeasuresANOVA(data)
+		if err != nil {
+			fmt.Fprintf(&sb, "  %-28s (insufficient data)\n", label)
+			return
+		}
+		verdict := "not significant at p<0.05"
+		if res.P < 0.05 {
+			verdict = "SIGNIFICANT at p<0.05"
+		}
+		fmt.Fprintf(&sb, "  %-28s F(%d, %d) = %.3f, p = %.3f  [%s]\n",
+			label, res.DFTreat, res.DFError, res.F, res.P, verdict)
+	}
+	for _, city := range cities {
+		line(city+" (all)", subset(recs, city, nil, nil))
+		line(city+" (residents)", subset(recs, city, ptr(true), nil))
+	}
+	line("All cities (all)", recs)
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/simstudy"
+)
+
+func fakeRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	cities := []string{"Melbourne", "Dhaka", "Copenhagen"}
+	recs := make([]Record, n)
+	for i := range recs {
+		var r Record
+		r.City = cities[rng.Intn(3)]
+		r.Resident = rng.Intn(2) == 0
+		r.Band = simstudy.Band(rng.Intn(3))
+		r.FastestMin = 1 + rng.Float64()*70
+		for a := 0; a < NumApproaches; a++ {
+			r.Ratings[a] = 1 + rng.Intn(5)
+			r.Sim[a] = rng.Float64()
+			r.NumRoutes[a] = 1 + rng.Intn(3)
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+func TestRecordsCSVRoundTrip(t *testing.T) {
+	recs := fakeRecords(50, 1)
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecordsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], got[i]
+		if a.City != b.City || a.Resident != b.Resident || a.Band != b.Band {
+			t.Fatalf("record %d metadata differs: %+v vs %+v", i, a, b)
+		}
+		if a.Ratings != b.Ratings || a.NumRoutes != b.NumRoutes {
+			t.Fatalf("record %d ratings differ", i)
+		}
+		for k := 0; k < NumApproaches; k++ {
+			if diff := a.Sim[k] - b.Sim[k]; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("record %d sim %d differs: %f vs %f", i, k, a.Sim[k], b.Sim[k])
+			}
+		}
+	}
+}
+
+func TestReadRecordsCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "a,b,c\n1,2,3\n",
+		"bad rating":  strings.Join(csvHeader, ",") + "\nMelbourne,true,Small,5.0,9,3,3,3,0.1,0.1,0.1,0.1,3,3,3,3\n",
+		"bad band":    strings.Join(csvHeader, ",") + "\nMelbourne,true,Tiny,5.0,3,3,3,3,0.1,0.1,0.1,0.1,3,3,3,3\n",
+		"bad sim":     strings.Join(csvHeader, ",") + "\nMelbourne,true,Small,5.0,3,3,3,3,2.5,0.1,0.1,0.1,3,3,3,3\n",
+		"bad boolean": strings.Join(csvHeader, ",") + "\nMelbourne,maybe,Small,5.0,3,3,3,3,0.1,0.1,0.1,0.1,3,3,3,3\n",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadRecordsCSV(strings.NewReader(data)); err == nil {
+				t.Error("should reject malformed CSV")
+			}
+		})
+	}
+}
+
+func TestRMAnovaReport(t *testing.T) {
+	recs := fakeRecords(200, 5)
+	out := RMAnovaReport(recs, []string{"Melbourne", "Dhaka", "Copenhagen"})
+	for _, want := range []string{
+		"repeated-measures", "Melbourne (all)", "Copenhagen (residents)", "All cities (all)", "F(3, ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RM report missing %q", want)
+		}
+	}
+	// Uniform random ratings: should not be significant.
+	if strings.Count(out, "SIGNIFICANT") > 1 {
+		t.Errorf("uniform ratings should rarely be significant:\n%s", out)
+	}
+}
+
+func TestRMAnovaReportInsufficientData(t *testing.T) {
+	out := RMAnovaReport(nil, []string{"Melbourne"})
+	if !strings.Contains(out, "insufficient data") {
+		t.Error("empty record set should report insufficient data")
+	}
+}

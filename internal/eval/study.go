@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/citygen"
+	"repro/internal/simstudy"
+)
+
+// Study is a full run of the user study across the three cities.
+type Study struct {
+	Cities  map[string]*City
+	Records []Record
+}
+
+// NewStudy generates the three city setups. seed controls networks and
+// traffic; the per-cell response RNGs are derived from it.
+func NewStudy(seed int64) (*Study, error) {
+	s := &Study{Cities: make(map[string]*City, 3)}
+	for i, p := range citygen.Profiles() {
+		c, err := NewCity(p, seed+int64(i)*1000)
+		if err != nil {
+			return nil, err
+		}
+		s.Cities[p.Name] = c
+	}
+	return s, nil
+}
+
+// Run replays the given response schedule and stores the records. Results
+// are deterministic in (study seed, schedule, params).
+func (s *Study) Run(sched []simstudy.CellCount, params simstudy.RaterParams, seed int64) error {
+	s.Records = s.Records[:0]
+	for cellIdx, cc := range sched {
+		city, ok := s.Cities[cc.City]
+		if !ok {
+			return fmt.Errorf("eval: schedule references unknown city %q", cc.City)
+		}
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(cellIdx)*7919))
+		recs, err := city.RunCell(cc.Cell, cc.N, params, rng)
+		if err != nil {
+			return err
+		}
+		s.Records = append(s.Records, recs...)
+	}
+	return nil
+}
+
+// Filter selects records matching the predicate.
+func Filter(recs []Record, keep func(Record) bool) []Record {
+	var out []Record
+	for _, r := range recs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RatingsOf extracts one approach's ratings as float64s.
+func RatingsOf(recs []Record, approach int) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = float64(r.Ratings[approach])
+	}
+	return out
+}
+
+// SimsOf extracts one approach's Sim(T) values, restricted to records
+// where that approach reported exactly wantRoutes routes (Table II uses
+// wantRoutes = 3).
+func SimsOf(recs []Record, approach, wantRoutes int) []float64 {
+	var out []float64
+	for _, r := range recs {
+		if r.NumRoutes[approach] == wantRoutes {
+			out = append(out, r.Sim[approach])
+		}
+	}
+	return out
+}
+
+// CityNames returns the study's cities in the paper's presentation order.
+func (s *Study) CityNames() []string {
+	order := map[string]int{"Melbourne": 0, "Dhaka": 1, "Copenhagen": 2}
+	names := make([]string, 0, len(s.Cities))
+	for n := range s.Cities {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+	return names
+}

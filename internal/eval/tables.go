@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simstudy"
+	"repro/internal/stats"
+)
+
+// boolPtr helpers for subset selection.
+func ptr[T any](v T) *T { return &v }
+
+// subset filters records by city (empty = all), residency (nil = both) and
+// band (nil = all).
+func subset(recs []Record, city string, resident *bool, band *simstudy.Band) []Record {
+	return Filter(recs, func(r Record) bool {
+		if city != "" && r.City != city {
+			return false
+		}
+		if resident != nil && r.Resident != *resident {
+			return false
+		}
+		if band != nil && r.Band != *band {
+			return false
+		}
+		return true
+	})
+}
+
+func bandLabel(city string, b simstudy.Band) string {
+	lo, hi := simstudy.BandBounds(city, b)
+	return fmt.Sprintf("%s Routes (%.0f, %.0f] (mins)", b, lo, hi)
+}
+
+// FormatTableI renders the paper's Table I: mean rating (sd) per approach
+// for every (scope, residency, band) row, with the row's highest mean
+// marked by '*'.
+func FormatTableI(recs []Record, cities []string) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I: Average rating (AVG) and standard deviation sd for each approach shown as AVG (sd).\n")
+	header := fmt.Sprintf("%-42s %-14s %-14s %-14s %-14s %s\n",
+		"", "Google Maps", "Plateaus", "Dissimilarity", "Penalty", "#Responses")
+	rule := strings.Repeat("-", len(header)) + "\n"
+
+	scopes := append([]string{""}, cities...)
+	for _, city := range scopes {
+		name := city
+		if name == "" {
+			name = "All Cities"
+		}
+		sb.WriteString(rule)
+		sb.WriteString(name + "\n")
+		sb.WriteString(header)
+		for _, res := range []*bool{nil, ptr(true), ptr(false)} {
+			var groupLabel, allLabel string
+			switch {
+			case res == nil:
+				groupLabel, allLabel = "All", "All responses"
+			case *res:
+				groupLabel, allLabel = "Residents", "All residents"
+			default:
+				groupLabel, allLabel = "Non-resd.", "All Non-residents"
+			}
+			sb.WriteString("  " + groupLabel + "\n")
+			sb.WriteString(tableIRow(allLabel, subset(recs, city, res, nil)))
+			for b := simstudy.Small; b < simstudy.NumBands; b++ {
+				label := bandLabel(city, b)
+				if city == "" {
+					label = bandLabel("Melbourne", b) // all-cities rows use the 25-min split labels
+				}
+				sb.WriteString(tableIRow(label, subset(recs, city, res, ptr(b))))
+			}
+		}
+	}
+	return sb.String()
+}
+
+func tableIRow(label string, recs []Record) string {
+	if len(recs) == 0 {
+		return fmt.Sprintf("    %-38s %s\n", label, "(no responses)")
+	}
+	cells := make([]string, NumApproaches)
+	best := -1
+	bestMean := -1.0
+	means := make([]float64, NumApproaches)
+	for a := 0; a < NumApproaches; a++ {
+		xs := RatingsOf(recs, a)
+		means[a] = stats.Mean(xs)
+		cells[a] = fmt.Sprintf("%.2f (%.2f)", means[a], stats.StdDev(xs))
+		if means[a] > bestMean {
+			bestMean, best = means[a], a
+		}
+	}
+	cells[best] += "*"
+	return fmt.Sprintf("    %-38s %-14s %-14s %-14s %-14s %d\n",
+		label, cells[0], cells[1], cells[2], cells[3], len(recs))
+}
+
+// ANOVAReport renders the one-way ANOVA lines of §IV-A: for each city, the
+// F statistic and p-value over all responses and over residents only.
+func ANOVAReport(recs []Record, cities []string) string {
+	var sb strings.Builder
+	sb.WriteString("One-way ANOVA (null: the four approaches receive equal mean ratings)\n")
+	line := func(label string, rs []Record) {
+		groups := make([][]float64, NumApproaches)
+		for a := 0; a < NumApproaches; a++ {
+			groups[a] = RatingsOf(rs, a)
+		}
+		res, err := stats.OneWayANOVA(groups...)
+		if err != nil {
+			fmt.Fprintf(&sb, "  %-28s (insufficient data: %v)\n", label, err)
+			return
+		}
+		verdict := "not significant at p<0.05"
+		if res.P < 0.05 {
+			verdict = "SIGNIFICANT at p<0.05"
+		}
+		fmt.Fprintf(&sb, "  %-28s F(%d, %d) = %.3f, p = %.3f  [%s]\n",
+			label, res.DFBetwe, res.DFWithin, res.F, res.P, verdict)
+	}
+	for _, city := range cities {
+		line(city+" (all)", subset(recs, city, nil, nil))
+		line(city+" (residents)", subset(recs, city, ptr(true), nil))
+	}
+	line("All cities (all)", recs)
+	return sb.String()
+}
+
+// FormatTableII renders the paper's Table II: average (sd) and maximum
+// Sim(T) per approach, over the queries for which that approach reported
+// 3 alternative routes.
+func FormatTableII(recs []Record, cities []string) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II: Average (AVG) and maximum (MAX) Sim(T) for each approach\n")
+	sb.WriteString("(queries where the approach reports 3 routes; sd in parentheses)\n")
+	header := fmt.Sprintf("%-32s %-20s %-20s %-20s %-20s\n",
+		"", "Google Maps", "Plateaus", "Dissimilarity", "Penalty")
+	rule := strings.Repeat("-", len(header)) + "\n"
+
+	scopes := append([]string{""}, cities...)
+	for _, city := range scopes {
+		name := city
+		if name == "" {
+			name = "All Cities"
+		}
+		sb.WriteString(rule)
+		sb.WriteString(name + "\n")
+		sb.WriteString(header)
+		sb.WriteString(tableIIRow("All responses", subset(recs, city, nil, nil)))
+		for b := simstudy.Small; b < simstudy.NumBands; b++ {
+			sb.WriteString(tableIIRow(b.String()+" Routes", subset(recs, city, nil, ptr(b))))
+		}
+	}
+	return sb.String()
+}
+
+func tableIIRow(label string, recs []Record) string {
+	cells := make([]string, NumApproaches)
+	for a := 0; a < NumApproaches; a++ {
+		sims := SimsOf(recs, a, 3)
+		if len(sims) == 0 {
+			cells[a] = "(none)"
+			continue
+		}
+		s := stats.Summarize(sims)
+		sd := s.SD
+		if len(sims) < 2 {
+			sd = 0
+		}
+		cells[a] = fmt.Sprintf("%.3f (%.2f) %.3f", s.Mean, sd, s.Max)
+	}
+	return fmt.Sprintf("  %-30s %-20s %-20s %-20s %-20s\n",
+		label, cells[0], cells[1], cells[2], cells[3])
+}

@@ -1,0 +1,165 @@
+// Package geo provides geodesic primitives used throughout the road-network
+// stack: points in WGS84 coordinates, haversine distances, bearings,
+// bounding boxes and simple polyline utilities.
+//
+// All distances are in meters, all angles in degrees unless stated
+// otherwise.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the haversine formula.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a WGS84 coordinate pair.
+type Point struct {
+	Lat float64 // latitude in degrees, positive north
+	Lon float64 // longitude in degrees, positive east
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lon)
+}
+
+// Valid reports whether the point lies within the WGS84 domain.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// Radians returns the latitude and longitude converted to radians.
+func (p Point) Radians() (lat, lon float64) {
+	return p.Lat * math.Pi / 180, p.Lon * math.Pi / 180
+}
+
+// Haversine returns the great-circle distance in meters between a and b.
+func Haversine(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp to guard against floating-point drift slightly above 1.
+	if s > 1 {
+		s = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(s))
+}
+
+// Bearing returns the initial great-circle bearing from a to b in degrees,
+// normalized to [0, 360).
+func Bearing(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	deg = math.Mod(deg+360, 360)
+	return deg
+}
+
+// TurnAngle returns the absolute change of direction, in degrees within
+// [0, 180], experienced when traveling a->b->c. 0 means straight ahead,
+// 180 means a full U-turn.
+func TurnAngle(a, b, c Point) float64 {
+	in := Bearing(a, b)
+	out := Bearing(b, c)
+	d := math.Abs(out - in)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// Midpoint returns the arithmetic midpoint of a and b. For the city-scale
+// extents used in this project the planar approximation is sufficient.
+func Midpoint(a, b Point) Point {
+	return Point{Lat: (a.Lat + b.Lat) / 2, Lon: (a.Lon + b.Lon) / 2}
+}
+
+// Offset returns the point reached from p by moving the given distances
+// north and east (meters). Negative values move south/west. Uses the local
+// tangent-plane approximation, accurate at city scale.
+func Offset(p Point, northMeters, eastMeters float64) Point {
+	dLat := northMeters / EarthRadiusMeters * 180 / math.Pi
+	latRad := p.Lat * math.Pi / 180
+	dLon := eastMeters / (EarthRadiusMeters * math.Cos(latRad)) * 180 / math.Pi
+	return Point{Lat: p.Lat + dLat, Lon: p.Lon + dLon}
+}
+
+// BBox is an axis-aligned bounding box in WGS84 coordinates.
+type BBox struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// NewBBox returns the smallest box containing all the given points.
+// It panics if pts is empty.
+func NewBBox(pts ...Point) BBox {
+	if len(pts) == 0 {
+		panic("geo: NewBBox requires at least one point")
+	}
+	b := BBox{
+		MinLat: pts[0].Lat, MaxLat: pts[0].Lat,
+		MinLon: pts[0].Lon, MaxLon: pts[0].Lon,
+	}
+	for _, p := range pts[1:] {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Extend returns the box grown to include p.
+func (b BBox) Extend(p Point) BBox {
+	if p.Lat < b.MinLat {
+		b.MinLat = p.Lat
+	}
+	if p.Lat > b.MaxLat {
+		b.MaxLat = p.Lat
+	}
+	if p.Lon < b.MinLon {
+		b.MinLon = p.Lon
+	}
+	if p.Lon > b.MaxLon {
+		b.MaxLon = p.Lon
+	}
+	return b
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Center returns the box center.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// WidthMeters returns the east-west extent of the box at its central
+// latitude, in meters.
+func (b BBox) WidthMeters() float64 {
+	c := b.Center()
+	return Haversine(Point{c.Lat, b.MinLon}, Point{c.Lat, b.MaxLon})
+}
+
+// HeightMeters returns the north-south extent of the box in meters.
+func (b BBox) HeightMeters() float64 {
+	return Haversine(Point{b.MinLat, b.MinLon}, Point{b.MaxLat, b.MinLon})
+}
+
+// PolylineLength returns the summed haversine length, in meters, of the
+// polyline through pts. A polyline with fewer than two points has length 0.
+func PolylineLength(pts []Point) float64 {
+	var total float64
+	for i := 1; i < len(pts); i++ {
+		total += Haversine(pts[i-1], pts[i])
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+// Package geojson exports routes and road networks as GeoJSON
+// FeatureCollections, the interchange format the demo UI and external map
+// tools (geojson.io, QGIS, Leaflet) consume.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// Feature is a GeoJSON feature with a LineString geometry.
+type Feature struct {
+	Type       string         `json:"type"`
+	Properties map[string]any `json:"properties"`
+	Geometry   Geometry       `json:"geometry"`
+}
+
+// Geometry is a GeoJSON LineString. Coordinates are [lon, lat] pairs, per
+// the GeoJSON specification (RFC 7946).
+type Geometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"`
+}
+
+// FeatureCollection is the top-level GeoJSON container.
+type FeatureCollection struct {
+	Type     string    `json:"type"`
+	Features []Feature `json:"features"`
+}
+
+// NewFeatureCollection returns an empty collection.
+func NewFeatureCollection() *FeatureCollection {
+	return &FeatureCollection{Type: "FeatureCollection"}
+}
+
+// AddRoute appends a route as a LineString feature. The properties always
+// include travel time in minutes and length in km; extra key/values (e.g.
+// the approach name) are merged in.
+func (fc *FeatureCollection) AddRoute(g *graph.Graph, p path.Path, extra map[string]any) {
+	coords := make([][2]float64, 0, len(p.Nodes))
+	for _, pt := range p.Points(g) {
+		coords = append(coords, [2]float64{pt.Lon, pt.Lat})
+	}
+	props := map[string]any{
+		"minutes": p.TimeS / 60,
+		"km":      p.LengthM / 1000,
+	}
+	for k, v := range extra {
+		props[k] = v
+	}
+	fc.Features = append(fc.Features, Feature{
+		Type:       "Feature",
+		Properties: props,
+		Geometry:   Geometry{Type: "LineString", Coordinates: coords},
+	})
+}
+
+// AddRouteSet appends every route of an approach, numbering them rank 1..n.
+func (fc *FeatureCollection) AddRouteSet(g *graph.Graph, approach string, routes []path.Path) {
+	for i, r := range routes {
+		fc.AddRoute(g, r, map[string]any{"approach": approach, "rank": i + 1})
+	}
+}
+
+// Write serializes the collection as indented JSON.
+func (fc *FeatureCollection) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("geojson: %w", err)
+	}
+	return nil
+}
+
+// Parse reads a FeatureCollection, for round-trip tests and tooling.
+func Parse(r io.Reader) (*FeatureCollection, error) {
+	var fc FeatureCollection
+	if err := json.NewDecoder(r).Decode(&fc); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geojson: unexpected type %q", fc.Type)
+	}
+	return &fc, nil
+}

@@ -1,0 +1,108 @@
+package geojson
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+func lineGraph(t *testing.T, n int) (*graph.Graph, path.Path) {
+	t.Helper()
+	b := graph.NewBuilder(n, n)
+	o := geo.Point{Lat: -37.8, Lon: 144.9}
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Offset(o, 0, float64(i)*500))
+	}
+	var edges []graph.EdgeID
+	for i := 0; i+1 < n; i++ {
+		e, err := b.AddEdge(graph.EdgeSpec{From: graph.NodeID(i), To: graph.NodeID(i + 1), Class: graph.Primary})
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges = append(edges, e)
+	}
+	g := b.Build()
+	return g, path.MustNew(g, g.CopyWeights(), 0, edges)
+}
+
+func TestAddRouteProducesValidGeoJSON(t *testing.T) {
+	g, p := lineGraph(t, 5)
+	fc := NewFeatureCollection()
+	fc.AddRoute(g, p, map[string]any{"approach": "Plateaus"})
+	var buf bytes.Buffer
+	if err := fc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"FeatureCollection"`, `"LineString"`, `"approach"`, `"minutes"`, `"km"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Features) != 1 {
+		t.Fatalf("features = %d, want 1", len(parsed.Features))
+	}
+	f := parsed.Features[0]
+	if len(f.Geometry.Coordinates) != len(p.Nodes) {
+		t.Errorf("coordinates = %d, want %d", len(f.Geometry.Coordinates), len(p.Nodes))
+	}
+	// GeoJSON is [lon, lat].
+	first := f.Geometry.Coordinates[0]
+	pt := g.Point(p.Nodes[0])
+	if math.Abs(first[0]-pt.Lon) > 1e-9 || math.Abs(first[1]-pt.Lat) > 1e-9 {
+		t.Errorf("coordinate order wrong: got %v for point %v", first, pt)
+	}
+	if got := f.Properties["minutes"].(float64); math.Abs(got-p.TimeS/60) > 1e-9 {
+		t.Errorf("minutes = %f, want %f", got, p.TimeS/60)
+	}
+}
+
+func TestAddRouteSetRanks(t *testing.T) {
+	g, p := lineGraph(t, 4)
+	fc := NewFeatureCollection()
+	fc.AddRouteSet(g, "Penalty", []path.Path{p, p, p})
+	if len(fc.Features) != 3 {
+		t.Fatalf("features = %d, want 3", len(fc.Features))
+	}
+	for i, f := range fc.Features {
+		if f.Properties["rank"].(int) != i+1 {
+			t.Errorf("feature %d rank = %v", i, f.Properties["rank"])
+		}
+		if f.Properties["approach"].(string) != "Penalty" {
+			t.Errorf("feature %d approach = %v", i, f.Properties["approach"])
+		}
+	}
+}
+
+func TestParseRejectsWrongType(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"type":"Feature"}`)); err == nil {
+		t.Error("non-collection should be rejected")
+	}
+	if _, err := Parse(strings.NewReader(`garbage`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	fc := NewFeatureCollection()
+	var buf bytes.Buffer
+	if err := fc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Features) != 0 {
+		t.Error("empty collection should round-trip empty")
+	}
+}

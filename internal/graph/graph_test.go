@@ -1,0 +1,370 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// buildDiamond creates the 4-node diamond used across tests:
+//
+//	    1
+//	  /   \
+//	0       3
+//	  \   /
+//	    2
+//
+// All edges are two-way residential streets.
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 8)
+	origin := geo.Point{Lat: -37.81, Lon: 144.96}
+	n0 := b.AddNode(origin)
+	n1 := b.AddNode(geo.Offset(origin, 500, 500))
+	n2 := b.AddNode(geo.Offset(origin, -500, 500))
+	n3 := b.AddNode(geo.Offset(origin, 0, 1000))
+	for _, pair := range [][2]NodeID{{n0, n1}, {n0, n2}, {n1, n3}, {n2, n3}} {
+		if _, err := b.AddEdge(EdgeSpec{From: pair[0], To: pair[1], Class: Residential, TwoWay: true}); err != nil {
+			t.Fatalf("AddEdge(%v): %v", pair, err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := buildDiamond(t)
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 8 {
+		t.Fatalf("NumEdges = %d, want 8 (4 two-way)", got)
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Errorf("InDegree(3) = %d, want 2", got)
+	}
+}
+
+func TestCSRConsistency(t *testing.T) {
+	g := buildDiamond(t)
+	// Every edge must appear exactly once in the out-list of its From node
+	// and once in the in-list of its To node.
+	seenOut := make(map[EdgeID]int)
+	seenIn := make(map[EdgeID]int)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, e := range g.OutEdges(v) {
+			if g.Edge(e).From != v {
+				t.Errorf("edge %d in OutEdges(%d) has From=%d", e, v, g.Edge(e).From)
+			}
+			seenOut[e]++
+		}
+		for _, e := range g.InEdges(v) {
+			if g.Edge(e).To != v {
+				t.Errorf("edge %d in InEdges(%d) has To=%d", e, v, g.Edge(e).To)
+			}
+			seenIn[e]++
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if seenOut[EdgeID(e)] != 1 || seenIn[EdgeID(e)] != 1 {
+			t.Errorf("edge %d seen out=%d in=%d, want 1/1", e, seenOut[EdgeID(e)], seenIn[EdgeID(e)])
+		}
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	b := NewBuilder(0, 0)
+	n0 := b.AddNode(geo.Point{Lat: 0, Lon: 0})
+	n1 := b.AddNode(geo.Point{Lat: 0, Lon: 0.01})
+	if _, err := b.AddEdge(EdgeSpec{From: n0, To: 99, Class: Primary}); err == nil {
+		t.Error("out-of-range To should error")
+	}
+	if _, err := b.AddEdge(EdgeSpec{From: -1, To: n1, Class: Primary}); err == nil {
+		t.Error("negative From should error")
+	}
+	if _, err := b.AddEdge(EdgeSpec{From: n0, To: n0, Class: Primary}); err == nil {
+		t.Error("self-loop should error")
+	}
+	if _, err := b.AddEdge(EdgeSpec{From: n0, To: n1, Class: Primary}); err != nil {
+		t.Errorf("valid edge should not error: %v", err)
+	}
+}
+
+func TestEdgeDefaults(t *testing.T) {
+	b := NewBuilder(0, 0)
+	n0 := b.AddNode(geo.Point{Lat: 0, Lon: 0})
+	n1 := b.AddNode(geo.Point{Lat: 0, Lon: 0.01}) // ~1.11 km east
+	if _, err := b.AddEdge(EdgeSpec{From: n0, To: n1, Class: Secondary}); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	e := g.Edge(0)
+	wantLen := geo.Haversine(g.Point(n0), g.Point(n1))
+	if math.Abs(e.LengthM-wantLen) > 0.01 {
+		t.Errorf("default length = %f, want haversine %f", e.LengthM, wantLen)
+	}
+	if e.SpeedKmh != Secondary.DefaultSpeedKmh() {
+		t.Errorf("default speed = %f, want %f", e.SpeedKmh, Secondary.DefaultSpeedKmh())
+	}
+	if int(e.Lanes) != Secondary.DefaultLanes() {
+		t.Errorf("default lanes = %d, want %d", e.Lanes, Secondary.DefaultLanes())
+	}
+}
+
+func TestTravelTimeRule(t *testing.T) {
+	// 1000 m at 50 km/h: raw 72 s; residential gets the 1.3 factor.
+	got := TravelTimeSeconds(1000, 50, Residential)
+	want := 1000 / (50 / 3.6) * 1.3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("residential travel time = %f, want %f", got, want)
+	}
+	// Motorways are exempt from the 1.3 factor.
+	got = TravelTimeSeconds(1000, 100, Motorway)
+	want = 1000 / (100 / 3.6)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("motorway travel time = %f, want %f", got, want)
+	}
+	// Zero speed falls back to the class default rather than dividing by zero.
+	got = TravelTimeSeconds(1000, 0, Primary)
+	if math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Errorf("zero-speed travel time = %f, want finite positive", got)
+	}
+}
+
+func TestFreewayFactorMakesMotorwayFaster(t *testing.T) {
+	// Same length and speed: the motorway edge must be exactly 1.3× faster.
+	mw := TravelTimeSeconds(5000, 80, Motorway)
+	tr := TravelTimeSeconds(5000, 80, Trunk)
+	if math.Abs(tr/mw-IntersectionDelayFactor) > 1e-9 {
+		t.Errorf("trunk/motorway time ratio = %f, want %f", tr/mw, IntersectionDelayFactor)
+	}
+}
+
+func TestFindEdge(t *testing.T) {
+	g := buildDiamond(t)
+	if e := g.FindEdge(0, 1); e < 0 {
+		t.Error("edge 0->1 should exist")
+	} else if g.Edge(e).From != 0 || g.Edge(e).To != 1 {
+		t.Errorf("FindEdge(0,1) returned %d->%d", g.Edge(e).From, g.Edge(e).To)
+	}
+	if e := g.FindEdge(0, 3); e != -1 {
+		t.Errorf("edge 0->3 should not exist, got %d", e)
+	}
+}
+
+func TestFindEdgePicksCheapestParallel(t *testing.T) {
+	b := NewBuilder(2, 2)
+	n0 := b.AddNode(geo.Point{Lat: 0, Lon: 0})
+	n1 := b.AddNode(geo.Point{Lat: 0, Lon: 0.01})
+	if _, err := b.AddEdge(EdgeSpec{From: n0, To: n1, LengthM: 2000, Class: Residential}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddEdge(EdgeSpec{From: n0, To: n1, LengthM: 1000, Class: Residential}); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	e := g.FindEdge(n0, n1)
+	if g.Edge(e).LengthM != 1000 {
+		t.Errorf("FindEdge should pick the cheaper parallel edge, got length %f", g.Edge(e).LengthM)
+	}
+}
+
+func TestCopyWeights(t *testing.T) {
+	g := buildDiamond(t)
+	w := g.CopyWeights()
+	if len(w) != g.NumEdges() {
+		t.Fatalf("CopyWeights length = %d, want %d", len(w), g.NumEdges())
+	}
+	for i, v := range w {
+		if v != g.Edge(EdgeID(i)).TimeS {
+			t.Errorf("weight %d = %f, want %f", i, v, g.Edge(EdgeID(i)).TimeS)
+		}
+	}
+	// Mutating the copy must not affect the graph.
+	w[0] *= 100
+	if g.Edge(0).TimeS == w[0] {
+		t.Error("mutating the weight copy changed the graph")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	g := buildDiamond(t)
+	bb := g.BBox()
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if !bb.Contains(g.Point(v)) {
+			t.Errorf("bbox does not contain node %d at %v", v, g.Point(v))
+		}
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Point(v) != g2.Point(v) {
+			t.Errorf("node %d: %v vs %v", v, g.Point(v), g2.Point(v))
+		}
+	}
+	for e := EdgeID(0); int(e) < g.NumEdges(); e++ {
+		a, b := g.Edge(e), g2.Edge(e)
+		if a != b {
+			t.Errorf("edge %d: %+v vs %+v", e, a, b)
+		}
+	}
+}
+
+func TestRoundTripSerializationRandom(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n, n*3)
+		for i := 0; i < n; i++ {
+			b.AddNode(geo.Point{
+				Lat: -37.8 + rng.Float64()*0.1,
+				Lon: 144.9 + rng.Float64()*0.1,
+			})
+		}
+		for i := 0; i < n*2; i++ {
+			u := NodeID(rng.Intn(n))
+			v := NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			b.AddEdge(EdgeSpec{
+				From:     u,
+				To:       v,
+				Class:    RoadClass(rng.Intn(int(numRoadClasses))),
+				SpeedKmh: 20 + rng.Float64()*80,
+				Lanes:    1 + rng.Intn(3),
+				TwoWay:   rng.Intn(2) == 0,
+			})
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for e := EdgeID(0); int(e) < g.NumEdges(); e++ {
+			if g.Edge(e) != g2.Edge(e) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  []byte("NOTAGRAPHFILE###"),
+		"truncated":  append([]byte("ROADNET1"), 0xFF),
+		"bad counts": append([]byte("ROADNET1"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader(data)); err == nil {
+				t.Error("Read should reject corrupt input")
+			}
+		})
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := buildDiamond(t)
+	path := t.TempDir() + "/net.bin"
+	if err := g.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("file round trip size mismatch")
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.bin"); err == nil {
+		t.Error("LoadFile of missing file should error")
+	}
+}
+
+func TestParseRoadClass(t *testing.T) {
+	routable := map[string]RoadClass{
+		"motorway":      Motorway,
+		"motorway_link": MotorwayLink,
+		"trunk":         Trunk,
+		"trunk_link":    Trunk,
+		"primary":       Primary,
+		"secondary":     Secondary,
+		"tertiary":      Tertiary,
+		"residential":   Residential,
+		"living_street": Residential,
+		"unclassified":  Unclassified,
+		"service":       Service,
+	}
+	for tag, want := range routable {
+		got, ok := ParseRoadClass(tag)
+		if !ok || got != want {
+			t.Errorf("ParseRoadClass(%q) = %v,%v want %v,true", tag, got, ok, want)
+		}
+	}
+	for _, tag := range []string{"footway", "cycleway", "path", "steps", "", "proposed"} {
+		if _, ok := ParseRoadClass(tag); ok {
+			t.Errorf("ParseRoadClass(%q) should be non-routable", tag)
+		}
+	}
+}
+
+func TestRoadClassStrings(t *testing.T) {
+	for c := RoadClass(0); c < numRoadClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty string", c)
+		}
+		if c.DefaultSpeedKmh() <= 0 {
+			t.Errorf("class %v has non-positive default speed", c)
+		}
+		if c.DefaultLanes() <= 0 {
+			t.Errorf("class %v has non-positive default lanes", c)
+		}
+	}
+	if RoadClass(200).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestTotalLength(t *testing.T) {
+	g := buildDiamond(t)
+	var want float64
+	for e := EdgeID(0); int(e) < g.NumEdges(); e++ {
+		want += g.Edge(e).LengthM
+	}
+	if got := g.TotalLengthM(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("TotalLengthM = %f, want %f", got, want)
+	}
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/geo"
+)
+
+// Binary road-network format:
+//
+//	magic    [8]byte  "ROADNET1"
+//	numNodes uint32
+//	numEdges uint32
+//	nodes    numNodes × (lat float64, lon float64)
+//	edges    numEdges × (from uint32, to uint32, lengthM float64,
+//	                     speedKmh float64, class uint8, lanes uint8)
+//
+// All integers are little-endian. Travel times are recomputed on load so
+// the weighting rule lives in exactly one place (TravelTimeSeconds).
+var magic = [8]byte{'R', 'O', 'A', 'D', 'N', 'E', 'T', '1'}
+
+// WriteTo serializes the graph in the binary road-network format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(g.points))); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(g.edges))); err != nil {
+		return n, err
+	}
+	for _, p := range g.points {
+		if err := write(p.Lat); err != nil {
+			return n, err
+		}
+		if err := write(p.Lon); err != nil {
+			return n, err
+		}
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		if err := write(uint32(e.From)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(e.To)); err != nil {
+			return n, err
+		}
+		if err := write(e.LengthM); err != nil {
+			return n, err
+		}
+		if err := write(e.SpeedKmh); err != nil {
+			return n, err
+		}
+		if err := write(uint8(e.Class)); err != nil {
+			return n, err
+		}
+		if err := write(e.Lanes); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a graph written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("graph: bad magic %q, not a road-network file", gotMagic)
+	}
+	var numNodes, numEdges uint32
+	if err := binary.Read(br, binary.LittleEndian, &numNodes); err != nil {
+		return nil, fmt.Errorf("graph: reading node count: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &numEdges); err != nil {
+		return nil, fmt.Errorf("graph: reading edge count: %w", err)
+	}
+	const maxCount = 1 << 28 // sanity bound against corrupt headers
+	if numNodes > maxCount || numEdges > maxCount {
+		return nil, fmt.Errorf("graph: implausible counts nodes=%d edges=%d", numNodes, numEdges)
+	}
+	b := NewBuilder(int(numNodes), int(numEdges))
+	for i := uint32(0); i < numNodes; i++ {
+		var lat, lon float64
+		if err := binary.Read(br, binary.LittleEndian, &lat); err != nil {
+			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &lon); err != nil {
+			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
+		}
+		p := geo.Point{Lat: lat, Lon: lon}
+		if !p.Valid() {
+			return nil, fmt.Errorf("graph: node %d has invalid coordinates %v", i, p)
+		}
+		b.AddNode(p)
+	}
+	for i := uint32(0); i < numEdges; i++ {
+		var from, to uint32
+		var lengthM, speedKmh float64
+		var class, lanes uint8
+		if err := binary.Read(br, binary.LittleEndian, &from); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &to); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &lengthM); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &speedKmh); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &class); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &lanes); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if class >= uint8(numRoadClasses) {
+			return nil, fmt.Errorf("graph: edge %d has unknown road class %d", i, class)
+		}
+		if math.IsNaN(lengthM) || lengthM <= 0 || math.IsNaN(speedKmh) || speedKmh <= 0 {
+			return nil, fmt.Errorf("graph: edge %d has invalid length/speed %f/%f", i, lengthM, speedKmh)
+		}
+		if _, err := b.AddEdge(EdgeSpec{
+			From:     NodeID(from),
+			To:       NodeID(to),
+			LengthM:  lengthM,
+			SpeedKmh: speedKmh,
+			Class:    RoadClass(class),
+			Lanes:    int(lanes),
+		}); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// SaveFile writes the graph to the named file.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from the named file.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

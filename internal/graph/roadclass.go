@@ -1,0 +1,146 @@
+package graph
+
+import "fmt"
+
+// RoadClass categorizes an edge by the OSM highway hierarchy. The class
+// determines the default speed limit, the default number of lanes and
+// whether the paper's 1.3 intersection-delay factor applies (it does not
+// apply to freeways/motorways, see §III "Road Network Constructor").
+type RoadClass uint8
+
+// Road classes, ordered from most to least important.
+const (
+	Motorway RoadClass = iota
+	MotorwayLink
+	Trunk
+	Primary
+	Secondary
+	Tertiary
+	Residential
+	Unclassified
+	Service
+	numRoadClasses
+)
+
+// String implements fmt.Stringer.
+func (c RoadClass) String() string {
+	switch c {
+	case Motorway:
+		return "motorway"
+	case MotorwayLink:
+		return "motorway_link"
+	case Trunk:
+		return "trunk"
+	case Primary:
+		return "primary"
+	case Secondary:
+		return "secondary"
+	case Tertiary:
+		return "tertiary"
+	case Residential:
+		return "residential"
+	case Unclassified:
+		return "unclassified"
+	case Service:
+		return "service"
+	default:
+		return fmt.Sprintf("RoadClass(%d)", uint8(c))
+	}
+}
+
+// ParseRoadClass maps an OSM highway tag value to a RoadClass. The second
+// return value reports whether the value denotes a routable road at all;
+// footways, cycleways etc. return false.
+func ParseRoadClass(highway string) (RoadClass, bool) {
+	switch highway {
+	case "motorway":
+		return Motorway, true
+	case "motorway_link":
+		return MotorwayLink, true
+	case "trunk", "trunk_link":
+		return Trunk, true
+	case "primary", "primary_link":
+		return Primary, true
+	case "secondary", "secondary_link":
+		return Secondary, true
+	case "tertiary", "tertiary_link":
+		return Tertiary, true
+	case "residential", "living_street":
+		return Residential, true
+	case "unclassified", "road":
+		return Unclassified, true
+	case "service":
+		return Service, true
+	default:
+		return 0, false
+	}
+}
+
+// DefaultSpeedKmh returns the assumed maximum speed for a class when the
+// OSM way carries no maxspeed tag.
+func (c RoadClass) DefaultSpeedKmh() float64 {
+	switch c {
+	case Motorway:
+		return 100
+	case MotorwayLink:
+		return 60
+	case Trunk:
+		return 80
+	case Primary:
+		return 60
+	case Secondary:
+		return 50
+	case Tertiary:
+		return 50
+	case Residential:
+		return 40
+	case Unclassified:
+		return 40
+	case Service:
+		return 20
+	default:
+		return 40
+	}
+}
+
+// DefaultLanes returns the assumed per-direction lane count for a class.
+// Lane counts feed the "wider roads" ranking criterion that the simulated
+// commercial provider applies (§IV-C of the paper).
+func (c RoadClass) DefaultLanes() int {
+	switch c {
+	case Motorway:
+		return 3
+	case Trunk:
+		return 2
+	case Primary:
+		return 2
+	case Secondary:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// IsFreeway reports whether the intersection-delay factor is skipped for
+// this class. The paper multiplies travel time by 1.3 for every segment
+// "that is not a freeway/motorway".
+func (c RoadClass) IsFreeway() bool {
+	return c == Motorway || c == MotorwayLink
+}
+
+// IntersectionDelayFactor is the paper's travel-time multiplier applied to
+// all non-freeway edges to account for stops, lights and turns (§III).
+const IntersectionDelayFactor = 1.3
+
+// TravelTimeSeconds computes the edge weight the paper uses: length divided
+// by the maximum speed, multiplied by 1.3 unless the class is a freeway.
+func TravelTimeSeconds(lengthMeters, speedKmh float64, class RoadClass) float64 {
+	if speedKmh <= 0 {
+		speedKmh = class.DefaultSpeedKmh()
+	}
+	t := lengthMeters / (speedKmh / 3.6)
+	if !class.IsFreeway() {
+		t *= IntersectionDelayFactor
+	}
+	return t
+}

@@ -1,0 +1,342 @@
+// Package osm implements the paper's "Road Network Constructor": it parses
+// OpenStreetMap XML, filters the routable road ways inside a rectangular
+// area, and assembles the weighted directed graph the routing techniques
+// run on — travel time per edge computed as length over maximum speed,
+// scaled by 1.3 on non-freeway segments (§III).
+//
+// The same in-memory model (Data) is also the output format of the
+// synthetic city generator, so the full OSM→graph pipeline is exercised
+// end-to-end without network access.
+package osm
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+// Node is an OSM node: a point with a global ID.
+type Node struct {
+	ID  int64
+	Lat float64
+	Lon float64
+}
+
+// Way is an OSM way: an ordered node sequence with tags.
+type Way struct {
+	ID      int64
+	NodeIDs []int64
+	Tags    map[string]string
+}
+
+// Data is an in-memory OSM extract.
+type Data struct {
+	Nodes []Node
+	Ways  []Way
+}
+
+// Tag returns the way's tag value and whether it is present.
+func (w *Way) Tag(key string) (string, bool) {
+	v, ok := w.Tags[key]
+	return v, ok
+}
+
+// --- XML parsing -----------------------------------------------------------
+
+type xmlTag struct {
+	K string `xml:"k,attr"`
+	V string `xml:"v,attr"`
+}
+
+type xmlNode struct {
+	ID  int64   `xml:"id,attr"`
+	Lat float64 `xml:"lat,attr"`
+	Lon float64 `xml:"lon,attr"`
+}
+
+type xmlNd struct {
+	Ref int64 `xml:"ref,attr"`
+}
+
+type xmlWay struct {
+	ID   int64    `xml:"id,attr"`
+	Nds  []xmlNd  `xml:"nd"`
+	Tags []xmlTag `xml:"tag"`
+}
+
+// Parse reads OSM XML (the format served by Geofabrik exports) into Data.
+// Elements other than node and way (relations, metadata) are skipped.
+func Parse(r io.Reader) (*Data, error) {
+	dec := xml.NewDecoder(r)
+	data := &Data{}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("osm: reading XML: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch start.Name.Local {
+		case "node":
+			var n xmlNode
+			if err := dec.DecodeElement(&n, &start); err != nil {
+				return nil, fmt.Errorf("osm: decoding node: %w", err)
+			}
+			data.Nodes = append(data.Nodes, Node{ID: n.ID, Lat: n.Lat, Lon: n.Lon})
+		case "way":
+			var w xmlWay
+			if err := dec.DecodeElement(&w, &start); err != nil {
+				return nil, fmt.Errorf("osm: decoding way: %w", err)
+			}
+			way := Way{ID: w.ID, Tags: make(map[string]string, len(w.Tags))}
+			for _, nd := range w.Nds {
+				way.NodeIDs = append(way.NodeIDs, nd.Ref)
+			}
+			for _, tg := range w.Tags {
+				way.Tags[tg.K] = tg.V
+			}
+			data.Ways = append(data.Ways, way)
+		}
+	}
+	return data, nil
+}
+
+// WriteXML emits Data as OSM XML readable by Parse.
+func (d *Data) WriteXML(w io.Writer) error {
+	if _, err := io.WriteString(w, xml.Header+"<osm version=\"0.6\" generator=\"repro-citygen\">\n"); err != nil {
+		return err
+	}
+	for _, n := range d.Nodes {
+		if _, err := fmt.Fprintf(w, "  <node id=\"%d\" lat=\"%.7f\" lon=\"%.7f\"/>\n", n.ID, n.Lat, n.Lon); err != nil {
+			return err
+		}
+	}
+	for _, way := range d.Ways {
+		if _, err := fmt.Fprintf(w, "  <way id=\"%d\">\n", way.ID); err != nil {
+			return err
+		}
+		for _, ref := range way.NodeIDs {
+			if _, err := fmt.Fprintf(w, "    <nd ref=\"%d\"/>\n", ref); err != nil {
+				return err
+			}
+		}
+		keys := make([]string, 0, len(way.Tags))
+		for k := range way.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "    <tag k=%q v=%q/>\n", k, way.Tags[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "  </way>\n"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</osm>\n")
+	return err
+}
+
+// --- Road network construction ----------------------------------------------
+
+// ParseMaxspeed interprets an OSM maxspeed tag value in km/h. It accepts
+// plain numbers, "NN km/h" and "NN mph"; anything else (e.g. "signals",
+// "none") returns ok=false, selecting the class default.
+func ParseMaxspeed(v string) (float64, bool) {
+	v = strings.TrimSpace(strings.ToLower(v))
+	if v == "" {
+		return 0, false
+	}
+	mph := false
+	switch {
+	case strings.HasSuffix(v, "mph"):
+		mph = true
+		v = strings.TrimSpace(strings.TrimSuffix(v, "mph"))
+	case strings.HasSuffix(v, "km/h"):
+		v = strings.TrimSpace(strings.TrimSuffix(v, "km/h"))
+	case strings.HasSuffix(v, "kmh"):
+		v = strings.TrimSpace(strings.TrimSuffix(v, "kmh"))
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 || f > 200 {
+		return 0, false
+	}
+	if mph {
+		f *= 1.60934
+	}
+	return f, true
+}
+
+// onewayDirection interprets the oneway tag: +1 forward only, -1 backward
+// only, 0 both directions.
+func onewayDirection(w *Way) int {
+	v, ok := w.Tag("oneway")
+	if !ok {
+		// Motorways are implicitly oneway in OSM.
+		if hw, _ := w.Tag("highway"); hw == "motorway" || hw == "motorway_link" {
+			return 1
+		}
+		return 0
+	}
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "yes", "true", "1":
+		return 1
+	case "-1", "reverse":
+		return -1
+	default:
+		return 0
+	}
+}
+
+// BuildGraph assembles the road network from an extract. If bbox is
+// non-nil, only nodes inside it are used (ways are clipped at the
+// boundary, matching the paper's rectangular-area filter). Only the
+// largest weakly connected component is kept so that every vertex pair in
+// the returned graph is routable in at least one direction.
+func BuildGraph(d *Data, bbox *geo.BBox) (*graph.Graph, error) {
+	coords := make(map[int64]geo.Point, len(d.Nodes))
+	for _, n := range d.Nodes {
+		p := geo.Point{Lat: n.Lat, Lon: n.Lon}
+		if !p.Valid() {
+			return nil, fmt.Errorf("osm: node %d has invalid coordinates %v", n.ID, p)
+		}
+		if bbox != nil && !bbox.Contains(p) {
+			continue
+		}
+		coords[n.ID] = p
+	}
+
+	type segment struct {
+		a, b   int64
+		class  graph.RoadClass
+		speed  float64
+		lanes  int
+		oneway int
+	}
+	var segs []segment
+	for i := range d.Ways {
+		w := &d.Ways[i]
+		hw, ok := w.Tag("highway")
+		if !ok {
+			continue
+		}
+		class, routable := graph.ParseRoadClass(hw)
+		if !routable {
+			continue
+		}
+		speed := 0.0
+		if v, ok := w.Tag("maxspeed"); ok {
+			if s, valid := ParseMaxspeed(v); valid {
+				speed = s
+			}
+		}
+		lanes := 0
+		if v, ok := w.Tag("lanes"); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n > 0 && n < 20 {
+				lanes = n
+			}
+		}
+		dir := onewayDirection(w)
+		for j := 0; j+1 < len(w.NodeIDs); j++ {
+			a, b := w.NodeIDs[j], w.NodeIDs[j+1]
+			if _, ok := coords[a]; !ok {
+				continue
+			}
+			if _, ok := coords[b]; !ok {
+				continue
+			}
+			if a == b {
+				continue
+			}
+			segs = append(segs, segment{a: a, b: b, class: class, speed: speed, lanes: lanes, oneway: dir})
+		}
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("osm: extract contains no routable road segments")
+	}
+
+	// Union-find over OSM node IDs to locate the largest weak component.
+	parent := make(map[int64]int64)
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, s := range segs {
+		union(s.a, s.b)
+	}
+	compSize := make(map[int64]int)
+	for id := range parent {
+		compSize[find(id)]++
+	}
+	var bigRoot int64
+	bigSize := -1
+	for root, size := range compSize {
+		if size > bigSize || (size == bigSize && root < bigRoot) {
+			bigRoot, bigSize = root, size
+		}
+	}
+
+	// Assign graph node IDs in deterministic (sorted OSM ID) order.
+	used := make([]int64, 0, bigSize)
+	for id := range parent {
+		if find(id) == bigRoot {
+			used = append(used, id)
+		}
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i] < used[j] })
+	idmap := make(map[int64]graph.NodeID, len(used))
+	b := graph.NewBuilder(len(used), len(segs)*2)
+	for _, id := range used {
+		idmap[id] = b.AddNode(coords[id])
+	}
+	for _, s := range segs {
+		ga, okA := idmap[s.a]
+		gb, okB := idmap[s.b]
+		if !okA || !okB {
+			continue
+		}
+		from, to := ga, gb
+		if s.oneway == -1 {
+			from, to = gb, ga
+		}
+		if _, err := b.AddEdge(graph.EdgeSpec{
+			From:     from,
+			To:       to,
+			SpeedKmh: s.speed,
+			Class:    s.class,
+			Lanes:    s.lanes,
+			TwoWay:   s.oneway == 0,
+		}); err != nil {
+			return nil, fmt.Errorf("osm: %w", err)
+		}
+	}
+	return b.Build(), nil
+}

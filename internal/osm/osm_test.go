@@ -1,0 +1,286 @@
+package osm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+const sampleXML = `<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <node id="1" lat="-37.8100" lon="144.9600"/>
+  <node id="2" lat="-37.8100" lon="144.9650"/>
+  <node id="3" lat="-37.8150" lon="144.9650"/>
+  <node id="4" lat="-37.8150" lon="144.9600"/>
+  <node id="5" lat="-30.0000" lon="140.0000"/>
+  <node id="6" lat="-30.0010" lon="140.0000"/>
+  <way id="100">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="60"/>
+    <tag k="lanes" v="2"/>
+  </way>
+  <way id="101">
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="102">
+    <nd ref="3"/>
+    <nd ref="4"/>
+    <nd ref="1"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="103">
+    <nd ref="1"/>
+    <nd ref="3"/>
+    <tag k="highway" v="footway"/>
+  </way>
+  <way id="104">
+    <nd ref="5"/>
+    <nd ref="6"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <relation id="200"><tag k="type" v="route"/></relation>
+</osm>`
+
+func TestParse(t *testing.T) {
+	d, err := Parse(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 6 {
+		t.Errorf("nodes = %d, want 6", len(d.Nodes))
+	}
+	if len(d.Ways) != 5 {
+		t.Errorf("ways = %d, want 5", len(d.Ways))
+	}
+	if d.Nodes[0].ID != 1 || d.Nodes[0].Lat != -37.81 {
+		t.Errorf("node[0] = %+v", d.Nodes[0])
+	}
+	w := d.Ways[0]
+	if w.ID != 100 || len(w.NodeIDs) != 2 || w.Tags["highway"] != "primary" {
+		t.Errorf("way[0] = %+v", w)
+	}
+}
+
+func TestParseRejectsMalformedXML(t *testing.T) {
+	if _, err := Parse(strings.NewReader("<osm><node id='1' lat='x'")); err == nil {
+		t.Error("malformed XML should error")
+	}
+}
+
+func TestBuildGraphBasic(t *testing.T) {
+	d, err := Parse(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 5,6 are a smaller separate component; footway 103 is dropped.
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4 (largest component only)", g.NumNodes())
+	}
+	// Ways: 100 two-way (2 edges), 101 two-way (2), 102 oneway 2 segments (2).
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges())
+	}
+}
+
+func TestBuildGraphAppliesTags(t *testing.T) {
+	d, _ := Parse(strings.NewReader(sampleXML))
+	g, err := BuildGraph(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the primary edge (way 100): speed 60, 2 lanes.
+	found := false
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.Class == graph.Primary {
+			found = true
+			if ed.SpeedKmh != 60 {
+				t.Errorf("primary speed = %f, want 60", ed.SpeedKmh)
+			}
+			if ed.Lanes != 2 {
+				t.Errorf("primary lanes = %d, want 2", ed.Lanes)
+			}
+			wantTime := ed.LengthM / (60 / 3.6) * graph.IntersectionDelayFactor
+			if math.Abs(ed.TimeS-wantTime) > 1e-9 {
+				t.Errorf("primary travel time = %f, want %f", ed.TimeS, wantTime)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("primary edge missing")
+	}
+}
+
+func TestBuildGraphOneway(t *testing.T) {
+	d, _ := Parse(strings.NewReader(sampleXML))
+	g, err := BuildGraph(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Way 102 is oneway 3->4->1. With sorted-ID node mapping: OSM 1,2,3,4 →
+	// graph 0,1,2,3. So edges 2->3 and 3->0 exist, reverses don't.
+	if g.FindEdge(2, 3) < 0 || g.FindEdge(3, 0) < 0 {
+		t.Error("oneway forward edges missing")
+	}
+	if g.FindEdge(3, 2) >= 0 || g.FindEdge(0, 3) >= 0 {
+		t.Error("oneway reverse edges should not exist")
+	}
+}
+
+func TestBuildGraphBBoxClip(t *testing.T) {
+	d, _ := Parse(strings.NewReader(sampleXML))
+	// Box containing only nodes 1 and 2 (lat -37.812..-37.808).
+	bb := geo.BBox{MinLat: -37.812, MinLon: 144.95, MaxLat: -37.808, MaxLon: 144.97}
+	g, err := BuildGraph(d, &bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("clipped nodes = %d, want 2", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("clipped edges = %d, want 2 (two-way 1-2)", g.NumEdges())
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := BuildGraph(&Data{}, nil); err == nil {
+		t.Error("empty extract should error")
+	}
+	// Only non-routable ways.
+	d := &Data{
+		Nodes: []Node{{ID: 1, Lat: 0, Lon: 0}, {ID: 2, Lat: 0, Lon: 0.001}},
+		Ways:  []Way{{ID: 1, NodeIDs: []int64{1, 2}, Tags: map[string]string{"highway": "footway"}}},
+	}
+	if _, err := BuildGraph(d, nil); err == nil {
+		t.Error("extract without roads should error")
+	}
+	// Invalid coordinates.
+	d = &Data{
+		Nodes: []Node{{ID: 1, Lat: 95, Lon: 0}, {ID: 2, Lat: 0, Lon: 0.001}},
+		Ways:  []Way{{ID: 1, NodeIDs: []int64{1, 2}, Tags: map[string]string{"highway": "primary"}}},
+	}
+	if _, err := BuildGraph(d, nil); err == nil {
+		t.Error("invalid coordinates should error")
+	}
+}
+
+func TestBuildGraphSkipsMissingAndSelfRefs(t *testing.T) {
+	d := &Data{
+		Nodes: []Node{
+			{ID: 1, Lat: 0, Lon: 0},
+			{ID: 2, Lat: 0, Lon: 0.001},
+		},
+		Ways: []Way{{
+			ID:      1,
+			NodeIDs: []int64{1, 1, 2, 999}, // self-segment and dangling ref
+			Tags:    map[string]string{"highway": "residential"},
+		}},
+	}
+	g, err := BuildGraph(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Errorf("nodes/edges = %d/%d, want 2/2", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	d1, err := Parse(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d1.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparsing emitted XML: %v", err)
+	}
+	if len(d2.Nodes) != len(d1.Nodes) || len(d2.Ways) != len(d1.Ways) {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d ways",
+			len(d2.Nodes), len(d1.Nodes), len(d2.Ways), len(d1.Ways))
+	}
+	for i := range d1.Ways {
+		if len(d2.Ways[i].NodeIDs) != len(d1.Ways[i].NodeIDs) {
+			t.Errorf("way %d node refs differ", i)
+		}
+		for k, v := range d1.Ways[i].Tags {
+			if d2.Ways[i].Tags[k] != v {
+				t.Errorf("way %d tag %s: %q vs %q", i, k, d2.Ways[i].Tags[k], v)
+			}
+		}
+	}
+	// Graphs built from both must be identical in size.
+	g1, err1 := BuildGraph(d1, nil)
+	g2, err2 := BuildGraph(d2, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Error("graphs from original and round-tripped XML differ")
+	}
+}
+
+func TestParseMaxspeed(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"60", 60, true},
+		{"50 km/h", 50, true},
+		{"50km/h", 50, true},
+		{"40 kmh", 40, true},
+		{"30 mph", 48.2802, true},
+		{" 80 ", 80, true},
+		{"signals", 0, false},
+		{"none", 0, false},
+		{"", 0, false},
+		{"-10", 0, false},
+		{"1000", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseMaxspeed(c.in)
+		if ok != c.ok || (ok && math.Abs(got-c.want) > 0.001) {
+			t.Errorf("ParseMaxspeed(%q) = %f,%v want %f,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestOnewayDirection(t *testing.T) {
+	mk := func(tags map[string]string) *Way { return &Way{Tags: tags} }
+	cases := []struct {
+		tags map[string]string
+		want int
+	}{
+		{map[string]string{"oneway": "yes"}, 1},
+		{map[string]string{"oneway": "true"}, 1},
+		{map[string]string{"oneway": "1"}, 1},
+		{map[string]string{"oneway": "-1"}, -1},
+		{map[string]string{"oneway": "no"}, 0},
+		{map[string]string{}, 0},
+		{map[string]string{"highway": "motorway"}, 1},
+		{map[string]string{"highway": "motorway", "oneway": "no"}, 0},
+	}
+	for i, c := range cases {
+		if got := onewayDirection(mk(c.tags)); got != c.want {
+			t.Errorf("case %d %v: got %d, want %d", i, c.tags, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Analysis of real rating submissions collected by the demo server: the
+// same aggregation §IV-A applies to the study data — per-approach mean and
+// standard deviation, split by residency, plus the one-way ANOVA.
+
+// approachDisplay maps blinded display order (A-D) to technique names for
+// the analysis output, as in the paper's footnote.
+var approachDisplay = [4]string{"A (Google Maps)", "B (Plateaus)", "C (Dissimilarity)", "D (Penalty)"}
+
+// LoadRatings reads a ratings JSON file written by the demo server.
+func LoadRatings(path string) ([]RatingSubmission, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var subs []RatingSubmission
+	if err := json.Unmarshal(data, &subs); err != nil {
+		return nil, fmt.Errorf("server: parsing %s: %w", path, err)
+	}
+	for i, s := range subs {
+		for _, v := range s.Ratings {
+			if v < 1 || v > 5 {
+				return nil, fmt.Errorf("server: submission %d has rating %d outside 1-5", i, v)
+			}
+		}
+	}
+	return subs, nil
+}
+
+// AnalyzeRatings renders the §IV-A analysis for collected submissions:
+// per-city and overall mean (sd) per approach for all respondents,
+// residents and non-residents, each with a one-way ANOVA when enough data
+// exists.
+func AnalyzeRatings(subs []RatingSubmission) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Collected responses: %d\n\n", len(subs))
+	if len(subs) == 0 {
+		return sb.String()
+	}
+	cities := map[string]bool{}
+	for _, s := range subs {
+		cities[s.City] = true
+	}
+	names := make([]string, 0, len(cities))
+	for c := range cities {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+
+	scopes := append([]string{""}, names...)
+	for _, city := range scopes {
+		label := city
+		if label == "" {
+			label = "All cities"
+		}
+		fmt.Fprintf(&sb, "== %s ==\n", label)
+		for _, grp := range []struct {
+			name string
+			keep func(RatingSubmission) bool
+		}{
+			{"all", func(RatingSubmission) bool { return true }},
+			{"residents", func(s RatingSubmission) bool { return s.Resident }},
+			{"non-residents", func(s RatingSubmission) bool { return !s.Resident }},
+		} {
+			var sel []RatingSubmission
+			for _, s := range subs {
+				if (city == "" || s.City == city) && grp.keep(s) {
+					sel = append(sel, s)
+				}
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %s (%d responses):\n", grp.name, len(sel))
+			groups := make([][]float64, 4)
+			for a := 0; a < 4; a++ {
+				xs := make([]float64, len(sel))
+				for i, s := range sel {
+					xs[i] = float64(s.Ratings[a])
+				}
+				groups[a] = xs
+				fmt.Fprintf(&sb, "    %-20s %.2f (%.2f)\n", approachDisplay[a], stats.Mean(xs), stats.StdDev(xs))
+			}
+			if res, err := stats.OneWayANOVA(groups...); err == nil {
+				fmt.Fprintf(&sb, "    ANOVA: F(%d, %d) = %.3f, p = %.3f\n",
+					res.DFBetwe, res.DFWithin, res.F, res.P)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,274 @@
+// Package server implements the web-based demonstration system of §III:
+// a browser UI where a user picks source and target on a city map, sees up
+// to three routes from each of the four (blinded) approaches, and submits
+// a 1–5 rating per approach plus a residency flag (Figs. 2 and 3 of the
+// paper).
+//
+// The paper's demo plots routes on Google Maps; offline, the UI renders
+// the road network and routes on an SVG canvas instead. The query
+// processor is the same three-step pipeline: geo-coordinate matching to
+// the nearest vertices, alternative-route computation by every approach,
+// and travel-time display using the public OSM-derived weights.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// Blinded display labels, fixed as in the paper: "The approaches are named
+// A-D (A: Google Maps, B: Plateaus, C: Dissimilarity and D: Penalty)."
+var displayLabels = [eval.NumApproaches]string{"A", "B", "C", "D"}
+
+// Server serves the demo UI and API for one or more cities.
+type Server struct {
+	mux    *http.ServeMux
+	cities map[string]*eval.City
+
+	mu        sync.Mutex
+	ratings   []RatingSubmission
+	storePath string // optional JSON file the ratings are appended to
+}
+
+// RatingSubmission is one submitted feedback form (Fig. 3).
+type RatingSubmission struct {
+	City     string    `json:"city"`
+	Resident bool      `json:"resident"`
+	Ratings  [4]int    `json:"ratings"` // A-D display order
+	Comment  string    `json:"comment,omitempty"`
+	Time     time.Time `json:"time"`
+}
+
+// New creates a demo server over the given cities. storePath, if
+// non-empty, is a JSON file ratings are persisted to.
+func New(cities map[string]*eval.City, storePath string) *Server {
+	s := &Server{
+		mux:       http.NewServeMux(),
+		cities:    cities,
+		storePath: storePath,
+	}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/cities", s.handleCities)
+	s.mux.HandleFunc("GET /api/network", s.handleNetwork)
+	s.mux.HandleFunc("GET /api/routes", s.handleRoutes)
+	s.mux.HandleFunc("POST /api/rating", s.handleRating)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Ratings returns a copy of the submissions received so far.
+func (s *Server) Ratings() []RatingSubmission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RatingSubmission(nil), s.ratings...)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func (s *Server) handleCities(w http.ResponseWriter, _ *http.Request) {
+	type cityInfo struct {
+		Name   string  `json:"name"`
+		MinLat float64 `json:"minLat"`
+		MinLon float64 `json:"minLon"`
+		MaxLat float64 `json:"maxLat"`
+		MaxLon float64 `json:"maxLon"`
+	}
+	var out []cityInfo
+	for _, name := range []string{"Melbourne", "Dhaka", "Copenhagen"} {
+		c, ok := s.cities[name]
+		if !ok {
+			continue
+		}
+		bb := c.Graph.BBox()
+		out = append(out, cityInfo{name, bb.MinLat, bb.MinLon, bb.MaxLat, bb.MaxLon})
+	}
+	writeJSON(w, out)
+}
+
+// handleNetwork returns a decimated line sample of the road network for
+// background rendering.
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.cities[r.URL.Query().Get("city")]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown city")
+		return
+	}
+	type seg struct {
+		A [2]float64 `json:"a"`
+		B [2]float64 `json:"b"`
+		C int        `json:"c"` // 0 street, 1 arterial, 2 motorway
+	}
+	var segs []seg
+	step := 1
+	if c.Graph.NumEdges() > 30000 {
+		step = c.Graph.NumEdges() / 30000
+	}
+	for e := 0; e < c.Graph.NumEdges(); e += step {
+		ed := c.Graph.Edge(graph.EdgeID(e))
+		a := c.Graph.Point(ed.From)
+		b := c.Graph.Point(ed.To)
+		cls := 0
+		switch ed.Class {
+		case graph.Motorway, graph.MotorwayLink:
+			cls = 2
+		case graph.Trunk, graph.Primary, graph.Secondary:
+			cls = 1
+		}
+		segs = append(segs, seg{A: [2]float64{a.Lat, a.Lon}, B: [2]float64{b.Lat, b.Lon}, C: cls})
+	}
+	writeJSON(w, segs)
+}
+
+// routeJSON is one displayed route.
+type routeJSON struct {
+	Points  [][2]float64 `json:"points"`
+	Minutes float64      `json:"minutes"`
+	KM      float64      `json:"km"`
+}
+
+// handleRoutes is the query processor endpoint: it matches the clicked
+// coordinates to graph vertices, runs all four approaches and returns
+// their routes with OSM travel times, blinded as approaches A–D.
+func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	c, ok := s.cities[q.Get("city")]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown city")
+		return
+	}
+	var sp, tp geo.Point
+	if _, err := fmt.Sscanf(q.Get("s"), "%f,%f", &sp.Lat, &sp.Lon); err != nil {
+		httpError(w, http.StatusBadRequest, "bad s coordinate (want lat,lon)")
+		return
+	}
+	if _, err := fmt.Sscanf(q.Get("t"), "%f,%f", &tp.Lat, &tp.Lon); err != nil {
+		httpError(w, http.StatusBadRequest, "bad t coordinate (want lat,lon)")
+		return
+	}
+	if !sp.Valid() || !tp.Valid() {
+		httpError(w, http.StatusBadRequest, "coordinates out of range")
+		return
+	}
+	// Geo-coordinate matching (query processor step 1).
+	sv, _ := c.Index.Nearest(sp)
+	tv, _ := c.Index.Nearest(tp)
+	if sv == tv {
+		httpError(w, http.StatusBadRequest, "source and target map to the same intersection")
+		return
+	}
+	type approachJSON struct {
+		Label  string      `json:"label"`
+		Routes []routeJSON `json:"routes"`
+	}
+	out := struct {
+		SNode      [2]float64     `json:"sNode"`
+		TNode      [2]float64     `json:"tNode"`
+		Approaches []approachJSON `json:"approaches"`
+	}{
+		SNode: [2]float64{c.Graph.Point(sv).Lat, c.Graph.Point(sv).Lon},
+		TNode: [2]float64{c.Graph.Point(tv).Lat, c.Graph.Point(tv).Lon},
+	}
+	for i, pl := range c.Planners {
+		aj := approachJSON{Label: displayLabels[i]}
+		routes, err := pl.Alternatives(sv, tv)
+		if err == nil {
+			for _, rt := range routes {
+				aj.Routes = append(aj.Routes, toRouteJSON(c, rt))
+			}
+		}
+		out.Approaches = append(out.Approaches, aj)
+	}
+	writeJSON(w, out)
+}
+
+func toRouteJSON(c *eval.City, p path.Path) routeJSON {
+	rj := routeJSON{
+		// Travel time rounded to minutes for display, as in the paper.
+		Minutes: float64(int(p.TimeS/60 + 0.5)),
+		KM:      p.LengthM / 1000,
+	}
+	for _, pt := range p.Points(c.Graph) {
+		rj.Points = append(rj.Points, [2]float64{pt.Lat, pt.Lon})
+	}
+	return rj
+}
+
+// handleRating accepts the feedback form (Fig. 3).
+func (s *Server) handleRating(w http.ResponseWriter, r *http.Request) {
+	var sub RatingSubmission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if _, ok := s.cities[sub.City]; !ok {
+		httpError(w, http.StatusBadRequest, "unknown city")
+		return
+	}
+	for _, v := range sub.Ratings {
+		if v < 1 || v > 5 {
+			httpError(w, http.StatusBadRequest, "ratings must be 1-5")
+			return
+		}
+	}
+	if len(sub.Comment) > 4096 {
+		httpError(w, http.StatusBadRequest, "comment too long")
+		return
+	}
+	sub.Time = time.Now().UTC()
+	s.mu.Lock()
+	s.ratings = append(s.ratings, sub)
+	all := append([]RatingSubmission(nil), s.ratings...)
+	s.mu.Unlock()
+	if s.storePath != "" {
+		if err := persistRatings(s.storePath, all); err != nil {
+			log.Printf("server: persisting ratings: %v", err)
+		}
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func persistRatings(storePath string, all []RatingSubmission) error {
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := storePath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, storePath)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("server: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

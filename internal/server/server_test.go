@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/citygen"
+	"repro/internal/eval"
+)
+
+// testCities builds one small city for fast handler tests.
+func testCities(t testing.TB) map[string]*eval.City {
+	t.Helper()
+	p := citygen.Copenhagen()
+	p.Rows, p.Cols = 20, 20 // shrink for test speed
+	p.Motorway.Present = false
+	c, err := eval.NewCity(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*eval.City{"Copenhagen": c}
+}
+
+func newTestServer(t testing.TB, store string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(testCities(t), store))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return res
+}
+
+func TestIndexServesUI(t *testing.T) {
+	ts := newTestServer(t, "")
+	res, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(res.Body)
+	body := buf.String()
+	for _, want := range []string{"<svg", "Approach", "Submit Rating", "I live (or have lived)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page missing %q", want)
+		}
+	}
+	// Unknown paths are 404, not the index.
+	res2, _ := http.Get(ts.URL + "/nonsense")
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", res2.StatusCode)
+	}
+}
+
+func TestCitiesEndpoint(t *testing.T) {
+	ts := newTestServer(t, "")
+	var cities []struct {
+		Name   string  `json:"name"`
+		MinLat float64 `json:"minLat"`
+		MaxLat float64 `json:"maxLat"`
+	}
+	getJSON(t, ts.URL+"/api/cities", &cities)
+	if len(cities) != 1 || cities[0].Name != "Copenhagen" {
+		t.Fatalf("cities = %+v", cities)
+	}
+	if cities[0].MinLat >= cities[0].MaxLat {
+		t.Error("bbox degenerate")
+	}
+}
+
+func TestNetworkEndpoint(t *testing.T) {
+	ts := newTestServer(t, "")
+	var segs []struct {
+		A [2]float64 `json:"a"`
+		B [2]float64 `json:"b"`
+		C int        `json:"c"`
+	}
+	getJSON(t, ts.URL+"/api/network?city=Copenhagen", &segs)
+	if len(segs) < 100 {
+		t.Fatalf("network returned only %d segments", len(segs))
+	}
+	res := getJSON(t, ts.URL+"/api/network?city=Nowhere", nil)
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown city status = %d, want 404", res.StatusCode)
+	}
+}
+
+func TestRoutesEndpoint(t *testing.T) {
+	ts := newTestServer(t, "")
+	// Click two opposite corners of the network.
+	cs := testCities(t)["Copenhagen"]
+	bb := cs.Graph.BBox()
+	u := ts.URL + fmt.Sprintf("/api/routes?city=Copenhagen&s=%f,%f&t=%f,%f",
+		bb.MinLat, bb.MinLon, bb.MaxLat, bb.MaxLon)
+	var out struct {
+		SNode      [2]float64 `json:"sNode"`
+		Approaches []struct {
+			Label  string `json:"label"`
+			Routes []struct {
+				Points  [][2]float64 `json:"points"`
+				Minutes float64      `json:"minutes"`
+				KM      float64      `json:"km"`
+			} `json:"routes"`
+		} `json:"approaches"`
+	}
+	res := getJSON(t, u, &out)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("routes status = %d", res.StatusCode)
+	}
+	if len(out.Approaches) != 4 {
+		t.Fatalf("approaches = %d, want 4", len(out.Approaches))
+	}
+	wantLabels := []string{"A", "B", "C", "D"}
+	for i, ap := range out.Approaches {
+		if ap.Label != wantLabels[i] {
+			t.Errorf("approach %d label %s, want %s (blinded order)", i, ap.Label, wantLabels[i])
+		}
+		if len(ap.Routes) == 0 {
+			t.Errorf("approach %s returned no routes", ap.Label)
+		}
+		for _, r := range ap.Routes {
+			if len(r.Points) < 2 || r.Minutes <= 0 || r.KM <= 0 {
+				t.Errorf("approach %s has malformed route: %d points, %f min, %f km",
+					ap.Label, len(r.Points), r.Minutes, r.KM)
+			}
+		}
+	}
+}
+
+func TestRoutesEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, "")
+	cases := []string{
+		"/api/routes?city=Nowhere&s=55,12&t=55.1,12.1",
+		"/api/routes?city=Copenhagen&s=bogus&t=55.1,12.1",
+		"/api/routes?city=Copenhagen&s=55.67,12.56&t=junk",
+		"/api/routes?city=Copenhagen&s=999,12&t=55.1,12.1",
+		"/api/routes?city=Copenhagen&s=55.676,12.568&t=55.676,12.568", // same vertex
+	}
+	for _, u := range cases {
+		res := getJSON(t, ts.URL+u, nil)
+		if res.StatusCode == http.StatusOK {
+			t.Errorf("%s should fail", u)
+		}
+	}
+}
+
+func TestRatingSubmission(t *testing.T) {
+	store := t.TempDir() + "/ratings.json"
+	ts := newTestServer(t, store)
+	body := `{"city":"Copenhagen","resident":true,"ratings":[4,3,5,2],"comment":"no route using Blackburn rd"}`
+	res, err := http.Post(ts.URL+"/api/rating", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("rating status = %d", res.StatusCode)
+	}
+	// Persisted to disk.
+	data, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatalf("ratings store not written: %v", err)
+	}
+	var subs []RatingSubmission
+	if err := json.Unmarshal(data, &subs); err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Ratings != [4]int{4, 3, 5, 2} || !subs[0].Resident {
+		t.Errorf("persisted = %+v", subs)
+	}
+	if subs[0].City != "Copenhagen" || subs[0].Comment == "" {
+		t.Errorf("persisted fields wrong: %+v", subs[0])
+	}
+}
+
+func TestRatingValidation(t *testing.T) {
+	ts := newTestServer(t, "")
+	bad := []string{
+		`{"city":"Nowhere","ratings":[3,3,3,3]}`,
+		`{"city":"Copenhagen","ratings":[0,3,3,3]}`,
+		`{"city":"Copenhagen","ratings":[3,3,3,6]}`,
+		`not json`,
+		`{"city":"Copenhagen","ratings":[3,3,3,3],"comment":"` + strings.Repeat("x", 5000) + `"}`,
+	}
+	for i, body := range bad {
+		res, err := http.Post(ts.URL+"/api/rating", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, res.StatusCode)
+		}
+	}
+}
+
+func TestRatingsAccessor(t *testing.T) {
+	cities := testCities(t)
+	s := New(cities, "")
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"city":"Copenhagen","ratings":[%d,3,3,3]}`, i+1)
+		res, err := http.Post(ts.URL+"/api/rating", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+	}
+	got := s.Ratings()
+	if len(got) != 3 {
+		t.Fatalf("Ratings() = %d entries, want 3", len(got))
+	}
+	// The returned slice is a copy.
+	got[0].Ratings[0] = 99
+	if s.Ratings()[0].Ratings[0] == 99 {
+		t.Error("Ratings() must return a copy")
+	}
+}

@@ -1,0 +1,197 @@
+package server
+
+// indexHTML is the demo UI (Fig. 2 of the paper): an SVG map of the city's
+// road network on which the user clicks source and target markers, a route
+// overlay per blinded approach (A-D), and the Fig. 3 rating form.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Alternative Route Planning — Comparative Demo</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; display: flex; height: 100vh; }
+  #side { width: 330px; padding: 14px; overflow-y: auto; border-right: 1px solid #ccc; }
+  #map { flex: 1; background: #f6f4ef; cursor: crosshair; }
+  h1 { font-size: 17px; margin: 0 0 8px; }
+  h2 { font-size: 14px; margin: 14px 0 6px; }
+  .approach { margin: 6px 0; padding: 6px; border-radius: 6px; border: 1px solid #ddd; }
+  .swatch { display: inline-block; width: 12px; height: 12px; border-radius: 3px; margin-right: 6px; }
+  .routeinfo { font-size: 12px; color: #444; margin-left: 18px; }
+  button { padding: 6px 12px; margin-top: 6px; }
+  select, textarea { width: 100%; }
+  .stars input { width: 28px; }
+  #status { font-size: 12px; color: #666; min-height: 18px; }
+</style>
+</head>
+<body>
+<div id="side">
+  <h1>Comparing Alternative Route Planning Techniques</h1>
+  <p style="font-size:12px">Click the map to place the <b>source</b>, click again for the
+  <b>target</b>, then press Compute. Four anonymised approaches (A&ndash;D)
+  each show up to 3 routes. Rate each approach 1&ndash;5 and submit.</p>
+  <label>City:
+    <select id="city"></select>
+  </label>
+  <div id="status"></div>
+  <button id="compute">Compute routes</button>
+  <button id="clear">Clear</button>
+  <div id="approaches"></div>
+  <h2>Submit rating (1&ndash;5, higher is better)</h2>
+  <div class="stars" id="stars"></div>
+  <label style="font-size:13px"><input type="checkbox" id="resident">
+    I live (or have lived) in this city</label><br>
+  <textarea id="comment" rows="2" placeholder="Optional comment"></textarea>
+  <button id="submitRating">Submit Rating</button>
+</div>
+<svg id="map"></svg>
+<script>
+const COLORS = { A: "#d81b60", B: "#1e88e5", C: "#43a047", D: "#fb8c00" };
+let cities = [], cur = null, sPt = null, tPt = null, lastRoutes = null;
+
+const map = document.getElementById("map");
+function project(lat, lon) {
+  const r = map.getBoundingClientRect();
+  const x = (lon - cur.minLon) / (cur.maxLon - cur.minLon) * r.width;
+  const y = (1 - (lat - cur.minLat) / (cur.maxLat - cur.minLat)) * r.height;
+  return [x, y];
+}
+function unproject(x, y) {
+  const r = map.getBoundingClientRect();
+  const lon = cur.minLon + x / r.width * (cur.maxLon - cur.minLon);
+  const lat = cur.minLat + (1 - y / r.height) * (cur.maxLat - cur.minLat);
+  return [lat, lon];
+}
+function el(name, attrs) {
+  const e = document.createElementNS("http://www.w3.org/2000/svg", name);
+  for (const k in attrs) e.setAttribute(k, attrs[k]);
+  return e;
+}
+async function loadNetwork() {
+  map.innerHTML = "";
+  const segs = await (await fetch("/api/network?city=" + cur.name)).json();
+  const g = el("g", {id: "net"});
+  for (const s of segs) {
+    const [x1, y1] = project(s.a[0], s.a[1]);
+    const [x2, y2] = project(s.b[0], s.b[1]);
+    const style = s.c === 2 ? "stroke:#9a8c98;stroke-width:2.2"
+                : s.c === 1 ? "stroke:#c9bfc4;stroke-width:1.4"
+                : "stroke:#e3dcd3;stroke-width:0.7";
+    g.appendChild(el("line", {x1, y1, x2, y2, style}));
+  }
+  map.appendChild(g);
+  map.appendChild(el("g", {id: "routes"}));
+  map.appendChild(el("g", {id: "markers"}));
+}
+function drawMarkers() {
+  const g = map.querySelector("#markers");
+  g.innerHTML = "";
+  if (sPt) {
+    const [x, y] = project(sPt[0], sPt[1]);
+    g.appendChild(el("circle", {cx: x, cy: y, r: 7, fill: "#2e7d32", stroke: "#fff", "stroke-width": 2}));
+  }
+  if (tPt) {
+    const [x, y] = project(tPt[0], tPt[1]);
+    g.appendChild(el("circle", {cx: x, cy: y, r: 7, fill: "#b71c1c", stroke: "#fff", "stroke-width": 2}));
+  }
+}
+function drawRoutes() {
+  const g = map.querySelector("#routes");
+  g.innerHTML = "";
+  if (!lastRoutes) return;
+  const dash = {A: "", B: "8 3", C: "2 3", D: "12 4 2 4"};
+  for (const ap of lastRoutes.approaches) {
+    for (const r of ap.routes) {
+      const pts = r.points.map(p => project(p[0], p[1]).join(",")).join(" ");
+      g.appendChild(el("polyline", {
+        points: pts, fill: "none", stroke: COLORS[ap.label],
+        "stroke-width": 3, "stroke-opacity": 0.65,
+        "stroke-dasharray": dash[ap.label],
+      }));
+    }
+  }
+}
+map.addEventListener("click", ev => {
+  const r = map.getBoundingClientRect();
+  const pt = unproject(ev.clientX - r.left, ev.clientY - r.top);
+  if (!sPt) sPt = pt; else if (!tPt) tPt = pt; else { sPt = pt; tPt = null; }
+  drawMarkers();
+  status(sPt && tPt ? "Source and target set — press Compute." : "Now click the target.");
+});
+function status(msg) { document.getElementById("status").textContent = msg; }
+document.getElementById("compute").onclick = async () => {
+  if (!sPt || !tPt) { status("Pick source and target first."); return; }
+  status("Computing alternatives with all four approaches...");
+  const res = await fetch("/api/routes?city=" + cur.name +
+    "&s=" + sPt.join(",") + "&t=" + tPt.join(","));
+  if (!res.ok) { status("Error: " + (await res.json()).error); return; }
+  lastRoutes = await res.json();
+  drawRoutes();
+  const box = document.getElementById("approaches");
+  box.innerHTML = "";
+  for (const ap of lastRoutes.approaches) {
+    const div = document.createElement("div");
+    div.className = "approach";
+    let html = '<span class="swatch" style="background:' + COLORS[ap.label] + '"></span>' +
+      "<b>Approach " + ap.label + "</b> — " + ap.routes.length + " route(s)";
+    for (const r of ap.routes) {
+      html += '<div class="routeinfo">' + r.minutes + " min · " + r.km.toFixed(1) + " km</div>";
+    }
+    div.innerHTML = html;
+    box.appendChild(div);
+  }
+  status("Routes displayed. Rate each approach below.");
+};
+document.getElementById("clear").onclick = () => {
+  sPt = tPt = lastRoutes = null;
+  drawMarkers(); drawRoutes();
+  document.getElementById("approaches").innerHTML = "";
+  status("Cleared.");
+};
+function buildStars() {
+  const box = document.getElementById("stars");
+  box.innerHTML = "";
+  for (const label of ["A", "B", "C", "D"]) {
+    const row = document.createElement("div");
+    row.innerHTML = "Approach " + label + ': <input type="number" min="1" max="5" value="3" id="rate' + label + '">';
+    box.appendChild(row);
+  }
+}
+document.getElementById("submitRating").onclick = async () => {
+  if (!lastRoutes) { status("Compute routes before rating."); return; }
+  const ratings = ["A", "B", "C", "D"].map(l => +document.getElementById("rate" + l).value);
+  const res = await fetch("/api/rating", {
+    method: "POST",
+    headers: {"Content-Type": "application/json"},
+    body: JSON.stringify({
+      city: cur.name,
+      resident: document.getElementById("resident").checked,
+      ratings: ratings,
+      comment: document.getElementById("comment").value,
+    }),
+  });
+  status(res.ok ? "Thank you — rating recorded." : "Error: " + (await res.json()).error);
+};
+async function init() {
+  cities = await (await fetch("/api/cities")).json();
+  const sel = document.getElementById("city");
+  for (const c of cities) {
+    const opt = document.createElement("option");
+    opt.value = c.name; opt.textContent = c.name;
+    sel.appendChild(opt);
+  }
+  sel.onchange = async () => {
+    cur = cities.find(c => c.name === sel.value);
+    sPt = tPt = lastRoutes = null;
+    await loadNetwork();
+    drawMarkers();
+  };
+  cur = cities[0];
+  buildStars();
+  await loadNetwork();
+  status("Click the map to place the source.");
+}
+init();
+</script>
+</body>
+</html>
+`

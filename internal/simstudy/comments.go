@@ -1,0 +1,120 @@
+package simstudy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Comment generation. §IV-C quotes free-text feedback the study received —
+// "Approach C provides paths with less turns", "less zig-zag is better",
+// "highest rated path follows wide roads", "no route using Blackburn rd",
+// "I don't see these approaches as very distinct from each other." — and
+// uses it to identify the rating factors. The simulated participants leave
+// the same kinds of comments, triggered by the same feature patterns, so
+// the demo pipeline (collect → analyze) sees realistic free text.
+
+// displayLetters are the blinded approach names shown to participants.
+var displayLetters = [4]string{"A", "B", "C", "D"}
+
+// favoriteStreets seeds the "favorite route was missing" complaint, after
+// the study's "no route using Blackburn rd" example.
+var favoriteStreets = []string{
+	"Blackburn Rd", "High St", "Station Rd", "Mirpur Rd", "Airport Rd",
+	"Ring Rd", "Canal St", "Harbour Bridge", "Lake Rd", "University Ave",
+}
+
+// commentChance is the probability a participant leaves any comment;
+// real studies see sparse free-text feedback.
+const commentChance = 0.18
+
+// Comment returns a free-text remark for the response, or "" (most of the
+// time). feats holds the four approaches' features in display order A-D.
+func Comment(rng *rand.Rand, feats [4]Features) string {
+	if rng.Float64() > commentChance {
+		return ""
+	}
+	// Candidate remarks triggered by the route sets actually shown.
+	var candidates []string
+
+	// Indistinct approaches: all four sets look alike in stretch and turns.
+	if spread(feats, func(f Features) float64 { return f.StretchPublic }) < 0.04 &&
+		spread(feats, func(f Features) float64 { return f.TurnsPerKm }) < 0.4 {
+		candidates = append(candidates,
+			"I don't see these approaches as very distinct from each other.",
+			"finding it hard to rank the approaches since they all seem to be of similar quality")
+	}
+	// Fewest turns stands out.
+	if i, ok := argminBy(feats, func(f Features) float64 { return f.TurnsPerKm }, 0.8); ok {
+		candidates = append(candidates,
+			fmt.Sprintf("Approach %s provides paths with less turns", displayLetters[i]))
+	}
+	// Zig-zag annoyance: someone shows high turn density.
+	if maxBy(feats, func(f Features) float64 { return f.TurnsPerKm }) > 2.5 {
+		candidates = append(candidates, "less zig-zag is better")
+	}
+	// Wide roads praised.
+	if i, ok := argmaxBy(feats, func(f Features) float64 { return f.MeanLanes }, 0.3); ok {
+		_ = i
+		candidates = append(candidates, "highest rated path follows wide roads")
+	}
+	// Redundant routes.
+	if maxBy(feats, func(f Features) float64 { return f.SimT }) > 0.85 {
+		candidates = append(candidates, "two of the routes are basically the same road")
+	}
+	// The favorite-route complaint fires independently of features.
+	candidates = append(candidates,
+		fmt.Sprintf("no route using %s", favoriteStreets[rng.Intn(len(favoriteStreets))]))
+
+	return candidates[rng.Intn(len(candidates))]
+}
+
+func spread(feats [4]Features, get func(Features) float64) float64 {
+	lo, hi := get(feats[0]), get(feats[0])
+	for _, f := range feats[1:] {
+		v := get(f)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+func maxBy(feats [4]Features, get func(Features) float64) float64 {
+	m := get(feats[0])
+	for _, f := range feats[1:] {
+		if v := get(f); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// argminBy returns the index of the strict minimum if it beats the runner-
+// up by at least margin.
+func argminBy(feats [4]Features, get func(Features) float64, margin float64) (int, bool) {
+	best, bestV := 0, get(feats[0])
+	secondV := get(feats[1])
+	if secondV < bestV {
+		best, bestV, secondV = 1, secondV, bestV
+	}
+	for i := 1; i < 4; i++ {
+		v := get(feats[i])
+		if i == best {
+			continue
+		}
+		if v < bestV {
+			best, secondV, bestV = i, bestV, v
+		} else if v < secondV {
+			secondV = v
+		}
+	}
+	return best, secondV-bestV >= margin
+}
+
+func argmaxBy(feats [4]Features, get func(Features) float64, margin float64) (int, bool) {
+	neg := func(f Features) float64 { return -get(f) }
+	return argminBy(feats, neg, margin)
+}

@@ -1,0 +1,114 @@
+package simstudy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCommentRateIsSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	feats := [4]Features{}
+	for i := range feats {
+		feats[i] = Features{StretchPublic: 1.1, StretchPrivate: 1.1, TurnsPerKm: 1, MeanLanes: 1.5, NumRoutes: 3}
+	}
+	withComment := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if Comment(rng, feats) != "" {
+			withComment++
+		}
+	}
+	rate := float64(withComment) / n
+	if rate < 0.10 || rate > 0.28 {
+		t.Errorf("comment rate = %.3f, want near %.2f", rate, commentChance)
+	}
+}
+
+func TestCommentIndistinctApproaches(t *testing.T) {
+	// Nearly identical feature vectors across approaches must sometimes
+	// produce the "not very distinct" remark the paper quotes.
+	rng := rand.New(rand.NewSource(2))
+	var feats [4]Features
+	for i := range feats {
+		feats[i] = Features{StretchPublic: 1.10, TurnsPerKm: 1.0, MeanLanes: 1.5, NumRoutes: 3}
+	}
+	found := false
+	for i := 0; i < 3000 && !found; i++ {
+		c := Comment(rng, feats)
+		if strings.Contains(c, "distinct") || strings.Contains(c, "similar quality") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("indistinct route sets never triggered the 'not distinct' comment")
+	}
+}
+
+func TestCommentFewTurnsNamesTheRightApproach(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var feats [4]Features
+	for i := range feats {
+		feats[i] = Features{StretchPublic: 1.2 + 0.1*float64(i), TurnsPerKm: 4, MeanLanes: 1.5, NumRoutes: 3}
+	}
+	feats[2].TurnsPerKm = 0.5 // approach C clearly has fewest turns
+	found := false
+	for i := 0; i < 3000 && !found; i++ {
+		if strings.Contains(Comment(rng, feats), "Approach C provides paths with less turns") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("clear fewest-turns approach never named in a comment")
+	}
+	// No other approach is ever credited.
+	for i := 0; i < 3000; i++ {
+		c := Comment(rng, feats)
+		for _, wrong := range []string{"Approach A provides", "Approach B provides", "Approach D provides"} {
+			if strings.Contains(c, wrong) {
+				t.Fatalf("wrong approach credited: %q", c)
+			}
+		}
+	}
+}
+
+func TestCommentFavoriteStreet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var feats [4]Features
+	for i := range feats {
+		feats[i] = Features{StretchPublic: 1.2 + 0.2*float64(i), TurnsPerKm: 1 + float64(i), MeanLanes: 1.5, NumRoutes: 3}
+	}
+	found := false
+	for i := 0; i < 3000 && !found; i++ {
+		if strings.Contains(Comment(rng, feats), "no route using") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the favorite-route complaint never appeared")
+	}
+}
+
+func TestCommentZigZagAndDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var feats [4]Features
+	for i := range feats {
+		feats[i] = Features{StretchPublic: 1.3, TurnsPerKm: 3.5, SimT: 0.95, MeanLanes: 1, NumRoutes: 3}
+	}
+	sawZig, sawDup := false, false
+	for i := 0; i < 5000 && !(sawZig && sawDup); i++ {
+		c := Comment(rng, feats)
+		if strings.Contains(c, "zig-zag") {
+			sawZig = true
+		}
+		if strings.Contains(c, "same road") {
+			sawDup = true
+		}
+	}
+	if !sawZig {
+		t.Error("high turn density never triggered the zig-zag comment")
+	}
+	if !sawDup {
+		t.Error("near-duplicate routes never triggered the same-road comment")
+	}
+}

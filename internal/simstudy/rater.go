@@ -1,0 +1,176 @@
+package simstudy
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// Features are the objective properties of one approach's route set that
+// drive a simulated participant's perceived quality. They correspond to
+// the factors the paper's participants mentioned (§IV-C): apparent
+// detours, redundant (too similar) routes, zig-zag routes, and too few
+// options.
+type Features struct {
+	// StretchPublic is the mean ratio of route travel time to the fastest
+	// travel time, both under the public OSM weights — what the routes
+	// *look like* on the map.
+	StretchPublic float64
+	// StretchPrivate is the same ratio under the provider-independent
+	// "real traffic" weights — how the routes actually drive. Residents
+	// know their roads, so their perception mixes this in.
+	StretchPrivate float64
+	// SimT is Eq. (1) of the paper: max pairwise similarity of the set.
+	SimT float64
+	// TurnsPerKm is the mean significant-turn density over the set.
+	TurnsPerKm float64
+	// MeanLanes is the length-weighted mean lane count over the set — the
+	// "wider roads" signal of §IV-C.
+	MeanLanes float64
+	// NumRoutes is the number of routes displayed (1..3).
+	NumRoutes int
+}
+
+// ExtractFeatures computes Features for one approach's route set.
+// fastestPublic/fastestPrivate are the s–t fastest travel times under each
+// weight vector; private is the real-traffic weight vector.
+func ExtractFeatures(g *graph.Graph, private []float64, routes []path.Path, fastestPublic, fastestPrivate float64) Features {
+	f := Features{NumRoutes: len(routes)}
+	if len(routes) == 0 || fastestPublic <= 0 || fastestPrivate <= 0 {
+		return f
+	}
+	// Participants look mostly at the primary route; alternatives carry
+	// progressively less weight in the perceived quality.
+	rankWeight := [3]float64{0.5, 0.3, 0.2}
+	var sumPub, sumPriv, wsum, turns, km, lanes float64
+	for i, r := range routes {
+		w := 0.2
+		if i < len(rankWeight) {
+			w = rankWeight[i]
+		}
+		sumPub += w * r.TimeS / fastestPublic
+		sumPriv += w * r.TimeUnder(private) / fastestPrivate
+		wsum += w
+		turns += float64(path.TurnCount(g, r, 45))
+		km += r.LengthM / 1000
+		lanes += path.MeanLanes(g, r)
+	}
+	f.StretchPublic = sumPub / wsum
+	f.StretchPrivate = sumPriv / wsum
+	f.MeanLanes = lanes / float64(len(routes))
+	if km > 0 {
+		f.TurnsPerKm = turns / km
+	}
+	f.SimT = path.SimT(g, routes)
+	return f
+}
+
+// RaterParams are the coefficients of the perceived-quality model. The
+// defaults are calibrated so the aggregate statistics land in the paper's
+// regime: cell means ≈ 3.0–3.7, standard deviations ≈ 1.3, and one-way
+// ANOVA p-values above 0.05.
+type RaterParams struct {
+	Base          float64 // baseline score for a perfect route set
+	WStretch      float64 // penalty per unit of mean stretch above 1
+	WSim          float64 // penalty per unit of Sim(T)
+	WTurns        float64 // penalty per turn/km
+	WFewRoutes    float64 // penalty per missing route below 3
+	ResidentTrust float64 // residents' weight on real-traffic stretch (0..1)
+	// NonResStretchBoost scales the stretch penalty for non-residents:
+	// with no local knowledge, apparent detours on the map are judged more
+	// harshly (§IV-C "Apparent detours that are not").
+	NonResStretchBoost float64
+	NoiseSD            float64 // sd of the participant's taste noise
+}
+
+// DefaultRaterParams returns the calibrated coefficients.
+func DefaultRaterParams() RaterParams {
+	return RaterParams{
+		Base:          4.15,
+		WStretch:      2.8,
+		WSim:          0.55,
+		WTurns:        0.06,
+		WFewRoutes:    0.12,
+		ResidentTrust:      0.55,
+		NonResStretchBoost: 1.45,
+		NoiseSD:            1.45,
+	}
+}
+
+// Rater is one simulated participant.
+type Rater struct {
+	rng      *rand.Rand
+	resident bool
+	params   RaterParams
+	// personal leniency: some participants rate everything higher/lower,
+	// matching the per-respondent correlation in real rating data.
+	leniency float64
+}
+
+// NewRater creates a participant. Residents judge routes partly by how
+// they actually drive (private/traffic data); non-residents judge purely
+// by map appearance (public data) — the mechanism behind the paper's
+// observation that Google Maps "consistently received lower mean ratings
+// from non-residents".
+func NewRater(rng *rand.Rand, resident bool, params RaterParams) *Rater {
+	return &Rater{
+		rng:      rng,
+		resident: resident,
+		params:   params,
+		leniency: rng.NormFloat64() * 0.35,
+	}
+}
+
+// Rate scores one approach's route set on the study's 1–5 scale.
+func (r *Rater) Rate(f Features) int {
+	p := r.params
+	if f.NumRoutes == 0 {
+		return 1
+	}
+	stretch := f.StretchPublic
+	wStretch := p.WStretch
+	if r.resident {
+		stretch = (1-p.ResidentTrust)*f.StretchPublic + p.ResidentTrust*f.StretchPrivate
+	} else if p.NonResStretchBoost > 0 {
+		wStretch *= p.NonResStretchBoost
+	}
+	score := p.Base
+	if stretch > 1 {
+		score -= wStretch * (stretch - 1)
+	}
+	score -= p.WSim * f.SimT
+	score -= p.WTurns * f.TurnsPerKm
+	if f.NumRoutes < 3 {
+		score -= p.WFewRoutes * float64(3-f.NumRoutes)
+	}
+	score += r.leniency + r.rng.NormFloat64()*p.NoiseSD
+	return clampRating(score)
+}
+
+func clampRating(score float64) int {
+	v := int(math.Round(score))
+	if v < 1 {
+		return 1
+	}
+	if v > 5 {
+		return 5
+	}
+	return v
+}
+
+// Response is one submitted feedback form: a rating per approach, in the
+// study's blinded display order A–D (A: Google Maps / Commercial,
+// B: Plateaus, C: Dissimilarity, D: Penalty).
+type Response struct {
+	Cell
+	FastestMin float64
+	Ratings    [4]int
+	// Comment is the participant's optional free-text remark ("" for most
+	// responses), generated by Comment from the same route features.
+	Comment string
+}
+
+// ApproachNames lists the four approaches in Table I column order.
+var ApproachNames = [4]string{"GMaps", "Plateaus", "Dissimilarity", "Penalty"}

@@ -1,0 +1,127 @@
+// Package simstudy simulates the paper's 520-participant user study.
+//
+// Human ratings cannot be mechanically reproduced, so this package
+// substitutes a behavioural rater model (see rater.go) driven by objective
+// route features, and replays the paper's exact response schedule: how
+// many responses each (city, residency, route-length band) cell received.
+// The downstream statistical pipeline — per-cell means, standard
+// deviations and one-way ANOVA — is identical to the paper's.
+package simstudy
+
+// Band is a route-length stratum defined by the fastest travel time
+// between source and target (Table I): Small (0,10] min, Medium
+// (10,25] min ((10,20] for Dhaka), Long (25,80] min ((20,80] for Dhaka).
+type Band int
+
+// Route-length bands in the paper's order.
+const (
+	Small Band = iota
+	Medium
+	Long
+	NumBands
+)
+
+// String implements fmt.Stringer.
+func (b Band) String() string {
+	switch b {
+	case Small:
+		return "Small"
+	case Medium:
+		return "Medium"
+	case Long:
+		return "Long"
+	default:
+		return "?"
+	}
+}
+
+// Cell identifies one stratum of the response schedule.
+type Cell struct {
+	City     string
+	Resident bool
+	Band     Band
+}
+
+// CellCount is a cell together with its response count.
+type CellCount struct {
+	Cell
+	N int
+}
+
+// PaperSchedule returns the exact response counts of the paper's Table I:
+// 520 responses total — Melbourne 237 (156 residents), Dhaka 155 (112),
+// Copenhagen 128 (66) — broken down by route-length band.
+func PaperSchedule() []CellCount {
+	mk := func(city string, resident bool, small, medium, long int) []CellCount {
+		return []CellCount{
+			{Cell{city, resident, Small}, small},
+			{Cell{city, resident, Medium}, medium},
+			{Cell{city, resident, Long}, long},
+		}
+	}
+	var out []CellCount
+	out = append(out, mk("Melbourne", true, 37, 82, 37)...)
+	out = append(out, mk("Melbourne", false, 26, 28, 27)...)
+	out = append(out, mk("Dhaka", true, 53, 48, 11)...)
+	out = append(out, mk("Dhaka", false, 5, 15, 23)...)
+	out = append(out, mk("Copenhagen", true, 20, 37, 9)...)
+	out = append(out, mk("Copenhagen", false, 2, 36, 24)...)
+	return out
+}
+
+// ScaledSchedule returns PaperSchedule with every cell count multiplied by
+// frac (minimum 1 response per cell) — used to keep test runs fast while
+// exercising the full pipeline.
+func ScaledSchedule(frac float64) []CellCount {
+	sched := PaperSchedule()
+	for i := range sched {
+		n := int(float64(sched[i].N)*frac + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		sched[i].N = n
+	}
+	return sched
+}
+
+// TotalResponses sums the schedule's counts.
+func TotalResponses(sched []CellCount) int {
+	total := 0
+	for _, c := range sched {
+		total += c.N
+	}
+	return total
+}
+
+// BandBounds returns the band's (lo, hi] boundaries in minutes of fastest
+// travel time for the given city. Dhaka uses a 20-minute medium/long split
+// (Table I); the other cities use 25.
+func BandBounds(city string, b Band) (lo, hi float64) {
+	split := 25.0
+	if city == "Dhaka" {
+		split = 20.0
+	}
+	switch b {
+	case Small:
+		return 0, 10
+	case Medium:
+		return 10, split
+	default:
+		return split, 80
+	}
+}
+
+// BandOf classifies a fastest travel time (minutes) into a band, or
+// ok=false if it exceeds the study's 80-minute cap.
+func BandOf(city string, fastestMin float64) (Band, bool) {
+	if fastestMin <= 0 || fastestMin > 80 {
+		return 0, false
+	}
+	for b := Small; b < NumBands; b++ {
+		lo, hi := BandBounds(city, b)
+		if fastestMin > lo && fastestMin <= hi {
+			return b, true
+		}
+	}
+	return 0, false
+}

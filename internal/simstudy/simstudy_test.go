@@ -1,0 +1,235 @@
+package simstudy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/stats"
+)
+
+func TestPaperScheduleTotals(t *testing.T) {
+	sched := PaperSchedule()
+	if got := TotalResponses(sched); got != 520 {
+		t.Fatalf("total responses = %d, want 520", got)
+	}
+	byCity := map[string]int{}
+	residents := 0
+	for _, c := range sched {
+		byCity[c.City] += c.N
+		if c.Resident {
+			residents += c.N
+		}
+	}
+	if byCity["Melbourne"] != 237 || byCity["Dhaka"] != 155 || byCity["Copenhagen"] != 128 {
+		t.Errorf("per-city totals = %v, want 237/155/128", byCity)
+	}
+	if residents != 334 {
+		t.Errorf("residents = %d, want 334", residents)
+	}
+	// Band totals across cities: 143 small, 246 medium, 131 long.
+	byBand := map[Band]int{}
+	for _, c := range sched {
+		byBand[c.Band] += c.N
+	}
+	if byBand[Small] != 143 || byBand[Medium] != 246 || byBand[Long] != 131 {
+		t.Errorf("band totals = %v, want 143/246/131", byBand)
+	}
+}
+
+func TestScaledSchedule(t *testing.T) {
+	half := ScaledSchedule(0.5)
+	full := PaperSchedule()
+	for i := range half {
+		if half[i].N < 1 {
+			t.Errorf("cell %v scaled to %d, want ≥1", half[i].Cell, half[i].N)
+		}
+		if half[i].N > full[i].N {
+			t.Errorf("cell %v scaled up: %d > %d", half[i].Cell, half[i].N, full[i].N)
+		}
+	}
+	tiny := ScaledSchedule(0.001)
+	for _, c := range tiny {
+		if c.N != 1 {
+			t.Errorf("tiny scale cell %v = %d, want 1", c.Cell, c.N)
+		}
+	}
+}
+
+func TestBandBoundsAndClassification(t *testing.T) {
+	// Dhaka splits medium/long at 20 minutes, others at 25.
+	if _, hi := BandBounds("Dhaka", Medium); hi != 20 {
+		t.Errorf("Dhaka medium hi = %f, want 20", hi)
+	}
+	if _, hi := BandBounds("Melbourne", Medium); hi != 25 {
+		t.Errorf("Melbourne medium hi = %f, want 25", hi)
+	}
+	cases := []struct {
+		city string
+		min  float64
+		want Band
+		ok   bool
+	}{
+		{"Melbourne", 5, Small, true},
+		{"Melbourne", 10, Small, true},
+		{"Melbourne", 10.01, Medium, true},
+		{"Melbourne", 25, Medium, true},
+		{"Melbourne", 25.01, Long, true},
+		{"Melbourne", 80, Long, true},
+		{"Melbourne", 80.5, 0, false},
+		{"Melbourne", 0, 0, false},
+		{"Dhaka", 22, Long, true},
+		{"Dhaka", 19, Medium, true},
+		{"Copenhagen", 30, Long, true},
+	}
+	for _, c := range cases {
+		got, ok := BandOf(c.city, c.min)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("BandOf(%s, %.2f) = %v,%v want %v,%v", c.city, c.min, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBandString(t *testing.T) {
+	if Small.String() != "Small" || Medium.String() != "Medium" || Long.String() != "Long" {
+		t.Error("band names wrong")
+	}
+	if Band(9).String() != "?" {
+		t.Error("unknown band should render as ?")
+	}
+}
+
+// featureGraph builds a short two-route corridor for feature extraction.
+func featureGraph(t *testing.T) (*graph.Graph, path.Path, path.Path) {
+	t.Helper()
+	b := graph.NewBuilder(6, 0)
+	o := geo.Point{Lat: 0, Lon: 0}
+	n0 := b.AddNode(o)
+	n1 := b.AddNode(geo.Offset(o, 0, 1000))
+	n2 := b.AddNode(geo.Offset(o, 0, 2000))
+	n3 := b.AddNode(geo.Offset(o, 800, 500))
+	n4 := b.AddNode(geo.Offset(o, 800, 1500))
+	b.AddEdge(graph.EdgeSpec{From: n0, To: n1, Class: graph.Primary, TwoWay: true})
+	b.AddEdge(graph.EdgeSpec{From: n1, To: n2, Class: graph.Primary, TwoWay: true})
+	b.AddEdge(graph.EdgeSpec{From: n0, To: n3, Class: graph.Residential, TwoWay: true})
+	b.AddEdge(graph.EdgeSpec{From: n3, To: n4, Class: graph.Residential, TwoWay: true})
+	b.AddEdge(graph.EdgeSpec{From: n4, To: n2, Class: graph.Residential, TwoWay: true})
+	g := b.Build()
+	w := g.CopyWeights()
+	direct := path.MustNew(g, w, n0, []graph.EdgeID{0, 2})
+	detour := path.MustNew(g, w, n0, []graph.EdgeID{g.FindEdge(n0, n3), g.FindEdge(n3, n4), g.FindEdge(n4, n2)})
+	return g, direct, detour
+}
+
+func TestExtractFeatures(t *testing.T) {
+	g, direct, detour := featureGraph(t)
+	private := g.CopyWeights() // same data: stretches agree
+	fast := direct.TimeS
+	f := ExtractFeatures(g, private, []path.Path{direct, detour}, fast, fast)
+	if f.NumRoutes != 2 {
+		t.Errorf("NumRoutes = %d, want 2", f.NumRoutes)
+	}
+	if f.StretchPublic <= 1 {
+		t.Errorf("mean stretch with a detour route should exceed 1, got %f", f.StretchPublic)
+	}
+	if math.Abs(f.StretchPublic-f.StretchPrivate) > 1e-9 {
+		t.Errorf("same data should give equal stretches: %f vs %f", f.StretchPublic, f.StretchPrivate)
+	}
+	if f.SimT != 0 {
+		t.Errorf("disjoint routes SimT = %f, want 0", f.SimT)
+	}
+	if f.TurnsPerKm <= 0 {
+		t.Errorf("detour route should contribute turns, got %f", f.TurnsPerKm)
+	}
+	// Empty set.
+	f = ExtractFeatures(g, private, nil, fast, fast)
+	if f.NumRoutes != 0 || f.StretchPublic != 0 {
+		t.Errorf("empty set features = %+v", f)
+	}
+}
+
+func TestRaterRatingRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRater(rng, true, DefaultRaterParams())
+	for i := 0; i < 1000; i++ {
+		f := Features{
+			StretchPublic:  1 + rng.Float64(),
+			StretchPrivate: 1 + rng.Float64(),
+			SimT:           rng.Float64(),
+			TurnsPerKm:     rng.Float64() * 5,
+			NumRoutes:      1 + rng.Intn(3),
+		}
+		if v := r.Rate(f); v < 1 || v > 5 {
+			t.Fatalf("rating %d out of 1..5", v)
+		}
+	}
+	if v := r.Rate(Features{}); v != 1 {
+		t.Errorf("zero-route set rating = %d, want 1", v)
+	}
+}
+
+func TestRaterPrefersBetterRoutes(t *testing.T) {
+	// Averaged over many raters, a perfect set must outrate a poor set.
+	params := DefaultRaterParams()
+	good := Features{StretchPublic: 1.02, StretchPrivate: 1.02, SimT: 0.1, TurnsPerKm: 0.5, NumRoutes: 3}
+	bad := Features{StretchPublic: 1.6, StretchPrivate: 1.6, SimT: 0.9, TurnsPerKm: 4, NumRoutes: 1}
+	rng := rand.New(rand.NewSource(2))
+	var sumGood, sumBad float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		r := NewRater(rng, false, params)
+		sumGood += float64(r.Rate(good))
+		sumBad += float64(r.Rate(bad))
+	}
+	if sumGood/n <= sumBad/n+0.5 {
+		t.Errorf("good set mean %.2f should clearly exceed bad set mean %.2f", sumGood/n, sumBad/n)
+	}
+}
+
+func TestResidencyShapesPerception(t *testing.T) {
+	// A set that drives well in real traffic but looks slow on the map
+	// (the commercial provider's routes under OSM data) must be rated
+	// higher by residents than by non-residents, on average.
+	params := DefaultRaterParams()
+	f := Features{StretchPublic: 1.35, StretchPrivate: 1.02, SimT: 0.3, TurnsPerKm: 1, NumRoutes: 3}
+	rng := rand.New(rand.NewSource(3))
+	var sumRes, sumNon float64
+	const n = 6000
+	for i := 0; i < n; i++ {
+		sumRes += float64(NewRater(rng, true, params).Rate(f))
+		sumNon += float64(NewRater(rng, false, params).Rate(f))
+	}
+	if (sumRes-sumNon)/n < 0.2 {
+		t.Errorf("resident mean %.3f should exceed non-resident %.3f by ≥0.2",
+			sumRes/n, sumNon/n)
+	}
+}
+
+func TestRatingsDistributionMatchesPaperRegime(t *testing.T) {
+	// Typical feature values must produce means ≈3.0–3.8 and sd ≈1.1–1.5,
+	// the regime of every cell in the paper's Table I.
+	params := DefaultRaterParams()
+	f := Features{StretchPublic: 1.18, StretchPrivate: 1.15, SimT: 0.35, TurnsPerKm: 1.5, NumRoutes: 3}
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = float64(NewRater(rng, i%2 == 0, params).Rate(f))
+	}
+	m, sd := stats.Mean(xs), stats.StdDev(xs)
+	if m < 3.0 || m > 3.8 {
+		t.Errorf("mean rating %.3f outside the paper's regime [3.0, 3.8]", m)
+	}
+	if sd < 1.1 || sd > 1.5 {
+		t.Errorf("rating sd %.3f outside the paper's regime [1.1, 1.5]", sd)
+	}
+}
+
+func TestApproachNamesOrder(t *testing.T) {
+	want := [4]string{"GMaps", "Plateaus", "Dissimilarity", "Penalty"}
+	if ApproachNames != want {
+		t.Errorf("ApproachNames = %v, want %v (Table I column order)", ApproachNames, want)
+	}
+}

@@ -1,0 +1,351 @@
+// Package sp implements the shortest-path machinery all alternative-route
+// techniques are built on: Dijkstra's algorithm, full shortest-path trees
+// in both directions (the substrate of the Plateaus and Dissimilarity
+// techniques), bidirectional Dijkstra, and A* with a haversine potential.
+//
+// All searches take an explicit weight slice indexed by EdgeID so that the
+// Penalty technique and the traffic simulation can run on perturbed
+// weights without copying the graph.
+package sp
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+// Direction selects whether a tree grows along edges (Forward, rooted at a
+// source) or against them (Backward, rooted at a target).
+type Direction uint8
+
+// Tree growth directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Tree is a complete shortest-path tree: for every node, the distance from
+// (Forward) or to (Backward) the root, and the tree edge through which the
+// node is reached.
+type Tree struct {
+	Root   graph.NodeID
+	Dir    Direction
+	Dist   []float64      // Dist[v] = shortest travel time root→v (or v→root)
+	Parent []graph.EdgeID // Parent[v] = tree edge into v (Forward) / out of v (Backward); -1 at root and unreachable nodes
+}
+
+// Reached reports whether v is reachable from/to the root.
+func (t *Tree) Reached(v graph.NodeID) bool {
+	return !math.IsInf(t.Dist[v], 1)
+}
+
+// PathTo reconstructs the shortest path between the root and v as an edge
+// sequence. For Forward trees the edges run root→v; for Backward trees they
+// run v→root. It returns nil if v is unreachable.
+func (t *Tree) PathTo(g *graph.Graph, v graph.NodeID) []graph.EdgeID {
+	if !t.Reached(v) {
+		return nil
+	}
+	if v == t.Root {
+		return []graph.EdgeID{}
+	}
+	var edges []graph.EdgeID
+	cur := v
+	for cur != t.Root {
+		e := t.Parent[cur]
+		if e < 0 {
+			return nil // defensive: broken tree
+		}
+		edges = append(edges, e)
+		if t.Dir == Forward {
+			cur = g.Edge(e).From
+		} else {
+			cur = g.Edge(e).To
+		}
+	}
+	if t.Dir == Forward {
+		reverse(edges)
+	}
+	return edges
+}
+
+func reverse(e []graph.EdgeID) {
+	for i, j := 0, len(e)-1; i < j; i, j = i+1, j-1 {
+		e[i], e[j] = e[j], e[i]
+	}
+}
+
+// BuildTree runs a full Dijkstra from root over the whole graph and returns
+// the shortest-path tree. weights must have one entry per edge; pass
+// g.CopyWeights() (or a perturbed copy) to choose the metric.
+func BuildTree(g *graph.Graph, weights []float64, root graph.NodeID, dir Direction) *Tree {
+	n := g.NumNodes()
+	t := &Tree{
+		Root:   root,
+		Dir:    dir,
+		Dist:   make([]float64, n),
+		Parent: make([]graph.EdgeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Parent[i] = -1
+	}
+	t.Dist[root] = 0
+	h := newNodeHeap(64)
+	h.Push(root, 0)
+	settled := make([]bool, n)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		var adj []graph.EdgeID
+		if dir == Forward {
+			adj = g.OutEdges(u)
+		} else {
+			adj = g.InEdges(u)
+		}
+		for _, e := range adj {
+			var v graph.NodeID
+			if dir == Forward {
+				v = g.Edge(e).To
+			} else {
+				v = g.Edge(e).From
+			}
+			if nd := du + weights[e]; nd < t.Dist[v] {
+				t.Dist[v] = nd
+				t.Parent[v] = e
+				h.Push(v, nd)
+			}
+		}
+	}
+	return t
+}
+
+// ShortestPath runs a target-pruned Dijkstra from s and returns the
+// shortest s→t path as an edge sequence plus its travel time. It returns
+// (nil, +Inf) when t is unreachable from s.
+func ShortestPath(g *graph.Graph, weights []float64, s, t graph.NodeID) ([]graph.EdgeID, float64) {
+	if s == t {
+		return []graph.EdgeID{}, 0
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]graph.EdgeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[s] = 0
+	h := newNodeHeap(64)
+	h.Push(s, 0)
+	settled := make([]bool, n)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if settled[u] {
+			continue
+		}
+		if u == t {
+			break
+		}
+		settled[u] = true
+		for _, e := range g.OutEdges(u) {
+			v := g.Edge(e).To
+			if nd := du + weights[e]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = e
+				h.Push(v, nd)
+			}
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return nil, math.Inf(1)
+	}
+	edges := make([]graph.EdgeID, 0, 32)
+	for cur := t; cur != s; {
+		e := parent[cur]
+		edges = append(edges, e)
+		cur = g.Edge(e).From
+	}
+	reverse(edges)
+	return edges, dist[t]
+}
+
+// BidirectionalShortestPath computes the shortest s→t path by running
+// alternating forward and backward Dijkstra searches that meet in the
+// middle. Returns the same result as ShortestPath but typically settles
+// far fewer nodes on road networks.
+func BidirectionalShortestPath(g *graph.Graph, weights []float64, s, t graph.NodeID) ([]graph.EdgeID, float64) {
+	if s == t {
+		return []graph.EdgeID{}, 0
+	}
+	n := g.NumNodes()
+	distF := make([]float64, n)
+	distB := make([]float64, n)
+	parF := make([]graph.EdgeID, n)
+	parB := make([]graph.EdgeID, n)
+	for i := 0; i < n; i++ {
+		distF[i] = math.Inf(1)
+		distB[i] = math.Inf(1)
+		parF[i] = -1
+		parB[i] = -1
+	}
+	distF[s], distB[t] = 0, 0
+	hf, hb := newNodeHeap(64), newNodeHeap(64)
+	hf.Push(s, 0)
+	hb.Push(t, 0)
+	setF := make([]bool, n)
+	setB := make([]bool, n)
+
+	best := math.Inf(1)
+	var meet graph.NodeID = graph.InvalidNode
+
+	relaxMeeting := func(v graph.NodeID) {
+		if !math.IsInf(distF[v], 1) && !math.IsInf(distB[v], 1) {
+			if d := distF[v] + distB[v]; d < best {
+				best = d
+				meet = v
+			}
+		}
+	}
+
+	for hf.Len() > 0 || hb.Len() > 0 {
+		// Stop when the frontiers can no longer improve the best meeting.
+		topF, topB := math.Inf(1), math.Inf(1)
+		if hf.Len() > 0 {
+			topF = hf.prios[0]
+		}
+		if hb.Len() > 0 {
+			topB = hb.prios[0]
+		}
+		if topF+topB >= best {
+			break
+		}
+		// Expand the smaller frontier.
+		if topF <= topB && hf.Len() > 0 {
+			u, du := hf.Pop()
+			if setF[u] {
+				continue
+			}
+			setF[u] = true
+			for _, e := range g.OutEdges(u) {
+				v := g.Edge(e).To
+				if nd := du + weights[e]; nd < distF[v] {
+					distF[v] = nd
+					parF[v] = e
+					hf.Push(v, nd)
+					relaxMeeting(v)
+				}
+			}
+		} else if hb.Len() > 0 {
+			u, du := hb.Pop()
+			if setB[u] {
+				continue
+			}
+			setB[u] = true
+			for _, e := range g.InEdges(u) {
+				v := g.Edge(e).From
+				if nd := du + weights[e]; nd < distB[v] {
+					distB[v] = nd
+					parB[v] = e
+					hb.Push(v, nd)
+					relaxMeeting(v)
+				}
+			}
+		}
+	}
+	if meet == graph.InvalidNode {
+		return nil, math.Inf(1)
+	}
+	// Stitch s→meet from the forward search with meet→t from the backward one.
+	var edges []graph.EdgeID
+	for cur := meet; cur != s; {
+		e := parF[cur]
+		edges = append(edges, e)
+		cur = g.Edge(e).From
+	}
+	reverse(edges)
+	for cur := meet; cur != t; {
+		e := parB[cur]
+		edges = append(edges, e)
+		cur = g.Edge(e).To
+	}
+	return edges, best
+}
+
+// AStarShortestPath computes the shortest s→t path using A* with an
+// admissible haversine/TopSpeed potential. minSecondsPerMeter must be a
+// lower bound on weight/length over all edges (see MinSecondsPerMeter);
+// passing 0 disables the heuristic, degrading to plain Dijkstra.
+func AStarShortestPath(g *graph.Graph, weights []float64, s, t graph.NodeID, minSecondsPerMeter float64) ([]graph.EdgeID, float64) {
+	if s == t {
+		return []graph.EdgeID{}, 0
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]graph.EdgeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	target := g.Point(t)
+	h := func(v graph.NodeID) float64 {
+		return geo.Haversine(g.Point(v), target) * minSecondsPerMeter
+	}
+	dist[s] = 0
+	pq := newNodeHeap(64)
+	pq.Push(s, h(s))
+	settled := make([]bool, n)
+	for pq.Len() > 0 {
+		u, _ := pq.Pop()
+		if settled[u] {
+			continue
+		}
+		if u == t {
+			break
+		}
+		settled[u] = true
+		du := dist[u]
+		for _, e := range g.OutEdges(u) {
+			v := g.Edge(e).To
+			if nd := du + weights[e]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = e
+				pq.Push(v, nd+h(v))
+			}
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return nil, math.Inf(1)
+	}
+	edges := make([]graph.EdgeID, 0, 32)
+	for cur := t; cur != s; {
+		e := parent[cur]
+		edges = append(edges, e)
+		cur = g.Edge(e).From
+	}
+	reverse(edges)
+	return edges, dist[t]
+}
+
+// MinSecondsPerMeter returns the smallest weight/length ratio over all
+// edges, the admissible A* potential scale for the given weights. It
+// returns 0 for an edgeless graph.
+func MinSecondsPerMeter(g *graph.Graph, weights []float64) float64 {
+	minRatio := math.Inf(1)
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.LengthM <= 0 {
+			continue
+		}
+		if r := weights[e] / ed.LengthM; r < minRatio {
+			minRatio = r
+		}
+	}
+	if math.IsInf(minRatio, 1) {
+		return 0
+	}
+	return minRatio
+}

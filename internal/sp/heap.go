@@ -1,0 +1,70 @@
+package sp
+
+import "repro/internal/graph"
+
+// nodeHeap is a binary min-heap of (node, priority) pairs with lazy
+// duplicates: decrease-key is implemented by pushing again and skipping
+// already-settled nodes on pop. This is the standard approach for Dijkstra
+// on sparse road networks and avoids the bookkeeping of an indexed heap.
+type nodeHeap struct {
+	nodes []graph.NodeID
+	prios []float64
+}
+
+func newNodeHeap(capHint int) *nodeHeap {
+	return &nodeHeap{
+		nodes: make([]graph.NodeID, 0, capHint),
+		prios: make([]float64, 0, capHint),
+	}
+}
+
+func (h *nodeHeap) Len() int { return len(h.nodes) }
+
+func (h *nodeHeap) Push(v graph.NodeID, prio float64) {
+	h.nodes = append(h.nodes, v)
+	h.prios = append(h.prios, prio)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prios[parent] <= h.prios[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nodeHeap) Pop() (graph.NodeID, float64) {
+	v, p := h.nodes[0], h.prios[0]
+	last := len(h.nodes) - 1
+	h.nodes[0], h.prios[0] = h.nodes[last], h.prios[last]
+	h.nodes = h.nodes[:last]
+	h.prios = h.prios[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.prios[l] < h.prios[smallest] {
+			smallest = l
+		}
+		if r < last && h.prios[r] < h.prios[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return v, p
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.prios[i], h.prios[j] = h.prios[j], h.prios[i]
+}
+
+func (h *nodeHeap) Reset() {
+	h.nodes = h.nodes[:0]
+	h.prios = h.prios[:0]
+}

@@ -1,0 +1,94 @@
+package sp
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+// BuildPrunedTree builds a partial shortest-path tree for a known s-t
+// query, exploring only the "ellipse" of nodes that can lie on a path
+// within maxCost: a node v enters the tree only if dist(root, v) plus an
+// admissible lower bound on the remaining distance to the other endpoint
+// stays within maxCost.
+//
+// This is the optimisation §II-B of the paper describes for Choice
+// Routing: "the trees will explore roughly elliptical areas with A and B
+// as the foci of the ellipse. These trees must still cover all feasible
+// routes... and so when they are combined, they still yield the same
+// choice routes." Within the maxCost budget the pruned tree's distances
+// equal the full tree's, so plateaus for routes under the alternative-
+// route upper bound are preserved exactly.
+//
+// other is the query's other endpoint (t for a Forward tree rooted at s);
+// minSecondsPerMeter scales the haversine lower bound and must satisfy
+// weight(e) ≥ minSecondsPerMeter × length(e) for every edge (see
+// MinSecondsPerMeter). Unreached nodes keep Dist = +Inf.
+func BuildPrunedTree(g *graph.Graph, weights []float64, root graph.NodeID, dir Direction, other graph.NodeID, maxCost, minSecondsPerMeter float64) *Tree {
+	n := g.NumNodes()
+	t := &Tree{
+		Root:   root,
+		Dir:    dir,
+		Dist:   make([]float64, n),
+		Parent: make([]graph.EdgeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Parent[i] = -1
+	}
+	otherPt := g.Point(other)
+	bound := func(v graph.NodeID) float64 {
+		return geo.Haversine(g.Point(v), otherPt) * minSecondsPerMeter
+	}
+	t.Dist[root] = 0
+	h := newNodeHeap(64)
+	h.Push(root, 0)
+	settled := make([]bool, n)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if settled[u] {
+			continue
+		}
+		if du > maxCost {
+			break
+		}
+		settled[u] = true
+		var adj []graph.EdgeID
+		if dir == Forward {
+			adj = g.OutEdges(u)
+		} else {
+			adj = g.InEdges(u)
+		}
+		for _, e := range adj {
+			var v graph.NodeID
+			if dir == Forward {
+				v = g.Edge(e).To
+			} else {
+				v = g.Edge(e).From
+			}
+			nd := du + weights[e]
+			if nd+bound(v) > maxCost {
+				continue // outside the ellipse
+			}
+			if nd < t.Dist[v] {
+				t.Dist[v] = nd
+				t.Parent[v] = e
+				h.Push(v, nd)
+			}
+		}
+	}
+	return t
+}
+
+// CountReached returns how many nodes a tree reaches — a measure of how
+// much work the ellipse pruning saved.
+func CountReached(t *Tree) int {
+	n := 0
+	for v := range t.Dist {
+		if !math.IsInf(t.Dist[v], 1) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package sp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPrunedTreeMatchesFullWithinBudget(t *testing.T) {
+	g := gridGraph(15, 15)
+	w := g.CopyWeights()
+	scale := MinSecondsPerMeter(g, w)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 15; q++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		dst := graph.NodeID(rng.Intn(g.NumNodes()))
+		if s == dst {
+			continue
+		}
+		_, fastest := ShortestPath(g, w, s, dst)
+		if math.IsInf(fastest, 1) {
+			continue
+		}
+		maxCost := 1.4 * fastest
+		full := BuildTree(g, w, s, Forward)
+		pruned := BuildPrunedTree(g, w, s, Forward, dst, maxCost, scale)
+		// Every node whose true distance plus remaining lower bound fits
+		// the budget must have the exact same distance in the pruned tree.
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if math.IsInf(full.Dist[v], 1) {
+				continue
+			}
+			if full.Dist[v] > maxCost {
+				continue // outside the budget: may legitimately be missing
+			}
+			// The ellipse criterion can prune nodes whose onward bound
+			// overshoots; only nodes with dist + bound <= maxCost are
+			// guaranteed.
+			if pruned.Reached(v) && math.Abs(pruned.Dist[v]-full.Dist[v]) > 1e-6 {
+				t.Fatalf("query %d node %d: pruned dist %f != full %f", q, v, pruned.Dist[v], full.Dist[v])
+			}
+		}
+		if !pruned.Reached(dst) {
+			t.Fatalf("query %d: pruned tree must reach the target", q)
+		}
+		if math.Abs(pruned.Dist[dst]-fastest) > 1e-6 {
+			t.Fatalf("query %d: pruned target dist %f != fastest %f", q, pruned.Dist[dst], fastest)
+		}
+	}
+}
+
+func TestPrunedTreeExploresLess(t *testing.T) {
+	g := gridGraph(25, 25)
+	w := g.CopyWeights()
+	scale := MinSecondsPerMeter(g, w)
+	// Close-by query in one corner: the ellipse should exclude most of the grid.
+	s, dst := graph.NodeID(0), graph.NodeID(3*25+3)
+	_, fastest := ShortestPath(g, w, s, dst)
+	pruned := BuildPrunedTree(g, w, s, Forward, dst, 1.4*fastest, scale)
+	full := BuildTree(g, w, s, Forward)
+	if got, all := CountReached(pruned), CountReached(full); got >= all/2 {
+		t.Errorf("pruned tree reached %d of %d nodes; expected much less for a corner query", got, all)
+	}
+}
+
+func TestPrunedTreeBackward(t *testing.T) {
+	g := gridGraph(10, 10)
+	w := g.CopyWeights()
+	scale := MinSecondsPerMeter(g, w)
+	s, dst := graph.NodeID(5), graph.NodeID(87)
+	_, fastest := ShortestPath(g, w, s, dst)
+	bwd := BuildPrunedTree(g, w, dst, Backward, s, 1.4*fastest, scale)
+	if !bwd.Reached(s) {
+		t.Fatal("backward pruned tree must reach the source")
+	}
+	if math.Abs(bwd.Dist[s]-fastest) > 1e-6 {
+		t.Errorf("backward dist %f != fastest %f", bwd.Dist[s], fastest)
+	}
+}
+
+func TestCountReached(t *testing.T) {
+	g := gridGraph(5, 5)
+	w := g.CopyWeights()
+	full := BuildTree(g, w, 0, Forward)
+	if got := CountReached(full); got != g.NumNodes() {
+		t.Errorf("full tree reached %d, want %d", got, g.NumNodes())
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+import "math"
+
+// RMANOVAResult is the outcome of a one-way repeated-measures ANOVA.
+type RMANOVAResult struct {
+	F         float64
+	P         float64
+	DFTreat   int // k−1
+	DFError   int // (n−1)(k−1)
+	SSTreat   float64
+	SSSubject float64
+	SSError   float64
+}
+
+// RepeatedMeasuresANOVA runs the within-subjects one-way ANOVA the paper
+// names in §IV-A: each subject (study participant) rates every treatment
+// (approach), so subject-level variability is removed from the error term.
+// data[i] holds subject i's ratings of all k treatments; every row must
+// have the same length k ≥ 2 and there must be at least 2 subjects.
+//
+// Note the paper's printed degrees of freedom, e.g. F(3, 944) for 237
+// Melbourne respondents, correspond to the between-subjects layout
+// (OneWayANOVA); the repeated-measures layout for the same data is
+// F(3, 708). Both tests are provided so either convention can be
+// reproduced.
+func RepeatedMeasuresANOVA(data [][]float64) (RMANOVAResult, error) {
+	n := len(data)
+	if n < 2 {
+		return RMANOVAResult{}, ErrANOVA
+	}
+	k := len(data[0])
+	if k < 2 {
+		return RMANOVAResult{}, ErrANOVA
+	}
+	for _, row := range data {
+		if len(row) != k {
+			return RMANOVAResult{}, ErrANOVA
+		}
+	}
+	var grand float64
+	for _, row := range data {
+		for _, x := range row {
+			grand += x
+		}
+	}
+	grand /= float64(n * k)
+
+	// Treatment and subject means.
+	treatMean := make([]float64, k)
+	for _, row := range data {
+		for j, x := range row {
+			treatMean[j] += x
+		}
+	}
+	for j := range treatMean {
+		treatMean[j] /= float64(n)
+	}
+	var ssTreat float64
+	for _, m := range treatMean {
+		d := m - grand
+		ssTreat += d * d
+	}
+	ssTreat *= float64(n)
+
+	var ssSubject, ssTotal float64
+	for _, row := range data {
+		var rowSum float64
+		for _, x := range row {
+			rowSum += x
+			d := x - grand
+			ssTotal += d * d
+		}
+		d := rowSum/float64(k) - grand
+		ssSubject += d * d
+	}
+	ssSubject *= float64(k)
+
+	ssError := ssTotal - ssTreat - ssSubject
+	if ssError < 0 {
+		ssError = 0 // numerical guard; perfectly additive data
+	}
+	dfT := k - 1
+	dfE := (n - 1) * (k - 1)
+	res := RMANOVAResult{
+		DFTreat:   dfT,
+		DFError:   dfE,
+		SSTreat:   ssTreat,
+		SSSubject: ssSubject,
+		SSError:   ssError,
+	}
+	msT := ssTreat / float64(dfT)
+	msE := ssError / float64(dfE)
+	if msE == 0 {
+		if msT == 0 {
+			res.F, res.P = 0, 1
+			return res, nil
+		}
+		res.F, res.P = math.Inf(1), 0
+		return res, nil
+	}
+	res.F = msT / msE
+	res.P = FSurvival(res.F, float64(dfT), float64(dfE))
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRMANOVAHandComputed(t *testing.T) {
+	// 4 subjects × 3 treatments, worked by hand:
+	// treatment means 2.5, 3.5, 4.25; grand 41/12.
+	// SS_treat = 6.16667, SS_subject = 10.91667, SS_total = 20.91667,
+	// SS_error = 3.83333; F(2, 6) = 3.08333/0.63889 = 4.8261.
+	data := [][]float64{
+		{1, 2, 4},
+		{2, 3, 3},
+		{3, 5, 4},
+		{4, 4, 6},
+	}
+	res, err := RepeatedMeasuresANOVA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DFTreat != 2 || res.DFError != 6 {
+		t.Errorf("df = (%d, %d), want (2, 6)", res.DFTreat, res.DFError)
+	}
+	if !almostEq(res.SSTreat, 6.166667, 1e-5) {
+		t.Errorf("SS_treat = %f, want 6.16667", res.SSTreat)
+	}
+	if !almostEq(res.SSSubject, 10.916667, 1e-5) {
+		t.Errorf("SS_subject = %f, want 10.91667", res.SSSubject)
+	}
+	if !almostEq(res.SSError, 3.833333, 1e-5) {
+		t.Errorf("SS_error = %f, want 3.83333", res.SSError)
+	}
+	if !almostEq(res.F, 4.826087, 1e-4) {
+		t.Errorf("F = %f, want 4.8261", res.F)
+	}
+	if res.P < 0.04 || res.P > 0.08 {
+		t.Errorf("p = %f, want ≈0.056", res.P)
+	}
+}
+
+func TestRMANOVARemovesSubjectVariance(t *testing.T) {
+	// Strong subject effects (lenient vs harsh raters) with identical
+	// treatment effects: between-subjects ANOVA is diluted, RM-ANOVA
+	// detects the treatment cleanly.
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	data := make([][]float64, n)
+	groups := make([][]float64, 3)
+	for i := 0; i < n; i++ {
+		subject := rng.NormFloat64() * 3 // big leniency spread
+		row := make([]float64, 3)
+		for j := range row {
+			row[j] = subject + float64(j)*0.4 + rng.NormFloat64()*0.3
+			groups[j] = append(groups[j], row[j])
+		}
+		data[i] = row
+	}
+	rm, err := RepeatedMeasuresANOVA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := OneWayANOVA(groups...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.P > 0.001 {
+		t.Errorf("RM-ANOVA p = %g, should detect the within-subject effect", rm.P)
+	}
+	if bw.F >= rm.F {
+		t.Errorf("between-subjects F (%f) should be diluted below RM F (%f) with large subject variance", bw.F, rm.F)
+	}
+}
+
+func TestRMANOVAPerfectlyAdditive(t *testing.T) {
+	// Zero error: subject + treatment effects explain everything.
+	data := [][]float64{
+		{1, 2, 3},
+		{2, 3, 4},
+		{3, 4, 5},
+	}
+	res, err := RepeatedMeasuresANOVA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.F, 1) || res.P != 0 {
+		t.Errorf("additive data: F=%f p=%f, want +Inf/0", res.F, res.P)
+	}
+	// All-equal data: vacuous.
+	res, err = RepeatedMeasuresANOVA([][]float64{{2, 2}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 0 || res.P != 1 {
+		t.Errorf("constant data: F=%f p=%f, want 0/1", res.F, res.P)
+	}
+}
+
+func TestRMANOVAErrors(t *testing.T) {
+	if _, err := RepeatedMeasuresANOVA(nil); err == nil {
+		t.Error("no subjects should error")
+	}
+	if _, err := RepeatedMeasuresANOVA([][]float64{{1, 2}}); err == nil {
+		t.Error("single subject should error")
+	}
+	if _, err := RepeatedMeasuresANOVA([][]float64{{1}, {2}}); err == nil {
+		t.Error("single treatment should error")
+	}
+	if _, err := RepeatedMeasuresANOVA([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestRMANOVADegreesOfFreedomMatchStudy(t *testing.T) {
+	// 237 participants × 4 approaches → F(3, 708) in the RM layout.
+	rng := rand.New(rand.NewSource(9))
+	data := make([][]float64, 237)
+	for i := range data {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = float64(1 + rng.Intn(5))
+		}
+		data[i] = row
+	}
+	res, err := RepeatedMeasuresANOVA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DFTreat != 3 || res.DFError != 708 {
+		t.Errorf("df = (%d, %d), want (3, 708)", res.DFTreat, res.DFError)
+	}
+}
+
+func TestRMANOVANullCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	trials := 300
+	rejects := 0
+	for tr := 0; tr < trials; tr++ {
+		data := make([][]float64, 30)
+		for i := range data {
+			base := rng.NormFloat64()
+			row := make([]float64, 4)
+			for j := range row {
+				row[j] = base + rng.NormFloat64()
+			}
+			data[i] = row
+		}
+		res, err := RepeatedMeasuresANOVA(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / float64(trials)
+	if rate < 0.01 || rate > 0.11 {
+		t.Errorf("null rejection rate = %f, want ≈0.05", rate)
+	}
+}

@@ -1,0 +1,255 @@
+// Package stats implements the descriptive statistics and the one-way
+// ANOVA test the paper's evaluation uses (§IV-A): per-group mean ratings
+// with standard deviations, and F-tests of the null hypothesis that the
+// four approaches receive the same mean rating.
+//
+// The F-distribution CDF is computed via the regularized incomplete beta
+// function (continued-fraction evaluation), so p-values need no external
+// dependencies.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator), or NaN
+// if fewer than two observations are given.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean, sd/√n.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the descriptive statistics reported in the paper's
+// tables.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64
+	SE     float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		SD:   StdDev(xs),
+		SE:   StdErr(xs),
+		Max:  Max(xs),
+	}
+}
+
+// ANOVAResult is the outcome of a one-way analysis of variance.
+type ANOVAResult struct {
+	F        float64 // F statistic
+	P        float64 // p-value under the null of equal group means
+	DFBetwe  int     // between-groups degrees of freedom (k−1)
+	DFWithin int     // within-groups degrees of freedom (N−k)
+	// Sums of squares, for reporting.
+	SSBetween float64
+	SSWithin  float64
+}
+
+// ErrANOVA is returned for degenerate inputs (fewer than two groups, any
+// empty group, or fewer observations than groups+1).
+var ErrANOVA = errors.New("stats: ANOVA requires ≥2 non-empty groups and N > k")
+
+// OneWayANOVA tests whether the means of the given groups differ. This is
+// the fixed-effects one-way ANOVA whose degrees of freedom (k−1, N−k)
+// match the F values quoted in the paper, e.g. F(3, 944) for Melbourne's
+// 237×4 ratings.
+func OneWayANOVA(groups ...[]float64) (ANOVAResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return ANOVAResult{}, ErrANOVA
+	}
+	total := 0
+	var grand float64
+	for _, gr := range groups {
+		if len(gr) == 0 {
+			return ANOVAResult{}, ErrANOVA
+		}
+		total += len(gr)
+		for _, x := range gr {
+			grand += x
+		}
+	}
+	if total <= k {
+		return ANOVAResult{}, ErrANOVA
+	}
+	grand /= float64(total)
+
+	var ssb, ssw float64
+	for _, gr := range groups {
+		m := Mean(gr)
+		d := m - grand
+		ssb += float64(len(gr)) * d * d
+		for _, x := range gr {
+			e := x - m
+			ssw += e * e
+		}
+	}
+	dfb := k - 1
+	dfw := total - k
+	msb := ssb / float64(dfb)
+	msw := ssw / float64(dfw)
+	res := ANOVAResult{
+		DFBetwe:   dfb,
+		DFWithin:  dfw,
+		SSBetween: ssb,
+		SSWithin:  ssw,
+	}
+	if msw == 0 {
+		// All groups internally constant: F is +Inf unless the means are
+		// also equal, in which case the test is vacuous (F = 0, p = 1).
+		if msb == 0 {
+			res.F, res.P = 0, 1
+			return res, nil
+		}
+		res.F, res.P = math.Inf(1), 0
+		return res, nil
+	}
+	res.F = msb / msw
+	res.P = FSurvival(res.F, float64(dfb), float64(dfw))
+	return res, nil
+}
+
+// FSurvival returns P(F_{d1,d2} > x), the upper-tail probability of the
+// F-distribution — the ANOVA p-value.
+func FSurvival(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if math.IsInf(x, 1) {
+		return 0
+	}
+	// P(F > x) = I_{d2/(d2+d1·x)}(d2/2, d1/2)
+	z := d2 / (d2 + d1*x)
+	return RegIncBeta(d2/2, d1/2, z)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the standard continued-fraction expansion (Numerical Recipes
+// §6.4, Lentz's method).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	case math.IsNaN(a) || math.IsNaN(b) || a <= 0 || b <= 0:
+		return math.NaN()
+	}
+	// Prefactor x^a (1−x)^b / (a·B(a,b)), computed in log space.
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

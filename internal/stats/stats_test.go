@@ -1,0 +1,349 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %f, want 5", got)
+	}
+	// Sample variance with n−1: SS = 32, 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %f, want %f", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %f", got)
+	}
+	if got := StdErr(xs); !almostEq(got, math.Sqrt(32.0/7)/math.Sqrt(8), 1e-12) {
+		t.Errorf("StdErr = %f", got)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one sample should be NaN")
+	}
+	if !math.IsNaN(Max(nil)) {
+		t.Error("Max(nil) should be NaN")
+	}
+	if !math.IsNaN(StdErr(nil)) {
+		t.Error("StdErr(nil) should be NaN")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max([]float64{3, -1, 7, 2}); got != 7 {
+		t.Errorf("Max = %f, want 7", got)
+	}
+	if got := Max([]float64{-5}); got != -5 {
+		t.Errorf("Max single = %f, want -5", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEq(s.Mean, 3, 1e-12) || !almostEq(s.Max, 5, 1e-12) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almostEq(s.SD, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("Summary.SD = %f", s.SD)
+	}
+}
+
+func TestVarianceShiftInvariance(t *testing.T) {
+	if err := quick.Check(func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ys[i] = xs[i] + shift
+		}
+		return almostEq(Variance(xs), Variance(ys), 1e-6)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegIncBetaKnownValues checks I_x(a,b) against closed forms:
+// I_x(1,1) = x; I_x(1,b) = 1-(1-x)^b; I_x(a,1) = x^a; symmetry
+// I_x(a,b) = 1 - I_{1-x}(b,a).
+func TestRegIncBetaKnownValues(t *testing.T) {
+	for _, x := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		if got := RegIncBeta(1, 1, x); !almostEq(got, x, 1e-10) {
+			t.Errorf("I_%f(1,1) = %f, want %f", x, got, x)
+		}
+		for _, b := range []float64{0.5, 2, 5, 17} {
+			want := 1 - math.Pow(1-x, b)
+			if got := RegIncBeta(1, b, x); !almostEq(got, want, 1e-10) {
+				t.Errorf("I_%f(1,%f) = %f, want %f", x, b, got, want)
+			}
+		}
+		for _, a := range []float64{0.5, 2, 5, 17} {
+			want := math.Pow(x, a)
+			if got := RegIncBeta(a, 1, x); !almostEq(got, want, 1e-10) {
+				t.Errorf("I_%f(%f,1) = %f, want %f", x, a, got, want)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	if err := quick.Check(func(ra, rb, rx float64) bool {
+		a := 0.5 + math.Abs(math.Mod(ra, 20))
+		b := 0.5 + math.Abs(math.Mod(rb, 20))
+		x := math.Abs(math.Mod(rx, 1))
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x) {
+			return true
+		}
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return almostEq(lhs, rhs, 1e-9)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	prev := 0.0
+	for i := 0; i <= 100; i++ {
+		x := float64(i) / 100
+		v := RegIncBeta(3.5, 7.25, x)
+		if v < prev-1e-12 {
+			t.Fatalf("I_x not monotone at x=%f: %f < %f", x, v, prev)
+		}
+		prev = v
+	}
+	if !almostEq(RegIncBeta(3.5, 7.25, 1), 1, 1e-12) {
+		t.Error("I_1 should be 1")
+	}
+	if RegIncBeta(3.5, 7.25, 0) != 0 {
+		t.Error("I_0 should be 0")
+	}
+}
+
+// TestFSurvivalKnownValues uses reference values computed with scipy
+// (stats.f.sf): sf(1.0, 3, 944)=0.39169..., sf(2.197,3,944)=0.08665...,
+// sf(2.58,3,508)=0.0527..., sf(0.502,3,616)=0.6810....
+func TestFSurvivalKnownValues(t *testing.T) {
+	cases := []struct {
+		x, d1, d2, want, tol float64
+	}{
+		{1.0, 3, 944, 0.3917, 0.002},
+		{2.197, 3, 944, 0.0866, 0.002},
+		{0.502, 3, 616, 0.681, 0.002},
+		{2.58, 3, 508, 0.0527, 0.002},
+		{0.592, 3, 620, 0.620, 0.003},
+		{0.843, 3, 444, 0.471, 0.003},
+		{2.56, 3, 260, 0.0555, 0.003},
+		{3.85, 1, 10, 0.0781, 0.002},
+	}
+	for _, c := range cases {
+		if got := FSurvival(c.x, c.d1, c.d2); !almostEq(got, c.want, c.tol) {
+			t.Errorf("FSurvival(%g, %g, %g) = %f, want %f", c.x, c.d1, c.d2, got, c.want)
+		}
+	}
+	if got := FSurvival(0, 3, 100); got != 1 {
+		t.Errorf("FSurvival(0) = %f, want 1", got)
+	}
+	if got := FSurvival(math.Inf(1), 3, 100); got != 0 {
+		t.Errorf("FSurvival(+Inf) = %f, want 0", got)
+	}
+}
+
+// TestFSurvivalPaperANOVAValues reproduces the (F, p) pairs quoted in
+// §IV-A: the p-values must match the paper's to the printed precision.
+func TestFSurvivalPaperANOVAValues(t *testing.T) {
+	cases := []struct {
+		name      string
+		f         float64
+		d2        float64
+		wantP     float64
+		tolerance float64
+	}{
+		{"melbourne-all", 2.197, 944, 0.087, 0.001},
+		{"dhaka-all", 0.502, 616, 0.68, 0.005},
+		{"copenhagen-all", 2.58, 508, 0.054, 0.002},
+		{"melbourne-res", 0.592, 620, 0.62, 0.005},
+		{"dhaka-res", 0.843, 444, 0.471, 0.002},
+		{"copenhagen-res", 2.56, 260, 0.057, 0.003},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := FSurvival(c.f, 3, c.d2)
+			if !almostEq(got, c.wantP, c.tolerance) {
+				t.Errorf("p = %f, paper reports %f", got, c.wantP)
+			}
+		})
+	}
+}
+
+func TestOneWayANOVAHandComputed(t *testing.T) {
+	// Textbook example with known answer.
+	g1 := []float64{6, 8, 4, 5, 3, 4}
+	g2 := []float64{8, 12, 9, 11, 6, 8}
+	g3 := []float64{13, 9, 11, 8, 7, 12}
+	res, err := OneWayANOVA(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DFBetwe != 2 || res.DFWithin != 15 {
+		t.Errorf("df = (%d, %d), want (2, 15)", res.DFBetwe, res.DFWithin)
+	}
+	// Group means 5, 9, 10; grand mean 8.
+	// SSB = 6·(9+1+4) = 84; SSW = 16+24+28 = 68; F = 42/(68/15) ≈ 9.2647.
+	if !almostEq(res.SSBetween, 84, 1e-9) {
+		t.Errorf("SSB = %f, want 84", res.SSBetween)
+	}
+	if !almostEq(res.SSWithin, 68, 1e-9) {
+		t.Errorf("SSW = %f, want 68", res.SSWithin)
+	}
+	wantF := (84.0 / 2) / (68.0 / 15)
+	if !almostEq(res.F, wantF, 1e-9) || !almostEq(res.F, 9.2647, 0.001) {
+		t.Errorf("F = %f, want 9.2647", res.F)
+	}
+	if !almostEq(res.P, 0.0024, 0.0005) {
+		t.Errorf("p = %f, want ≈0.0024", res.P)
+	}
+}
+
+func TestOneWayANOVAIdenticalGroups(t *testing.T) {
+	g := []float64{3, 4, 5, 3, 4, 5}
+	res, err := OneWayANOVA(g, g, g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-9 {
+		t.Errorf("identical groups F = %f, want 0", res.F)
+	}
+	if res.P < 0.999 {
+		t.Errorf("identical groups p = %f, want ≈1", res.P)
+	}
+}
+
+func TestOneWayANOVAConstantGroups(t *testing.T) {
+	// Zero within-group variance, different means: F = +Inf, p = 0.
+	res, err := OneWayANOVA([]float64{1, 1}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.F, 1) || res.P != 0 {
+		t.Errorf("constant distinct groups: F=%f p=%f, want +Inf/0", res.F, res.P)
+	}
+	// Zero variance, equal means: vacuous test.
+	res, err = OneWayANOVA([]float64{2, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 0 || res.P != 1 {
+		t.Errorf("constant equal groups: F=%f p=%f, want 0/1", res.F, res.P)
+	}
+}
+
+func TestOneWayANOVAErrors(t *testing.T) {
+	if _, err := OneWayANOVA([]float64{1, 2}); err == nil {
+		t.Error("one group should error")
+	}
+	if _, err := OneWayANOVA([]float64{1, 2}, nil); err == nil {
+		t.Error("empty group should error")
+	}
+	if _, err := OneWayANOVA([]float64{1}, []float64{2}); err == nil {
+		t.Error("N == k should error")
+	}
+}
+
+func TestANOVADegreesOfFreedomMatchPaper(t *testing.T) {
+	// 237 responses × 4 approaches → F(3, 944) as printed for Melbourne.
+	mk := func(n int, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(1 + rng.Intn(5))
+		}
+		return xs
+	}
+	res, err := OneWayANOVA(mk(237, 1), mk(237, 2), mk(237, 3), mk(237, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DFBetwe != 3 || res.DFWithin != 944 {
+		t.Errorf("df = (%d, %d), want (3, 944)", res.DFBetwe, res.DFWithin)
+	}
+}
+
+func TestANOVANullDistributionCalibration(t *testing.T) {
+	// Under the null (all groups from the same distribution), p-values are
+	// uniform: rejecting at 0.05 should happen about 5% of the time.
+	rng := rand.New(rand.NewSource(123))
+	trials := 400
+	rejects := 0
+	for i := 0; i < trials; i++ {
+		groups := make([][]float64, 4)
+		for gidx := range groups {
+			xs := make([]float64, 60)
+			for j := range xs {
+				xs[j] = rng.NormFloat64()
+			}
+			groups[gidx] = xs
+		}
+		res, err := OneWayANOVA(groups...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / float64(trials)
+	if rate < 0.01 || rate > 0.11 {
+		t.Errorf("null rejection rate = %f, want ≈0.05", rate)
+	}
+}
+
+func TestANOVADetectsLargeEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(mean float64) []float64 {
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = mean + rng.NormFloat64()
+		}
+		return xs
+	}
+	res, err := OneWayANOVA(mk(0), mk(0), mk(0), mk(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("large effect p = %g, want tiny", res.P)
+	}
+}
+
+func BenchmarkOneWayANOVA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	groups := make([][]float64, 4)
+	for i := range groups {
+		xs := make([]float64, 520)
+		for j := range xs {
+			xs[j] = float64(1 + rng.Intn(5))
+		}
+		groups[i] = xs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OneWayANOVA(groups...)
+	}
+}

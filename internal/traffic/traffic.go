@@ -1,0 +1,223 @@
+// Package traffic synthesizes the commercial provider's private view of
+// travel times.
+//
+// The study could not obtain Google's real-time/historical traffic data
+// (paper footnote 1); what matters for reproducing the study is only that
+// the commercial provider plans on *systematically different* data than
+// the public OSM-derived weights. This package produces such a view
+// deterministically: a spatially correlated congestion field (value noise
+// over a coarse grid, bilinearly interpolated so that adjacent streets see
+// similar congestion), per-road-class bias (arterials attract traffic,
+// side streets less so), and a small per-edge estimation discrepancy. The
+// result is a weight vector under which the provider's optimal routes
+// differ from the OSM-optimal ones and route travel-time *rankings can
+// flip* between the two datasets — the Fig. 4 phenomenon.
+package traffic
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+// Model describes a deterministic congestion field over a road network.
+type Model struct {
+	// Seed makes the field reproducible; different seeds give different
+	// rush-hour patterns.
+	Seed uint64
+	// CellMeters is the correlation length of congestion (default 900 m).
+	CellMeters float64
+	// Intensity scales how far congestion multipliers deviate from 1
+	// (default 0.55, giving multipliers in roughly [0.75, 1.9]).
+	Intensity float64
+	// Hotspots is the number of severe-congestion spots (incident sites,
+	// rush-hour bottlenecks) per 100 km² (default 9). Hotspots are what
+	// makes the provider's optimal routes *structurally* different from
+	// the OSM-optimal ones: a smooth field alone averages out over a long
+	// route, but a jammed corridor forces a visible detour.
+	Hotspots float64
+	// HotspotRadiusMeters is the jam's influence radius (default 1500).
+	HotspotRadiusMeters float64
+	// HotspotSeverity is the weight multiplier at a hotspot's center
+	// (default 3.5), decaying smoothly to 1 at the radius. It applies to
+	// arterial classes only — jams live on main roads.
+	HotspotSeverity float64
+}
+
+// DefaultModel returns the model used by the experiments.
+func DefaultModel(seed uint64) Model {
+	return Model{
+		Seed:                seed,
+		CellMeters:          900,
+		Intensity:           0.55,
+		Hotspots:            9,
+		HotspotRadiusMeters: 1500,
+		HotspotSeverity:     3.5,
+	}
+}
+
+func (m Model) withDefaults() Model {
+	if m.CellMeters <= 0 {
+		m.CellMeters = 900
+	}
+	if m.Intensity <= 0 {
+		m.Intensity = 0.55
+	}
+	if m.Hotspots <= 0 {
+		m.Hotspots = 9
+	}
+	if m.HotspotRadiusMeters <= 0 {
+		m.HotspotRadiusMeters = 1500
+	}
+	if m.HotspotSeverity <= 1 {
+		m.HotspotSeverity = 3.5
+	}
+	return m
+}
+
+// Apply returns the provider's private weight for every edge of g: the
+// base travel time scaled by the congestion multiplier at the edge's
+// midpoint. The output is deterministic in (g, model).
+func Apply(g *graph.Graph, m Model) []float64 {
+	m = m.withDefaults()
+	w := make([]float64, g.NumEdges())
+	bbox := g.BBox()
+	// Meters-per-degree at the network's latitude, for grid coordinates.
+	latScale := 111320.0
+	lonScale := 111320.0 * math.Cos(bbox.Center().Lat*math.Pi/180)
+	spots := m.hotspots(bbox, latScale, lonScale)
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		a := g.Point(ed.From)
+		b := g.Point(ed.To)
+		midLat := (a.Lat + b.Lat) / 2
+		midLon := (a.Lon + b.Lon) / 2
+		x := (midLon - bbox.MinLon) * lonScale / m.CellMeters
+		y := (midLat - bbox.MinLat) * latScale / m.CellMeters
+		field := m.valueNoise(x, y) // in [0,1)
+		mult := m.multiplier(field, ed.Class, uint64(e))
+		if arterial(ed.Class) {
+			// Edge position in meters from the bbox corner.
+			ex := (midLon - bbox.MinLon) * lonScale
+			ey := (midLat - bbox.MinLat) * latScale
+			mult *= m.hotspotFactor(spots, ex, ey)
+		}
+		w[e] = ed.TimeS * mult
+	}
+	return w
+}
+
+// arterial reports whether jams apply to this class: congestion hotspots
+// live on the main roads that carry through traffic.
+func arterial(c graph.RoadClass) bool {
+	switch c {
+	case graph.Motorway, graph.MotorwayLink, graph.Trunk, graph.Primary, graph.Secondary:
+		return true
+	default:
+		return false
+	}
+}
+
+type hotspot struct{ x, y float64 }
+
+// hotspots places the model's jam centers deterministically inside the
+// network's bounding box.
+func (m Model) hotspots(bbox geo.BBox, latScale, lonScale float64) []hotspot {
+	wM := (bbox.MaxLon - bbox.MinLon) * lonScale
+	hM := (bbox.MaxLat - bbox.MinLat) * latScale
+	areaKm2 := wM * hM / 1e6
+	n := int(m.Hotspots*areaKm2/100 + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	out := make([]hotspot, n)
+	for i := range out {
+		hx := hash01(m.Seed ^ (uint64(i)*0xA24BAED4963EE407 + 3))
+		hy := hash01(m.Seed ^ (uint64(i)*0x9FB21C651E98DF25 + 7))
+		out[i] = hotspot{x: hx * wM, y: hy * hM}
+	}
+	return out
+}
+
+// hotspotFactor returns the combined jam multiplier at position (x, y)
+// meters: severity at a center, smoothly decaying to 1 at the radius.
+func (m Model) hotspotFactor(spots []hotspot, x, y float64) float64 {
+	f := 1.0
+	r2 := m.HotspotRadiusMeters * m.HotspotRadiusMeters
+	for _, s := range spots {
+		dx, dy := x-s.x, y-s.y
+		d2 := dx*dx + dy*dy
+		if d2 >= r2 {
+			continue
+		}
+		// Smooth falloff: severity at center, 1 at the rim.
+		t := 1 - d2/r2
+		f *= 1 + (m.HotspotSeverity-1)*t*t
+	}
+	return f
+}
+
+// multiplier combines the congestion field with class bias and per-edge
+// estimation jitter.
+func (m Model) multiplier(field float64, class graph.RoadClass, edgeID uint64) float64 {
+	// Class bias: arterials carry traffic, so congestion hits them harder;
+	// the provider also tends to estimate side streets slightly slower
+	// than the raw maxspeed model does.
+	var bias float64
+	switch class {
+	case graph.Motorway, graph.MotorwayLink:
+		bias = 0.05
+	case graph.Trunk, graph.Primary:
+		bias = 0.10
+	case graph.Secondary, graph.Tertiary:
+		bias = 0.05
+	default:
+		bias = 0.0
+	}
+	// Field in [0,1) -> congestion term in [-0.3, +1) of intensity.
+	congestion := m.Intensity * (1.3*field - 0.3)
+	// Small deterministic per-edge discrepancy in [-0.05, +0.05).
+	jitter := 0.10 * (hash01(m.Seed^(edgeID*0x9E3779B97F4A7C15+1)) - 0.5)
+	mult := 1 + bias + congestion + jitter
+	if mult < 0.7 {
+		mult = 0.7
+	}
+	return mult
+}
+
+// valueNoise evaluates smooth value noise at grid coordinates (x, y):
+// deterministic lattice values blended with smoothstep interpolation.
+func (m Model) valueNoise(x, y float64) float64 {
+	x0 := math.Floor(x)
+	y0 := math.Floor(y)
+	fx := smoothstep(x - x0)
+	fy := smoothstep(y - y0)
+	v00 := m.lattice(int64(x0), int64(y0))
+	v10 := m.lattice(int64(x0)+1, int64(y0))
+	v01 := m.lattice(int64(x0), int64(y0)+1)
+	v11 := m.lattice(int64(x0)+1, int64(y0)+1)
+	top := v00 + (v10-v00)*fx
+	bot := v01 + (v11-v01)*fx
+	return top + (bot-top)*fy
+}
+
+func (m Model) lattice(ix, iy int64) float64 {
+	h := m.Seed
+	h ^= uint64(ix) * 0x9E3779B97F4A7C15
+	h ^= uint64(iy) * 0xC2B2AE3D27D4EB4F
+	return hash01(h)
+}
+
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// hash01 maps a 64-bit value to [0,1) with an avalanche mix (splitmix64
+// finalizer).
+func hash01(h uint64) float64 {
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	b := graph.NewBuilder(0, 0)
+	o := geo.Point{Lat: -37.81, Lon: 144.96}
+	const n = 12
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			b.AddNode(geo.Offset(o, float64(r)*400, float64(c)*400))
+		}
+	}
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*n + c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			class := graph.Residential
+			if r%4 == 0 {
+				class = graph.Primary
+			}
+			if c+1 < n {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r, c+1), Class: class, TwoWay: true})
+			}
+			if r+1 < n {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r+1, c), Class: graph.Residential, TwoWay: true})
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	g := testGraph()
+	w1 := Apply(g, DefaultModel(42))
+	w2 := Apply(g, DefaultModel(42))
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("edge %d: %f != %f — model not deterministic", i, w1[i], w2[i])
+		}
+	}
+}
+
+func TestApplyDifferentSeedsDiffer(t *testing.T) {
+	g := testGraph()
+	w1 := Apply(g, DefaultModel(1))
+	w2 := Apply(g, DefaultModel(2))
+	diff := 0
+	for i := range w1 {
+		if math.Abs(w1[i]-w2[i]) > 1e-12 {
+			diff++
+		}
+	}
+	if diff < len(w1)/2 {
+		t.Errorf("only %d/%d weights differ between seeds", diff, len(w1))
+	}
+}
+
+func TestMultipliersBounded(t *testing.T) {
+	g := testGraph()
+	w := Apply(g, DefaultModel(7))
+	for e := range w {
+		base := g.Edge(graph.EdgeID(e)).TimeS
+		ratio := w[e] / base
+		if ratio < 0.7-1e-9 || ratio > 40 {
+			t.Fatalf("edge %d multiplier %f outside [0.7, 40]", e, ratio)
+		}
+		if math.IsNaN(w[e]) || w[e] <= 0 {
+			t.Fatalf("edge %d weight %f invalid", e, w[e])
+		}
+	}
+}
+
+func TestWeightsActuallyDifferFromBase(t *testing.T) {
+	g := testGraph()
+	w := Apply(g, DefaultModel(7))
+	changed := 0
+	for e := range w {
+		if math.Abs(w[e]-g.Edge(graph.EdgeID(e)).TimeS) > 1e-9 {
+			changed++
+		}
+	}
+	if changed < len(w)*9/10 {
+		t.Errorf("only %d/%d weights changed — private data too similar to public", changed, len(w))
+	}
+}
+
+func TestSpatialCorrelation(t *testing.T) {
+	// Multipliers of nearby same-class edges should correlate more than
+	// those of distant edges: compare mean absolute multiplier difference
+	// between adjacent edge pairs and random far pairs.
+	g := testGraph()
+	m := DefaultModel(11)
+	w := Apply(g, m)
+	mult := func(e int) float64 { return w[e] / g.Edge(graph.EdgeID(e)).TimeS }
+
+	var nearSum, nearN float64
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		out := g.OutEdges(v)
+		for i := 0; i+1 < len(out); i++ {
+			a, b := out[i], out[i+1]
+			if g.Edge(a).Class == g.Edge(b).Class {
+				nearSum += math.Abs(mult(int(a)) - mult(int(b)))
+				nearN++
+			}
+		}
+	}
+	var farSum, farN float64
+	step := g.NumEdges()/97 + 1
+	for i := 0; i < g.NumEdges(); i += step {
+		j := (i + g.NumEdges()/2) % g.NumEdges()
+		if g.Edge(graph.EdgeID(i)).Class == g.Edge(graph.EdgeID(j)).Class {
+			farSum += math.Abs(mult(i) - mult(j))
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Skip("degenerate sample")
+	}
+	near := nearSum / nearN
+	far := farSum / farN
+	if near >= far {
+		t.Errorf("adjacent-edge multiplier difference %.4f not below far-pair difference %.4f — field not spatially correlated", near, far)
+	}
+}
+
+func TestModelDefaults(t *testing.T) {
+	m := Model{Seed: 5}.withDefaults()
+	if m.CellMeters != 900 || m.Intensity != 0.55 {
+		t.Errorf("defaults = %+v", m)
+	}
+	if m.Hotspots != 9 || m.HotspotRadiusMeters != 1500 || m.HotspotSeverity != 3.5 {
+		t.Errorf("hotspot defaults = %+v", m)
+	}
+	d := DefaultModel(5)
+	if d.Seed != 5 || d.CellMeters != 900 {
+		t.Errorf("DefaultModel = %+v", d)
+	}
+}
+
+func TestValueNoiseRangeAndContinuity(t *testing.T) {
+	m := DefaultModel(3)
+	prev := m.valueNoise(0, 0)
+	for i := 1; i <= 1000; i++ {
+		x := float64(i) * 0.01
+		v := m.valueNoise(x, x*0.7)
+		if v < 0 || v >= 1.0001 {
+			t.Fatalf("noise out of range at %f: %f", x, v)
+		}
+		if math.Abs(v-prev) > 0.1 {
+			t.Fatalf("noise jumps too fast at %f: %f -> %f", x, prev, v)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	g := testGraph()
+	m := DefaultModel(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Apply(g, m)
+	}
+}
