@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/ch"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/graph"
@@ -263,6 +264,124 @@ func BenchmarkPlannerDissimilarity(b *testing.B) {
 
 func BenchmarkPlannerCommercial(b *testing.B) {
 	benchPlanner(b, func(c *eval.City) core.Planner { return core.NewCommercial(c.Graph, c.Traffic, core.Options{}) })
+}
+
+// --- Hot-path microbenchmarks (workspace machinery) ---------------------------
+//
+// These measure the engine-level primitives on a study city with
+// -benchmem: the convenience wrappers against the allocation-free ...Into
+// workspace variants, plus the CH point-to-point query.
+
+func benchCityGraph(b *testing.B) (*graph.Graph, []float64) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	return city.Graph, city.Public
+}
+
+func BenchmarkMicroShortestPath(b *testing.B) {
+	g, w := benchCityGraph(b)
+	dst := graph.NodeID(g.NumNodes() - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.ShortestPath(g, w, 0, dst)
+	}
+}
+
+func BenchmarkMicroShortestPathInto(b *testing.B) {
+	g, w := benchCityGraph(b)
+	dst := graph.NodeID(g.NumNodes() - 1)
+	ws := sp.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.ShortestPathInto(ws, g, w, 0, dst)
+	}
+}
+
+func BenchmarkMicroBuildTree(b *testing.B) {
+	g, w := benchCityGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.BuildTree(g, w, 0, sp.Forward)
+	}
+}
+
+func BenchmarkMicroBuildTreeInto(b *testing.B) {
+	g, w := benchCityGraph(b)
+	ws := sp.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.BuildTreeInto(ws, g, w, 0, sp.Forward)
+	}
+}
+
+func BenchmarkMicroCHDist(b *testing.B) {
+	g, w := benchCityGraph(b)
+	h := ch.Build(g, w)
+	dst := graph.NodeID(g.NumNodes() - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Dist(0, dst)
+	}
+}
+
+// TestWorkspaceVariantsZeroAlloc pins the headline property of this
+// package's hot path: the ...Into searches allocate nothing after warm-up.
+func TestWorkspaceVariantsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	study, err := eval.NewStudy(2022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city := study.Cities["Copenhagen"]
+	g, w := city.Graph, city.Public
+	dst := graph.NodeID(g.NumNodes() - 1)
+	ws := sp.NewWorkspace()
+
+	check := func(name string, fn func()) {
+		t.Helper()
+		fn()
+		if allocs := testing.AllocsPerRun(10, fn); allocs > 0 {
+			t.Errorf("%s: %v allocs/op after warm-up, want 0", name, allocs)
+		}
+	}
+	check("ShortestPathInto", func() { sp.ShortestPathInto(ws, g, w, 0, dst) })
+	check("BuildTreeInto", func() { sp.BuildTreeInto(ws, g, w, 0, sp.Forward) })
+	check("BidirectionalShortestPathInto", func() { sp.BidirectionalShortestPathInto(ws, g, w, 0, dst) })
+}
+
+// --- The concurrent batch-query engine ----------------------------------------
+
+// BenchmarkEngineBatch measures a loaded serving scenario: 8 pre-sampled
+// queries × 4 approaches fanned out over the city's worker-pool engine —
+// the unit of work a busy multi-user deployment repeats continuously.
+func BenchmarkEngineBatch(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	queries := benchQueries(b, city, simstudy.Medium, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := city.RunPlannersBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatchSerial is the same workload forced through a
+// one-worker engine, the before-picture of the concurrent serving layer.
+func BenchmarkEngineBatchSerial(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	queries := benchQueries(b, city, simstudy.Medium, 8)
+	serial := *city
+	serial.Engine = core.NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := serial.RunPlannersBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkPlannerYen runs the related-work baseline on the smallest city

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	demoserver [-addr :8080] [-seed N] [-ratings ratings.json]
+//	demoserver [-addr :8080] [-seed N] [-ratings ratings.json] [-workers N]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/server"
 )
@@ -23,25 +24,30 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 2022, "city generation seed")
 	ratingsPath := flag.String("ratings", "ratings.json", "file the submitted ratings are stored in (empty disables)")
+	workers := flag.Int("workers", 0, "concurrent planner calls per city (0 = number of CPUs)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *ratingsPath); err != nil {
+	if err := run(*addr, *seed, *ratingsPath, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "demoserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, ratingsPath string) error {
+func run(addr string, seed int64, ratingsPath string, workers int) error {
 	fmt.Printf("Generating the three city networks (seed %d)...\n", seed)
 	study, err := eval.NewStudy(seed)
 	if err != nil {
 		return err
 	}
+	engine := core.NewEngine(workers)
 	for _, name := range study.CityNames() {
 		c := study.Cities[name]
+		// One shared engine bounds planner concurrency server-wide, so a
+		// burst of requests cannot oversubscribe the machine.
+		c.Engine = engine
 		fmt.Printf("  %-11s %5d nodes, %5d edges\n", name, c.Graph.NumNodes(), c.Graph.NumEdges())
 	}
 	srv := server.New(study.Cities, ratingsPath)
-	fmt.Printf("Demo system listening on http://localhost%s\n", addr)
+	fmt.Printf("Demo system listening on http://localhost%s (%d planner workers)\n", addr, engine.Workers())
 	return http.ListenAndServe(addr, srv)
 }

@@ -13,8 +13,8 @@ import (
 	"log"
 
 	"repro/internal/citygen"
-	"repro/internal/geo"
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/spatial"

@@ -10,10 +10,10 @@
 package ch
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/sp"
 )
 
 // arc is one directed edge of the hierarchy graph: either an original
@@ -50,6 +50,10 @@ type buildGraph struct {
 	in         [][]int32 // arc indices entering each node (arc.to == node owner is implicit for out; for in we store the arc plus its from node)
 	inFrom     [][]graph.NodeID
 	contracted []bool
+	// wit is the reusable scratch state of the bounded witness searches;
+	// the epoch reset makes the thousands of searches a contraction run
+	// performs allocation-free instead of building maps per call.
+	wit sp.SearchState
 }
 
 func (b *buildGraph) addArc(from, to graph.NodeID, w float64, orig graph.EdgeID, skip1, skip2 int32) int32 {
@@ -78,26 +82,25 @@ func Build(g *graph.Graph, weights []float64) *Hierarchy {
 		bg.addArc(ed.From, ed.To, weights[e], graph.EdgeID(e), -1, -1)
 	}
 
-	// Priority queue over contraction priority with lazy updates.
-	pq := &nodePQ{}
-	heap.Init(pq)
+	// Priority queue over contraction priority with lazy updates, on the
+	// shared unboxed heap rather than container/heap's interface{} API.
+	pq := &sp.Heap{}
 	for v := 0; v < n; v++ {
-		heap.Push(pq, pqItem{node: graph.NodeID(v), prio: priority(bg, graph.NodeID(v), 0)})
+		pq.Push(graph.NodeID(v), priority(bg, graph.NodeID(v), 0))
 	}
 	rank := make([]int32, n)
 	contractedCount := 0
 	neighborsContracted := make([]int, n)
 	for pq.Len() > 0 {
-		item := heap.Pop(pq).(pqItem)
-		v := item.node
+		v, _ := pq.Pop()
 		if bg.contracted[v] {
 			continue
 		}
 		// Lazy update: if the recomputed priority is no longer minimal,
 		// requeue.
 		cur := priority(bg, v, neighborsContracted[v])
-		if pq.Len() > 0 && cur > (*pq)[0].prio {
-			heap.Push(pq, pqItem{node: v, prio: cur})
+		if pq.Len() > 0 && cur > pq.MinPrio() {
+			pq.Push(v, cur)
 			continue
 		}
 		contract(bg, v)
@@ -173,9 +176,9 @@ func countShortcuts(bg *buildGraph, v graph.NodeID) int {
 // every (u, w) pair whose shortest connection runs through v.
 func contract(bg *buildGraph, v graph.NodeID) {
 	type sc struct {
-		u, w     graph.NodeID
-		weight   float64
-		in, out  int32
+		u, w    graph.NodeID
+		weight  float64
+		in, out int32
 	}
 	var add []sc
 	inArc := make(map[graph.NodeID]int32)
@@ -254,64 +257,44 @@ func forEachPair(bg *buildGraph, v graph.NodeID, visit func(u, w graph.NodeID, w
 				continue
 			}
 			via := wu + wv
-			d, seen := dist[w]
-			needed := !seen || d > via+1e-12
+			needed := dist.DistOf(w) > via+1e-12
 			visit(u, w, via, needed)
 		}
 	}
 }
 
 // witnessSearch runs a bounded Dijkstra from u among uncontracted nodes,
-// skipping v, cut off at maxDist and a settle budget.
-func witnessSearch(bg *buildGraph, u, v graph.NodeID, maxDist float64) map[graph.NodeID]float64 {
+// skipping v, cut off at maxDist and a settle budget. It returns the
+// build graph's reusable epoch-stamped scratch state, valid until the
+// next witness search; unreached nodes read as +Inf.
+func witnessSearch(bg *buildGraph, u, v graph.NodeID, maxDist float64) *sp.SearchState {
 	const settleBudget = 60
-	dist := map[graph.NodeID]float64{u: 0}
-	settled := map[graph.NodeID]bool{}
-	pq := &nodePQ{}
-	heap.Init(pq)
-	heap.Push(pq, pqItem{node: u, prio: 0})
+	s := &bg.wit
+	s.Begin(len(bg.out))
+	s.Update(u, 0, -1)
+	s.Heap.Push(u, 0)
 	count := 0
-	for pq.Len() > 0 && count < settleBudget {
-		item := heap.Pop(pq).(pqItem)
-		if settled[item.node] || item.prio > maxDist {
-			if item.prio > maxDist {
+	for s.Heap.Len() > 0 && count < settleBudget {
+		node, prio := s.Heap.Pop()
+		if s.Settled(node) || prio > maxDist {
+			if prio > maxDist {
 				break
 			}
 			continue
 		}
-		settled[item.node] = true
+		s.Settle(node)
 		count++
-		for _, ai := range bg.out[item.node] {
+		for _, ai := range bg.out[node] {
 			a := bg.arcs[ai]
 			if a.to == v || bg.contracted[a.to] {
 				continue
 			}
-			nd := item.prio + a.weight
-			if cur, ok := dist[a.to]; (!ok || nd < cur) && nd <= maxDist {
-				dist[a.to] = nd
-				heap.Push(pq, pqItem{node: a.to, prio: nd})
+			nd := prio + a.weight
+			if nd <= maxDist && nd < s.DistOf(a.to) {
+				s.Update(a.to, nd, -1)
+				s.Heap.Push(a.to, nd)
 			}
 		}
 	}
-	return dist
-}
-
-// pqItem / nodePQ: a simple priority queue for preprocessing.
-type pqItem struct {
-	node graph.NodeID
-	prio float64
-}
-
-type nodePQ []pqItem
-
-func (q nodePQ) Len() int            { return len(q) }
-func (q nodePQ) Less(i, j int) bool  { return q[i].prio < q[j].prio }
-func (q nodePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodePQ) Push(x any)         { *q = append(*q, x.(pqItem)) }
-func (q *nodePQ) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+	return s
 }

@@ -1,10 +1,10 @@
 package ch
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/sp"
 )
 
 // Dist returns the exact shortest travel time from s to t, or +Inf if t is
@@ -12,7 +12,9 @@ import (
 // the forward frontier climbs rank-increasing arcs from s, the backward
 // frontier climbs from t, and the best meeting node gives the answer.
 func (h *Hierarchy) Dist(s, t graph.NodeID) float64 {
-	d, _, _, _ := h.query(s, t)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	d, _ := h.searchInto(ws, s, t)
 	return d
 }
 
@@ -20,7 +22,9 @@ func (h *Hierarchy) Dist(s, t graph.NodeID) float64 {
 // its travel time. Shortcuts are unpacked recursively. It returns
 // (nil, +Inf) when t is unreachable.
 func (h *Hierarchy) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
-	d, meet, parF, parB := h.query(s, t)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	d, meet := h.searchInto(ws, s, t)
 	if math.IsInf(d, 1) {
 		return nil, d
 	}
@@ -31,14 +35,14 @@ func (h *Hierarchy) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
 	// chain from the meeting node down to t.
 	var upArcs []int32
 	for cur := meet; cur != s; {
-		ai := parF[cur]
+		ai := int32(ws.F.ParentOf(cur))
 		upArcs = append(upArcs, ai)
 		cur = h.arcFrom[ai]
 	}
 	reverseInt32(upArcs)
 	var downArcs []int32
 	for cur := meet; cur != t; {
-		ai := parB[cur]
+		ai := int32(ws.B.ParentOf(cur))
 		downArcs = append(downArcs, ai)
 		cur = h.arcs[ai].to
 	}
@@ -63,84 +67,77 @@ func (h *Hierarchy) unpack(ai int32, out *[]graph.EdgeID) {
 	h.unpack(a.skip2, out)
 }
 
-// query runs the bidirectional upward search and returns the distance,
-// meeting node and both parent-arc maps.
-func (h *Hierarchy) query(s, t graph.NodeID) (float64, graph.NodeID, map[graph.NodeID]int32, map[graph.NodeID]int32) {
+// searchInto runs the bidirectional upward search on the workspace's two
+// epoch-stamped search states (parent slots hold arc indices rather than
+// graph edges) and returns the distance and meeting node. Earlier versions
+// allocated four maps and two container/heap queues per query; the
+// workspace makes repeated queries allocation-free.
+func (h *Hierarchy) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, graph.NodeID) {
 	if s == t {
-		return 0, s, nil, nil
+		return 0, s
 	}
-	distF := map[graph.NodeID]float64{s: 0}
-	distB := map[graph.NodeID]float64{t: 0}
-	parF := map[graph.NodeID]int32{}
-	parB := map[graph.NodeID]int32{}
-	pqF, pqB := &nodePQ{}, &nodePQ{}
-	heap.Init(pqF)
-	heap.Init(pqB)
-	heap.Push(pqF, pqItem{node: s, prio: 0})
-	heap.Push(pqB, pqItem{node: t, prio: 0})
-	setF := map[graph.NodeID]bool{}
-	setB := map[graph.NodeID]bool{}
+	n := h.g.NumNodes()
+	f, b := &ws.F, &ws.B
+	f.Begin(n)
+	b.Begin(n)
+	f.Update(s, 0, -1)
+	f.Heap.Push(s, 0)
+	b.Update(t, 0, -1)
+	b.Heap.Push(t, 0)
 
 	best := math.Inf(1)
 	meet := graph.InvalidNode
-	improve := func(v graph.NodeID) {
-		df, okF := distF[v]
-		db, okB := distB[v]
-		if okF && okB && df+db < best {
-			best = df + db
-			meet = v
-		}
-	}
 
-	for pqF.Len() > 0 || pqB.Len() > 0 {
+	for f.Heap.Len() > 0 || b.Heap.Len() > 0 {
 		topF, topB := math.Inf(1), math.Inf(1)
-		if pqF.Len() > 0 {
-			topF = (*pqF)[0].prio
+		if f.Heap.Len() > 0 {
+			topF = f.Heap.MinPrio()
 		}
-		if pqB.Len() > 0 {
-			topB = (*pqB)[0].prio
+		if b.Heap.Len() > 0 {
+			topB = b.Heap.MinPrio()
 		}
 		if math.Min(topF, topB) >= best {
 			break
 		}
-		if topF <= topB && pqF.Len() > 0 {
-			it := heap.Pop(pqF).(pqItem)
-			if setF[it.node] {
+		if topF <= topB && f.Heap.Len() > 0 {
+			u, du := f.Heap.Pop()
+			if f.Settled(u) {
 				continue
 			}
-			setF[it.node] = true
-			improve(it.node)
-			for _, ai := range h.upFwd[it.node] {
+			f.Settle(u)
+			if d := du + b.DistOf(u); d < best {
+				best = d
+				meet = u
+			}
+			for _, ai := range h.upFwd[u] {
 				a := h.arcs[ai]
-				nd := it.prio + a.weight
-				if cur, ok := distF[a.to]; !ok || nd < cur {
-					distF[a.to] = nd
-					parF[a.to] = ai
-					heap.Push(pqF, pqItem{node: a.to, prio: nd})
+				nd := du + a.weight
+				if nd < f.DistOf(a.to) {
+					f.Update(a.to, nd, graph.EdgeID(ai))
+					f.Heap.Push(a.to, nd)
 				}
 			}
-		} else if pqB.Len() > 0 {
-			it := heap.Pop(pqB).(pqItem)
-			if setB[it.node] {
+		} else if b.Heap.Len() > 0 {
+			u, du := b.Heap.Pop()
+			if b.Settled(u) {
 				continue
 			}
-			setB[it.node] = true
-			improve(it.node)
-			for _, ai := range h.upBwd[it.node] {
-				u := h.arcFrom[ai]
-				nd := it.prio + h.arcs[ai].weight
-				if cur, ok := distB[u]; !ok || nd < cur {
-					distB[u] = nd
-					parB[u] = ai
-					heap.Push(pqB, pqItem{node: u, prio: nd})
+			b.Settle(u)
+			if d := du + f.DistOf(u); d < best {
+				best = d
+				meet = u
+			}
+			for _, ai := range h.upBwd[u] {
+				from := h.arcFrom[ai]
+				nd := du + h.arcs[ai].weight
+				if nd < b.DistOf(from) {
+					b.Update(from, nd, graph.EdgeID(ai))
+					b.Heap.Push(from, nd)
 				}
 			}
 		}
 	}
-	if meet == graph.InvalidNode {
-		return math.Inf(1), meet, nil, nil
-	}
-	return best, meet, parF, parB
+	return best, meet
 }
 
 // NumArcs returns the hierarchy's arc count (original edges + shortcuts),

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ch
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ch
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation-count assertions are skipped.
+const raceEnabled = true

@@ -72,11 +72,13 @@ func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	if s == t {
 		return trivialQuery(c.g, c.public, s), nil
 	}
-	fwd := sp.BuildTree(c.g, c.private, s, sp.Forward)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	fwd := sp.BuildTreeInto(ws, c.g, c.private, s, sp.Forward)
 	if !fwd.Reached(t) {
 		return nil, ErrNoRoute
 	}
-	bwd := sp.BuildTree(c.g, c.private, t, sp.Backward)
+	bwd := sp.BuildTreeInto(ws, c.g, c.private, t, sp.Backward)
 	fastestPrivate := fwd.Dist[t]
 
 	// Candidate pool: plateau routes under the provider's private data.

@@ -43,11 +43,13 @@ func (d *Dissimilarity) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	if s == t {
 		return trivialQuery(d.g, d.base, s), nil
 	}
-	fwd := sp.BuildTree(d.g, d.base, s, sp.Forward)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	fwd := sp.BuildTreeInto(ws, d.g, d.base, s, sp.Forward)
 	if !fwd.Reached(t) {
 		return nil, ErrNoRoute
 	}
-	bwd := sp.BuildTree(d.g, d.base, t, sp.Backward)
+	bwd := sp.BuildTreeInto(ws, d.g, d.base, t, sp.Backward)
 	fastest := fwd.Dist[t]
 	bound := d.opts.UpperBound * fastest
 

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+// Engine is the concurrent serving-layer entry point: it fans a batch of
+// Alternatives calls out over a bounded worker pool, the execution model a
+// multi-user deployment needs (§III's demo system answers four approaches
+// per submit, and the evaluation harness replays hundreds of queries).
+//
+// The engine itself holds no per-query state; each in-flight call draws a
+// warm sp.Workspace from the shared pool, so a saturated engine runs
+// steady-state query processing without allocating search arrays. Planners
+// used through an Engine must be safe for concurrent use — every planner
+// in this package is, except PrunedPlateaus (it records per-query
+// instrumentation fields).
+type Engine struct {
+	sem chan struct{}
+}
+
+// NewEngine returns an engine running at most workers concurrent planner
+// calls; workers <= 0 selects GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Job is one Alternatives call of a batch.
+type Job struct {
+	Planner Planner
+	S, T    graph.NodeID
+}
+
+// Result is the outcome of one Job, in batch order.
+type Result struct {
+	Routes []path.Path
+	Err    error
+}
+
+// AlternativesBatch answers all jobs concurrently (bounded by the worker
+// limit) and returns results in job order. It blocks until the whole
+// batch is done; per-job failures are reported in Result.Err, never as a
+// panic across goroutines.
+func (e *Engine) AlternativesBatch(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 1 {
+		// A singleton batch runs inline — no goroutine handoff on the
+		// latency-critical single-query path — but still under the
+		// semaphore so the worker bound holds across concurrent callers.
+		e.sem <- struct{}{}
+		runJob(&jobs[0], &results[0])
+		<-e.sem
+		return results
+	}
+	var wg sync.WaitGroup
+	for i := range jobs {
+		e.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-e.sem
+				wg.Done()
+			}()
+			runJob(&jobs[i], &results[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// runJob executes one planner call, converting a panic into the job's
+// error: a worker goroutine must never take the whole process down (the
+// HTTP handler's own recover cannot reach it).
+func runJob(job *Job, res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Routes = nil
+			res.Err = fmt.Errorf("core: planner %s panicked on %d->%d: %v", job.Planner.Name(), job.S, job.T, r)
+		}
+	}()
+	res.Routes, res.Err = job.Planner.Alternatives(job.S, job.T)
+}
+
+// Alternatives answers one query with every planner concurrently — the
+// fan-out behind each "Submit" press of the demo system, where the four
+// approaches' answers are independent.
+func (e *Engine) Alternatives(planners []Planner, s, t graph.NodeID) []Result {
+	jobs := make([]Job, len(planners))
+	for i, pl := range planners {
+		jobs[i] = Job{Planner: pl, S: s, T: t}
+	}
+	return e.AlternativesBatch(jobs)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+)
+
+func routesEqual(t *testing.T, want, got []path.Path, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d routes, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !path.Equal(want[i], got[i]) {
+			t.Fatalf("%s: route %d differs", label, i)
+		}
+		if want[i].TimeS != got[i].TimeS {
+			t.Fatalf("%s: route %d time %v, want %v", label, i, got[i].TimeS, want[i].TimeS)
+		}
+	}
+}
+
+// TestEngineMatchesSerial compares a batched engine run against direct
+// serial planner calls: same routes, same order, same errors.
+func TestEngineMatchesSerial(t *testing.T) {
+	g := testCity(t)
+	planners := allPlanners(g, Options{})
+	e := NewEngine(4)
+
+	var jobs []Job
+	for q := 0; q < 10; q++ {
+		s := graph.NodeID((q * 13) % g.NumNodes())
+		d := graph.NodeID((q*29 + 7) % g.NumNodes())
+		for _, pl := range planners {
+			jobs = append(jobs, Job{Planner: pl, S: s, T: d})
+		}
+	}
+	results := e.AlternativesBatch(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, job := range jobs {
+		want, wantErr := job.Planner.Alternatives(job.S, job.T)
+		if (wantErr == nil) != (results[i].Err == nil) {
+			t.Fatalf("job %d: err %v, want %v", i, results[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		routesEqual(t, want, results[i].Routes, "batched job")
+	}
+}
+
+// TestEngineConcurrentHammer slams one engine (and therefore the shared
+// workspace pool) from many goroutines at once and checks every result
+// against a serial oracle. Run with -race this is the data-race guard for
+// the whole workspace machinery.
+func TestEngineConcurrentHammer(t *testing.T) {
+	g := testCity(t)
+	planners := allPlanners(g, Options{})
+	e := NewEngine(8)
+
+	type query struct{ s, d graph.NodeID }
+	queries := make([]query, 12)
+	for i := range queries {
+		queries[i] = query{
+			s: graph.NodeID((i * 17) % g.NumNodes()),
+			d: graph.NodeID((i*31 + 3) % g.NumNodes()),
+		}
+	}
+	// Serial oracle, computed once up front.
+	oracle := make([][][]path.Path, len(queries))
+	for qi, q := range queries {
+		oracle[qi] = make([][]path.Path, len(planners))
+		for pi, pl := range planners {
+			routes, err := pl.Alternatives(q.s, q.d)
+			if err != nil && err != ErrNoRoute {
+				t.Fatalf("oracle %d/%d: %v", qi, pi, err)
+			}
+			oracle[qi][pi] = routes
+		}
+	}
+
+	const hammers = 16
+	var wg sync.WaitGroup
+	for h := 0; h < hammers; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				qi := (h + round) % len(queries)
+				results := e.Alternatives(planners, queries[qi].s, queries[qi].d)
+				for pi, r := range results {
+					if r.Err != nil && r.Err != ErrNoRoute {
+						t.Errorf("hammer %d: planner %d: %v", h, pi, r.Err)
+						return
+					}
+					want := oracle[qi][pi]
+					if len(r.Routes) != len(want) {
+						t.Errorf("hammer %d q%d p%d: %d routes, want %d", h, qi, pi, len(r.Routes), len(want))
+						return
+					}
+					for ri := range want {
+						if !path.Equal(want[ri], r.Routes[ri]) || want[ri].TimeS != r.Routes[ri].TimeS {
+							t.Errorf("hammer %d q%d p%d: route %d differs from serial oracle", h, qi, pi, ri)
+							return
+						}
+					}
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+}
+
+// TestEngineSingletonInline checks the single-job fast path.
+func TestEngineSingletonInline(t *testing.T) {
+	g := testCity(t)
+	pl := NewPlateaus(g, Options{})
+	e := NewEngine(2)
+	res := e.AlternativesBatch([]Job{{Planner: pl, S: 0, T: graph.NodeID(g.NumNodes() - 1)}})
+	if len(res) != 1 || res[0].Err != nil || len(res[0].Routes) == 0 {
+		t.Fatalf("singleton batch: %+v", res)
+	}
+	if math.IsInf(res[0].Routes[0].TimeS, 1) {
+		t.Fatal("singleton batch returned infinite travel time")
+	}
+}
+
+// TestEngineWorkerBound checks worker-count defaulting.
+func TestEngineWorkerBound(t *testing.T) {
+	if w := NewEngine(3).Workers(); w != 3 {
+		t.Errorf("Workers() = %d, want 3", w)
+	}
+	if w := NewEngine(0).Workers(); w < 1 {
+		t.Errorf("default Workers() = %d, want >= 1", w)
+	}
+}

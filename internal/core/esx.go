@@ -48,16 +48,18 @@ func (x *ESX) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	if s == t {
 		return trivialQuery(x.g, x.base, s), nil
 	}
-	first, d := sp.ShortestPath(x.g, x.base, s, t)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	first, d := sp.ShortestPathInto(ws, x.g, x.base, s, t)
 	if first == nil || math.IsInf(d, 1) {
 		return nil, ErrNoRoute
 	}
-	routes := []path.Path{path.MustNew(x.g, x.base, s, first)}
+	routes := []path.Path{path.MustNew(x.g, x.base, s, append([]graph.EdgeID(nil), first...))}
 	fastest := routes[0].TimeS
 
 	excluded := make(map[graph.EdgeID]bool)
 	for len(routes) < x.opts.K {
-		next, ok := x.nextDissimilar(s, t, routes, fastest, excluded)
+		next, ok := x.nextDissimilar(ws, s, t, routes, fastest, excluded)
 		if !ok {
 			break
 		}
@@ -69,7 +71,7 @@ func (x *ESX) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 // nextDissimilar runs the exclusion loop for one result path. The
 // exclusion set persists across rounds (as in ESX) so progress is not
 // re-derived from scratch for every k.
-func (x *ESX) nextDissimilar(s, t graph.NodeID, selected []path.Path, fastest float64, excluded map[graph.EdgeID]bool) (path.Path, bool) {
+func (x *ESX) nextDissimilar(ws *sp.Workspace, s, t graph.NodeID, selected []path.Path, fastest float64, excluded map[graph.EdgeID]bool) (path.Path, bool) {
 	work := make([]float64, len(x.base))
 	rebuild := func() {
 		copy(work, x.base)
@@ -79,7 +81,7 @@ func (x *ESX) nextDissimilar(s, t graph.NodeID, selected []path.Path, fastest fl
 	}
 	rebuild()
 	for iter := 0; iter < x.maxExclusionsPerRound; iter++ {
-		edges, d := sp.ShortestPath(x.g, work, s, t)
+		edges, d := sp.ShortestPathInto(ws, x.g, work, s, t)
 		if edges == nil || math.IsInf(d, 1) {
 			return path.Path{}, false
 		}
@@ -89,6 +91,7 @@ func (x *ESX) nextDissimilar(s, t graph.NodeID, selected []path.Path, fastest fl
 		}
 		if path.UnionShare(x.g, cand, selected) < 1-x.opts.Theta &&
 			admit(x.g, cand, selected, x.opts.SimilarityCutoff) {
+			cand.Edges = append([]graph.EdgeID(nil), edges...)
 			return cand, true
 		}
 		// Exclude the longest candidate edges that overlap the selected

@@ -50,11 +50,15 @@ func (p *Penalty) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	}
 	work := make([]float64, len(p.base))
 	copy(work, p.base)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
 
 	var routes []path.Path
 	var fastest float64
 	for iter := 0; iter < p.maxIterations && len(routes) < p.opts.K; iter++ {
-		edges, cost := sp.ShortestPath(p.g, work, s, t)
+		// The returned edge slice aliases the workspace and stays valid
+		// until the next search; admitted routes copy it below.
+		edges, _ := sp.ShortestPathInto(ws, p.g, work, s, t)
 		if edges == nil {
 			break
 		}
@@ -72,12 +76,12 @@ func (p *Penalty) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 			ok = false
 		}
 		if ok {
+			cand.Edges = append([]graph.EdgeID(nil), edges...)
 			routes = append(routes, cand)
 		}
 		// Penalize the found path's edges (both directions of each road
 		// segment) so the next iteration prefers different streets.
 		p.penalize(work, edges)
-		_ = cost
 	}
 	if len(routes) == 0 {
 		return nil, ErrNoRoute

@@ -58,11 +58,13 @@ func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	if s == t {
 		return trivialQuery(p.g, p.base, s), nil
 	}
-	fwd := sp.BuildTree(p.g, p.base, s, sp.Forward)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	fwd := sp.BuildTreeInto(ws, p.g, p.base, s, sp.Forward)
 	if !fwd.Reached(t) {
 		return nil, ErrNoRoute
 	}
-	bwd := sp.BuildTree(p.g, p.base, t, sp.Backward)
+	bwd := sp.BuildTreeInto(ws, p.g, p.base, t, sp.Backward)
 	fastest := fwd.Dist[t]
 
 	plateaus := p.FindPlateaus(fwd, bwd)

@@ -51,13 +51,15 @@ func (p *PrunedPlateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	}
 	// The ellipse needs the fastest time first; a bidirectional search is
 	// cheap relative to tree building.
-	_, fastest := sp.BidirectionalShortestPath(p.g, p.base, s, t)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	_, fastest := sp.BidirectionalShortestPathInto(ws, p.g, p.base, s, t)
 	if math.IsInf(fastest, 1) {
 		return nil, ErrNoRoute
 	}
 	maxCost := p.opts.UpperBound * fastest
-	fwd := sp.BuildPrunedTree(p.g, p.base, s, sp.Forward, t, maxCost, p.scale)
-	bwd := sp.BuildPrunedTree(p.g, p.base, t, sp.Backward, s, maxCost, p.scale)
+	fwd := sp.BuildPrunedTreeInto(ws, p.g, p.base, s, sp.Forward, t, maxCost, p.scale)
+	bwd := sp.BuildPrunedTreeInto(ws, p.g, p.base, t, sp.Backward, s, maxCost, p.scale)
 	p.LastReachedFwd = sp.CountReached(fwd)
 	p.LastReachedBwd = sp.CountReached(bwd)
 	if !fwd.Reached(t) {

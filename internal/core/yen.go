@@ -34,10 +34,10 @@ func (y *Yen) Name() string { return "Yen" }
 // candidateHeap orders candidate paths by travel time.
 type candidateHeap []path.Path
 
-func (h candidateHeap) Len() int            { return len(h) }
-func (h candidateHeap) Less(i, j int) bool  { return h[i].TimeS < h[j].TimeS }
-func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x any)         { *h = append(*h, x.(path.Path)) }
+func (h candidateHeap) Len() int           { return len(h) }
+func (h candidateHeap) Less(i, j int) bool { return h[i].TimeS < h[j].TimeS }
+func (h candidateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x any)        { *h = append(*h, x.(path.Path)) }
 func (h *candidateHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -55,11 +55,13 @@ func (y *Yen) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	if s == t {
 		return trivialQuery(y.g, y.base, s), nil
 	}
-	first, d := sp.ShortestPath(y.g, y.base, s, t)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	first, d := sp.ShortestPathInto(ws, y.g, y.base, s, t)
 	if first == nil || math.IsInf(d, 1) {
 		return nil, ErrNoRoute
 	}
-	result := []path.Path{path.MustNew(y.g, y.base, s, first)}
+	result := []path.Path{path.MustNew(y.g, y.base, s, append([]graph.EdgeID(nil), first...))}
 	cands := &candidateHeap{}
 
 	for len(result) < y.opts.K {
@@ -91,7 +93,7 @@ func (y *Yen) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 				}
 			}
 
-			spurEdges, spurCost := sp.ShortestPath(y.g, work, spurNode, t)
+			spurEdges, spurCost := sp.ShortestPathInto(ws, y.g, work, spurNode, t)
 			if spurEdges == nil || math.IsInf(spurCost, 1) {
 				continue
 			}

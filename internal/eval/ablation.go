@@ -22,11 +22,11 @@ import (
 
 // AblationRow is one configuration's aggregate quality measures.
 type AblationRow struct {
-	Name          string
-	MeanRoutes    float64
-	MeanSimT      float64
+	Name           string
+	MeanRoutes     float64
+	MeanSimT       float64
 	MeanMaxStretch float64
-	NearDupFrac   float64
+	NearDupFrac    float64
 }
 
 // AblationConfig names a planner factory to evaluate.

@@ -36,6 +36,21 @@ type City struct {
 	// Planners in Table I column order: GMaps, Plateaus, Dissimilarity,
 	// Penalty.
 	Planners [NumApproaches]core.Planner
+	// Engine fans the four approaches (and batch workloads) out over a
+	// bounded worker pool. NewCity sets it; replace it to tune the
+	// concurrency of a deployment. A nil Engine falls back to a shared
+	// process-wide default, so hand-assembled Cities keep working.
+	Engine *core.Engine
+}
+
+// defaultEngine serves Cities assembled without NewCity.
+var defaultEngine = core.NewEngine(0)
+
+func (c *City) engine() *core.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return defaultEngine
 }
 
 // NewCity generates the city network and constructs the four planners.
@@ -53,6 +68,7 @@ func NewCity(profile citygen.Profile, seed int64) (*City, error) {
 		Index:   spatial.NewIndex(g, 16),
 		Public:  g.CopyWeights(),
 		Traffic: tw,
+		Engine:  core.NewEngine(0),
 	}
 	c.Planners = [NumApproaches]core.Planner{
 		core.NewCommercial(g, tw, opts),
@@ -79,9 +95,11 @@ type Query struct {
 func (c *City) SampleQuery(rng *rand.Rand, band simstudy.Band) (Query, bool) {
 	lo, hi := simstudy.BandBounds(c.Profile.Name, band)
 	const maxAttempts = 40
+	ws := sp.GetWorkspace()
+	defer ws.Release()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		s := graph.NodeID(rng.Intn(c.Graph.NumNodes()))
-		tree := sp.BuildTree(c.Graph, c.Public, s, sp.Forward)
+		tree := sp.BuildTreeInto(ws, c.Graph, c.Public, s, sp.Forward)
 		var candidates []graph.NodeID
 		for v := graph.NodeID(0); int(v) < c.Graph.NumNodes(); v++ {
 			if v == s || !tree.Reached(v) {
@@ -113,29 +131,60 @@ type RouteSets struct {
 	Sets [NumApproaches][]path.Path
 }
 
-// RunPlanners answers q with all four approaches. A planner error other
-// than "no route" is returned; an empty set is recorded if a planner finds
-// nothing (which cannot happen for queries sampled from the public
-// weights, but is tolerated defensively).
+// RunPlanners answers q with all four approaches, fanned out concurrently
+// over the city's Engine. A planner error other than "no route" is
+// returned; an empty set is recorded if a planner finds nothing (which
+// cannot happen for queries sampled from the public weights, but is
+// tolerated defensively).
 func (c *City) RunPlanners(q Query) (RouteSets, error) {
 	rs := RouteSets{Query: q}
-	for i, pl := range c.Planners {
-		routes, err := pl.Alternatives(q.S, q.T)
-		if err == core.ErrNoRoute {
+	results := c.engine().Alternatives(c.Planners[:], q.S, q.T)
+	for i, r := range results {
+		if r.Err == core.ErrNoRoute {
 			continue
 		}
-		if err != nil {
-			return rs, fmt.Errorf("eval: %s on %d->%d: %w", pl.Name(), q.S, q.T, err)
+		if r.Err != nil {
+			return rs, fmt.Errorf("eval: %s on %d->%d: %w", c.Planners[i].Name(), q.S, q.T, r.Err)
 		}
-		rs.Sets[i] = routes
+		rs.Sets[i] = r.Routes
 	}
 	return rs, nil
+}
+
+// RunPlannersBatch answers many queries through the engine at once,
+// keeping every worker busy across query boundaries — the shape of a
+// heavily loaded deployment. Results are in query order.
+func (c *City) RunPlannersBatch(qs []Query) ([]RouteSets, error) {
+	jobs := make([]core.Job, 0, len(qs)*NumApproaches)
+	for _, q := range qs {
+		for _, pl := range c.Planners {
+			jobs = append(jobs, core.Job{Planner: pl, S: q.S, T: q.T})
+		}
+	}
+	results := c.engine().AlternativesBatch(jobs)
+	out := make([]RouteSets, len(qs))
+	for qi := range qs {
+		out[qi].Query = qs[qi]
+		for i := 0; i < NumApproaches; i++ {
+			r := results[qi*NumApproaches+i]
+			if r.Err == core.ErrNoRoute {
+				continue
+			}
+			if r.Err != nil {
+				return nil, fmt.Errorf("eval: %s on %d->%d: %w", c.Planners[i].Name(), qs[qi].S, qs[qi].T, r.Err)
+			}
+			out[qi].Sets[i] = r.Routes
+		}
+	}
+	return out, nil
 }
 
 // FastestPrivate returns the fastest s–t travel time under the traffic
 // weights, for feature extraction.
 func (c *City) FastestPrivate(s, t graph.NodeID) float64 {
-	_, d := sp.BidirectionalShortestPath(c.Graph, c.Traffic, s, t)
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	_, d := sp.BidirectionalShortestPathInto(ws, c.Graph, c.Traffic, s, t)
 	return d
 }
 

@@ -8,10 +8,10 @@ import (
 
 // Melbourne CBD and Monash Clayton campus, ~18.5 km apart.
 var (
-	melbCBD   = Point{Lat: -37.8136, Lon: 144.9631}
-	monash    = Point{Lat: -37.9105, Lon: 145.1362}
-	dhaka     = Point{Lat: 23.8103, Lon: 90.4125}
-	cph       = Point{Lat: 55.6761, Lon: 12.5683}
+	melbCBD = Point{Lat: -37.8136, Lon: 144.9631}
+	monash  = Point{Lat: -37.9105, Lon: 145.1362}
+	dhaka   = Point{Lat: 23.8103, Lon: 90.4125}
+	cph     = Point{Lat: 55.6761, Lon: 12.5683}
 )
 
 func TestHaversineKnownDistances(t *testing.T) {

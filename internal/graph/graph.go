@@ -51,6 +51,13 @@ type Graph struct {
 	// Reverse CSR: edges entering node v.
 	revOff []int32
 	revAdj []EdgeID
+	// Packed relaxation arrays, aligned with fwdAdj/revAdj: fwdTo[i] is the
+	// head of edge fwdAdj[i], revFrom[i] the tail of edge revAdj[i]. They
+	// let Dijkstra-style relaxations read (edge, endpoint) pairs from two
+	// sequential arrays instead of loading a full Edge struct per edge just
+	// to extract one endpoint.
+	fwdTo   []NodeID
+	revFrom []NodeID
 
 	bbox geo.BBox
 }
@@ -80,6 +87,20 @@ func (g *Graph) OutEdges(v NodeID) []EdgeID {
 // aliases internal storage and must not be modified.
 func (g *Graph) InEdges(v NodeID) []EdgeID {
 	return g.revAdj[g.revOff[v]:g.revOff[v+1]]
+}
+
+// OutHeads returns the head (To) node of every edge leaving v, aligned
+// index-for-index with OutEdges(v). The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) OutHeads(v NodeID) []NodeID {
+	return g.fwdTo[g.fwdOff[v]:g.fwdOff[v+1]]
+}
+
+// InTails returns the tail (From) node of every edge entering v, aligned
+// index-for-index with InEdges(v). The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) InTails(v NodeID) []NodeID {
+	return g.revFrom[g.revOff[v]:g.revOff[v+1]]
 }
 
 // OutDegree returns the number of edges leaving v.
@@ -206,12 +227,14 @@ func (b *Builder) AddEdge(spec EdgeSpec) (EdgeID, error) {
 func (b *Builder) Build() *Graph {
 	n := len(b.points)
 	g := &Graph{
-		points: b.points,
-		edges:  b.edges,
-		fwdOff: make([]int32, n+1),
-		revOff: make([]int32, n+1),
-		fwdAdj: make([]EdgeID, len(b.edges)),
-		revAdj: make([]EdgeID, len(b.edges)),
+		points:  b.points,
+		edges:   b.edges,
+		fwdOff:  make([]int32, n+1),
+		revOff:  make([]int32, n+1),
+		fwdAdj:  make([]EdgeID, len(b.edges)),
+		revAdj:  make([]EdgeID, len(b.edges)),
+		fwdTo:   make([]NodeID, len(b.edges)),
+		revFrom: make([]NodeID, len(b.edges)),
 	}
 	for i := range g.edges {
 		g.fwdOff[g.edges[i].From+1]++
@@ -228,8 +251,10 @@ func (b *Builder) Build() *Graph {
 	for i := range g.edges {
 		e := &g.edges[i]
 		g.fwdAdj[fwdNext[e.From]] = EdgeID(i)
+		g.fwdTo[fwdNext[e.From]] = e.To
 		fwdNext[e.From]++
 		g.revAdj[revNext[e.To]] = EdgeID(i)
+		g.revFrom[revNext[e.To]] = e.From
 		revNext[e.To]++
 	}
 	if n > 0 {

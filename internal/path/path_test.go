@@ -404,9 +404,9 @@ func TestLocalOptimality(t *testing.T) {
 	}
 	// A path with a pointless down-and-up detour is not.
 	detourEdges := []graph.EdgeID{
-		g.FindEdge(0, graph.NodeID(n)),     // down
+		g.FindEdge(0, graph.NodeID(n)), // down
 		g.FindEdge(graph.NodeID(n), graph.NodeID(n+1)),
-		g.FindEdge(graph.NodeID(n+1), 1),   // back up
+		g.FindEdge(graph.NodeID(n+1), 1), // back up
 	}
 	for i := 1; i+1 < n; i++ {
 		detourEdges = append(detourEdges, g.FindEdge(graph.NodeID(i), graph.NodeID(i+1)))

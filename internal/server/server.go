@@ -189,13 +189,18 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 		SNode: [2]float64{c.Graph.Point(sv).Lat, c.Graph.Point(sv).Lon},
 		TNode: [2]float64{c.Graph.Point(tv).Lat, c.Graph.Point(tv).Lon},
 	}
-	for i, pl := range c.Planners {
+	// Alternative-route computation (query processor step 2): all four
+	// approaches fan out concurrently over the city's engine.
+	rs, err := c.RunPlanners(eval.Query{S: sv, T: tv})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "route computation failed")
+		log.Printf("server: planners on %s %d->%d: %v", q.Get("city"), sv, tv, err)
+		return
+	}
+	for i := range c.Planners {
 		aj := approachJSON{Label: displayLabels[i]}
-		routes, err := pl.Alternatives(sv, tv)
-		if err == nil {
-			for _, rt := range routes {
-				aj.Routes = append(aj.Routes, toRouteJSON(c, rt))
-			}
+		for _, rt := range rs.Sets[i] {
+			aj.Routes = append(aj.Routes, toRouteJSON(c, rt))
 		}
 		out.Approaches = append(out.Approaches, aj)
 	}

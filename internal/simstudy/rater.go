@@ -88,11 +88,11 @@ type RaterParams struct {
 // DefaultRaterParams returns the calibrated coefficients.
 func DefaultRaterParams() RaterParams {
 	return RaterParams{
-		Base:          4.15,
-		WStretch:      2.8,
-		WSim:          0.55,
-		WTurns:        0.06,
-		WFewRoutes:    0.12,
+		Base:               4.15,
+		WStretch:           2.8,
+		WSim:               0.55,
+		WTurns:             0.06,
+		WFewRoutes:         0.12,
 		ResidentTrust:      0.55,
 		NonResStretchBoost: 1.45,
 		NoiseSD:            1.45,

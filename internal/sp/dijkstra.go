@@ -6,6 +6,21 @@
 // All searches take an explicit weight slice indexed by EdgeID so that the
 // Penalty technique and the traffic simulation can run on perturbed
 // weights without copying the graph.
+//
+// # Workspaces and the epoch reset
+//
+// Every search exists in two forms: a convenience form (BuildTree,
+// ShortestPath, ...) that returns independently owned results, and an
+// allocation-free ...Into form taking an explicit *Workspace whose results
+// alias workspace memory. The workspace holds the per-search dist/parent
+// arrays, generation-stamp arrays and 4-ary heaps. Clearing between
+// searches is O(1): instead of re-filling dist with +Inf, Begin bumps a
+// generation counter and stale slots are treated as +Inf on read (see
+// SearchState). Relaxations additionally read packed per-direction head
+// arrays from the graph (OutHeads/InTails), so the hot loop touches two
+// sequential int32/float64 arrays instead of loading a 40-byte Edge struct
+// per edge. Under the serving layer (core.Engine) workspaces are pooled
+// via sync.Pool, making steady-state query processing allocation-free.
 package sp
 
 import (
@@ -70,57 +85,82 @@ func (t *Tree) PathTo(g *graph.Graph, v graph.NodeID) []graph.EdgeID {
 	return edges
 }
 
+// clone returns an independently owned copy of a workspace-backed tree.
+func (t *Tree) clone() *Tree {
+	return &Tree{
+		Root:   t.Root,
+		Dir:    t.Dir,
+		Dist:   append([]float64(nil), t.Dist...),
+		Parent: append([]graph.EdgeID(nil), t.Parent...),
+	}
+}
+
 func reverse(e []graph.EdgeID) {
 	for i, j := 0, len(e)-1; i < j; i, j = i+1, j-1 {
 		e[i], e[j] = e[j], e[i]
 	}
 }
 
+// copyEdges returns an independently owned copy of a workspace-backed edge
+// sequence, preserving nil-ness.
+func copyEdges(edges []graph.EdgeID) []graph.EdgeID {
+	if edges == nil {
+		return nil
+	}
+	return append(make([]graph.EdgeID, 0, len(edges)), edges...)
+}
+
 // BuildTree runs a full Dijkstra from root over the whole graph and returns
 // the shortest-path tree. weights must have one entry per edge; pass
 // g.CopyWeights() (or a perturbed copy) to choose the metric.
 func BuildTree(g *graph.Graph, weights []float64, root graph.NodeID, dir Direction) *Tree {
+	ws := GetWorkspace()
+	defer ws.Release()
+	return BuildTreeInto(ws, g, weights, root, dir).clone()
+}
+
+// BuildTreeInto is BuildTree on workspace memory: the returned Tree aliases
+// ws and is valid until the next search using the same slot (Forward trees
+// and point-to-point searches share one slot, Backward trees the other).
+func BuildTreeInto(ws *Workspace, g *graph.Graph, weights []float64, root graph.NodeID, dir Direction) *Tree {
 	n := g.NumNodes()
-	t := &Tree{
-		Root:   root,
-		Dir:    dir,
-		Dist:   make([]float64, n),
-		Parent: make([]graph.EdgeID, n),
-	}
-	for i := range t.Dist {
-		t.Dist[i] = math.Inf(1)
-		t.Parent[i] = -1
-	}
-	t.Dist[root] = 0
-	h := newNodeHeap(64)
-	h.Push(root, 0)
-	settled := make([]bool, n)
-	for h.Len() > 0 {
-		u, du := h.Pop()
-		if settled[u] {
-			continue
+	t, s := ws.treeSlot(dir)
+	s.Begin(n)
+	s.Update(root, 0, -1)
+	s.Heap.Push(root, 0)
+	dist, parent, stamp, cur := s.dist, s.parent, s.stamp, s.cur
+	for s.Heap.Len() > 0 {
+		u, du := s.Heap.Pop()
+		if stamp[u] == cur+1 {
+			continue // stale duplicate; already settled
 		}
-		settled[u] = true
+		stamp[u] = cur + 1
 		var adj []graph.EdgeID
+		var ends []graph.NodeID
 		if dir == Forward {
-			adj = g.OutEdges(u)
+			adj, ends = g.OutEdges(u), g.OutHeads(u)
 		} else {
-			adj = g.InEdges(u)
+			adj, ends = g.InEdges(u), g.InTails(u)
 		}
-		for _, e := range adj {
-			var v graph.NodeID
-			if dir == Forward {
-				v = g.Edge(e).To
-			} else {
-				v = g.Edge(e).From
+		for i, e := range adj {
+			v := ends[i]
+			nd := du + weights[e]
+			if stamp[v] >= cur && nd >= dist[v] {
+				continue
 			}
-			if nd := du + weights[e]; nd < t.Dist[v] {
-				t.Dist[v] = nd
-				t.Parent[v] = e
-				h.Push(v, nd)
+			if math.IsInf(nd, 1) {
+				continue // +Inf weights are bans; never traverse them
 			}
+			dist[v] = nd
+			parent[v] = e
+			if stamp[v] < cur {
+				stamp[v] = cur
+			}
+			s.Heap.Push(v, nd)
 		}
 	}
+	t.Root, t.Dir = root, dir
+	t.Dist, t.Parent = s.finalize(n)
 	return t
 }
 
@@ -128,49 +168,62 @@ func BuildTree(g *graph.Graph, weights []float64, root graph.NodeID, dir Directi
 // shortest s→t path as an edge sequence plus its travel time. It returns
 // (nil, +Inf) when t is unreachable from s.
 func ShortestPath(g *graph.Graph, weights []float64, s, t graph.NodeID) ([]graph.EdgeID, float64) {
+	ws := GetWorkspace()
+	defer ws.Release()
+	edges, d := ShortestPathInto(ws, g, weights, s, t)
+	return copyEdges(edges), d
+}
+
+// ShortestPathInto is ShortestPath on workspace memory: the returned edge
+// slice aliases ws and is valid until its next use.
+func ShortestPathInto(ws *Workspace, g *graph.Graph, weights []float64, s, t graph.NodeID) ([]graph.EdgeID, float64) {
 	if s == t {
-		return []graph.EdgeID{}, 0
+		return ws.pathBuf(), 0
 	}
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	parent := make([]graph.EdgeID, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parent[i] = -1
-	}
-	dist[s] = 0
-	h := newNodeHeap(64)
-	h.Push(s, 0)
-	settled := make([]bool, n)
-	for h.Len() > 0 {
-		u, du := h.Pop()
-		if settled[u] {
-			continue
+	st := &ws.F
+	st.Begin(g.NumNodes())
+	st.Update(s, 0, -1)
+	st.Heap.Push(s, 0)
+	dist, parent, stamp, cur := st.dist, st.parent, st.stamp, st.cur
+	for st.Heap.Len() > 0 {
+		u, du := st.Heap.Pop()
+		if stamp[u] == cur+1 {
+			continue // stale duplicate; already settled
 		}
 		if u == t {
 			break
 		}
-		settled[u] = true
-		for _, e := range g.OutEdges(u) {
-			v := g.Edge(e).To
-			if nd := du + weights[e]; nd < dist[v] {
-				dist[v] = nd
-				parent[v] = e
-				h.Push(v, nd)
+		stamp[u] = cur + 1
+		adj, heads := g.OutEdges(u), g.OutHeads(u)
+		for i, e := range adj {
+			v := heads[i]
+			nd := du + weights[e]
+			if stamp[v] >= cur && nd >= dist[v] {
+				continue
 			}
+			if math.IsInf(nd, 1) {
+				continue // +Inf weights are bans; never traverse them
+			}
+			dist[v] = nd
+			parent[v] = e
+			if stamp[v] < cur {
+				stamp[v] = cur
+			}
+			st.Heap.Push(v, nd)
 		}
 	}
-	if math.IsInf(dist[t], 1) {
+	if !st.Touched(t) {
 		return nil, math.Inf(1)
 	}
-	edges := make([]graph.EdgeID, 0, 32)
+	edges := ws.pathBuf()
 	for cur := t; cur != s; {
-		e := parent[cur]
+		e := st.parent[cur]
 		edges = append(edges, e)
 		cur = g.Edge(e).From
 	}
 	reverse(edges)
-	return edges, dist[t]
+	ws.path = edges
+	return edges, st.dist[t]
 }
 
 // BidirectionalShortestPath computes the shortest s→t path by running
@@ -178,80 +231,103 @@ func ShortestPath(g *graph.Graph, weights []float64, s, t graph.NodeID) ([]graph
 // middle. Returns the same result as ShortestPath but typically settles
 // far fewer nodes on road networks.
 func BidirectionalShortestPath(g *graph.Graph, weights []float64, s, t graph.NodeID) ([]graph.EdgeID, float64) {
+	ws := GetWorkspace()
+	defer ws.Release()
+	edges, d := BidirectionalShortestPathInto(ws, g, weights, s, t)
+	return copyEdges(edges), d
+}
+
+// BidirectionalShortestPathInto is BidirectionalShortestPath on workspace
+// memory (both search slots): the returned edge slice aliases ws and is
+// valid until its next use.
+func BidirectionalShortestPathInto(ws *Workspace, g *graph.Graph, weights []float64, s, t graph.NodeID) ([]graph.EdgeID, float64) {
 	if s == t {
-		return []graph.EdgeID{}, 0
+		return ws.pathBuf(), 0
 	}
 	n := g.NumNodes()
-	distF := make([]float64, n)
-	distB := make([]float64, n)
-	parF := make([]graph.EdgeID, n)
-	parB := make([]graph.EdgeID, n)
-	for i := 0; i < n; i++ {
-		distF[i] = math.Inf(1)
-		distB[i] = math.Inf(1)
-		parF[i] = -1
-		parB[i] = -1
-	}
-	distF[s], distB[t] = 0, 0
-	hf, hb := newNodeHeap(64), newNodeHeap(64)
-	hf.Push(s, 0)
-	hb.Push(t, 0)
-	setF := make([]bool, n)
-	setB := make([]bool, n)
+	f, b := &ws.F, &ws.B
+	f.Begin(n)
+	b.Begin(n)
+	f.Update(s, 0, -1)
+	f.Heap.Push(s, 0)
+	b.Update(t, 0, -1)
+	b.Heap.Push(t, 0)
 
 	best := math.Inf(1)
 	var meet graph.NodeID = graph.InvalidNode
 
-	relaxMeeting := func(v graph.NodeID) {
-		if !math.IsInf(distF[v], 1) && !math.IsInf(distB[v], 1) {
-			if d := distF[v] + distB[v]; d < best {
-				best = d
-				meet = v
-			}
-		}
-	}
+	distF, parF, stampF, curF := f.dist, f.parent, f.stamp, f.cur
+	distB, parB, stampB, curB := b.dist, b.parent, b.stamp, b.cur
 
-	for hf.Len() > 0 || hb.Len() > 0 {
+	for f.Heap.Len() > 0 || b.Heap.Len() > 0 {
 		// Stop when the frontiers can no longer improve the best meeting.
 		topF, topB := math.Inf(1), math.Inf(1)
-		if hf.Len() > 0 {
-			topF = hf.prios[0]
+		if f.Heap.Len() > 0 {
+			topF = f.Heap.MinPrio()
 		}
-		if hb.Len() > 0 {
-			topB = hb.prios[0]
+		if b.Heap.Len() > 0 {
+			topB = b.Heap.MinPrio()
 		}
 		if topF+topB >= best {
 			break
 		}
 		// Expand the smaller frontier.
-		if topF <= topB && hf.Len() > 0 {
-			u, du := hf.Pop()
-			if setF[u] {
+		if topF <= topB && f.Heap.Len() > 0 {
+			u, du := f.Heap.Pop()
+			if stampF[u] == curF+1 {
 				continue
 			}
-			setF[u] = true
-			for _, e := range g.OutEdges(u) {
-				v := g.Edge(e).To
-				if nd := du + weights[e]; nd < distF[v] {
-					distF[v] = nd
-					parF[v] = e
-					hf.Push(v, nd)
-					relaxMeeting(v)
+			stampF[u] = curF + 1
+			adj, heads := g.OutEdges(u), g.OutHeads(u)
+			for i, e := range adj {
+				v := heads[i]
+				nd := du + weights[e]
+				if stampF[v] >= curF && nd >= distF[v] {
+					continue
+				}
+				if math.IsInf(nd, 1) {
+					continue // +Inf weights are bans; never traverse them
+				}
+				distF[v] = nd
+				parF[v] = e
+				if stampF[v] < curF {
+					stampF[v] = curF
+				}
+				f.Heap.Push(v, nd)
+				if stampB[v] >= curB {
+					if d := nd + distB[v]; d < best {
+						best = d
+						meet = v
+					}
 				}
 			}
-		} else if hb.Len() > 0 {
-			u, du := hb.Pop()
-			if setB[u] {
+		} else if b.Heap.Len() > 0 {
+			u, du := b.Heap.Pop()
+			if stampB[u] == curB+1 {
 				continue
 			}
-			setB[u] = true
-			for _, e := range g.InEdges(u) {
-				v := g.Edge(e).From
-				if nd := du + weights[e]; nd < distB[v] {
-					distB[v] = nd
-					parB[v] = e
-					hb.Push(v, nd)
-					relaxMeeting(v)
+			stampB[u] = curB + 1
+			adj, tails := g.InEdges(u), g.InTails(u)
+			for i, e := range adj {
+				v := tails[i]
+				nd := du + weights[e]
+				if stampB[v] >= curB && nd >= distB[v] {
+					continue
+				}
+				if math.IsInf(nd, 1) {
+					continue // +Inf weights are bans; never traverse them
+				}
+				distB[v] = nd
+				parB[v] = e
+				if stampB[v] < curB {
+					stampB[v] = curB
+				}
+				b.Heap.Push(v, nd)
+				if stampF[v] >= curF {
+					if d := nd + distF[v]; d < best {
+						best = d
+						meet = v
+					}
 				}
 			}
 		}
@@ -260,18 +336,19 @@ func BidirectionalShortestPath(g *graph.Graph, weights []float64, s, t graph.Nod
 		return nil, math.Inf(1)
 	}
 	// Stitch s→meet from the forward search with meet→t from the backward one.
-	var edges []graph.EdgeID
+	edges := ws.pathBuf()
 	for cur := meet; cur != s; {
-		e := parF[cur]
+		e := f.parent[cur]
 		edges = append(edges, e)
 		cur = g.Edge(e).From
 	}
 	reverse(edges)
 	for cur := meet; cur != t; {
-		e := parB[cur]
+		e := b.parent[cur]
 		edges = append(edges, e)
 		cur = g.Edge(e).To
 	}
+	ws.path = edges
 	return edges, best
 }
 
@@ -280,54 +357,67 @@ func BidirectionalShortestPath(g *graph.Graph, weights []float64, s, t graph.Nod
 // lower bound on weight/length over all edges (see MinSecondsPerMeter);
 // passing 0 disables the heuristic, degrading to plain Dijkstra.
 func AStarShortestPath(g *graph.Graph, weights []float64, s, t graph.NodeID, minSecondsPerMeter float64) ([]graph.EdgeID, float64) {
+	ws := GetWorkspace()
+	defer ws.Release()
+	edges, d := AStarShortestPathInto(ws, g, weights, s, t, minSecondsPerMeter)
+	return copyEdges(edges), d
+}
+
+// AStarShortestPathInto is AStarShortestPath on workspace memory: the
+// returned edge slice aliases ws and is valid until its next use.
+func AStarShortestPathInto(ws *Workspace, g *graph.Graph, weights []float64, s, t graph.NodeID, minSecondsPerMeter float64) ([]graph.EdgeID, float64) {
 	if s == t {
-		return []graph.EdgeID{}, 0
+		return ws.pathBuf(), 0
 	}
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	parent := make([]graph.EdgeID, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parent[i] = -1
-	}
+	st := &ws.F
+	st.Begin(g.NumNodes())
 	target := g.Point(t)
 	h := func(v graph.NodeID) float64 {
 		return geo.Haversine(g.Point(v), target) * minSecondsPerMeter
 	}
-	dist[s] = 0
-	pq := newNodeHeap(64)
-	pq.Push(s, h(s))
-	settled := make([]bool, n)
-	for pq.Len() > 0 {
-		u, _ := pq.Pop()
-		if settled[u] {
-			continue
+	st.Update(s, 0, -1)
+	st.Heap.Push(s, h(s))
+	dist, parent, stamp, cur := st.dist, st.parent, st.stamp, st.cur
+	for st.Heap.Len() > 0 {
+		u, _ := st.Heap.Pop()
+		if stamp[u] == cur+1 {
+			continue // stale duplicate; already settled
 		}
 		if u == t {
 			break
 		}
-		settled[u] = true
+		stamp[u] = cur + 1
 		du := dist[u]
-		for _, e := range g.OutEdges(u) {
-			v := g.Edge(e).To
-			if nd := du + weights[e]; nd < dist[v] {
-				dist[v] = nd
-				parent[v] = e
-				pq.Push(v, nd+h(v))
+		adj, heads := g.OutEdges(u), g.OutHeads(u)
+		for i, e := range adj {
+			v := heads[i]
+			nd := du + weights[e]
+			if stamp[v] >= cur && nd >= dist[v] {
+				continue
 			}
+			if math.IsInf(nd, 1) {
+				continue // +Inf weights are bans; never traverse them
+			}
+			dist[v] = nd
+			parent[v] = e
+			if stamp[v] < cur {
+				stamp[v] = cur
+			}
+			st.Heap.Push(v, nd+h(v))
 		}
 	}
-	if math.IsInf(dist[t], 1) {
+	if !st.Touched(t) {
 		return nil, math.Inf(1)
 	}
-	edges := make([]graph.EdgeID, 0, 32)
+	edges := ws.pathBuf()
 	for cur := t; cur != s; {
-		e := parent[cur]
+		e := st.parent[cur]
 		edges = append(edges, e)
 		cur = g.Edge(e).From
 	}
 	reverse(edges)
-	return edges, dist[t]
+	ws.path = edges
+	return edges, st.dist[t]
 }
 
 // MinSecondsPerMeter returns the smallest weight/length ratio over all

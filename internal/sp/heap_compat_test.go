@@ -1,0 +1,12 @@
+package sp
+
+import "repro/internal/graph"
+
+// newNodeHeap is the test-suite constructor kept from before the heap was
+// exported; the zero-value Heap is ready to use, this just pre-sizes it.
+func newNodeHeap(capHint int) *Heap {
+	return &Heap{
+		nodes: make([]graph.NodeID, 0, capHint),
+		prios: make([]float64, 0, capHint),
+	}
+}

@@ -26,58 +26,62 @@ import (
 // weight(e) ≥ minSecondsPerMeter × length(e) for every edge (see
 // MinSecondsPerMeter). Unreached nodes keep Dist = +Inf.
 func BuildPrunedTree(g *graph.Graph, weights []float64, root graph.NodeID, dir Direction, other graph.NodeID, maxCost, minSecondsPerMeter float64) *Tree {
+	ws := GetWorkspace()
+	defer ws.Release()
+	return BuildPrunedTreeInto(ws, g, weights, root, dir, other, maxCost, minSecondsPerMeter).clone()
+}
+
+// BuildPrunedTreeInto is BuildPrunedTree on workspace memory: the returned
+// Tree aliases ws and is valid until the next search using the same slot.
+func BuildPrunedTreeInto(ws *Workspace, g *graph.Graph, weights []float64, root graph.NodeID, dir Direction, other graph.NodeID, maxCost, minSecondsPerMeter float64) *Tree {
 	n := g.NumNodes()
-	t := &Tree{
-		Root:   root,
-		Dir:    dir,
-		Dist:   make([]float64, n),
-		Parent: make([]graph.EdgeID, n),
-	}
-	for i := range t.Dist {
-		t.Dist[i] = math.Inf(1)
-		t.Parent[i] = -1
-	}
+	t, s := ws.treeSlot(dir)
+	s.Begin(n)
 	otherPt := g.Point(other)
 	bound := func(v graph.NodeID) float64 {
 		return geo.Haversine(g.Point(v), otherPt) * minSecondsPerMeter
 	}
-	t.Dist[root] = 0
-	h := newNodeHeap(64)
-	h.Push(root, 0)
-	settled := make([]bool, n)
-	for h.Len() > 0 {
-		u, du := h.Pop()
-		if settled[u] {
-			continue
+	s.Update(root, 0, -1)
+	s.Heap.Push(root, 0)
+	dist, parent, stamp, cur := s.dist, s.parent, s.stamp, s.cur
+	for s.Heap.Len() > 0 {
+		u, du := s.Heap.Pop()
+		if stamp[u] == cur+1 {
+			continue // stale duplicate; already settled
 		}
 		if du > maxCost {
 			break
 		}
-		settled[u] = true
+		stamp[u] = cur + 1
 		var adj []graph.EdgeID
+		var ends []graph.NodeID
 		if dir == Forward {
-			adj = g.OutEdges(u)
+			adj, ends = g.OutEdges(u), g.OutHeads(u)
 		} else {
-			adj = g.InEdges(u)
+			adj, ends = g.InEdges(u), g.InTails(u)
 		}
-		for _, e := range adj {
-			var v graph.NodeID
-			if dir == Forward {
-				v = g.Edge(e).To
-			} else {
-				v = g.Edge(e).From
-			}
+		for i, e := range adj {
+			v := ends[i]
 			nd := du + weights[e]
 			if nd+bound(v) > maxCost {
 				continue // outside the ellipse
 			}
-			if nd < t.Dist[v] {
-				t.Dist[v] = nd
-				t.Parent[v] = e
-				h.Push(v, nd)
+			if stamp[v] >= cur && nd >= dist[v] {
+				continue
 			}
+			if math.IsInf(nd, 1) {
+				continue // +Inf weights are bans; never traverse them
+			}
+			dist[v] = nd
+			parent[v] = e
+			if stamp[v] < cur {
+				stamp[v] = cur
+			}
+			s.Heap.Push(v, nd)
 		}
 	}
+	t.Root, t.Dir = root, dir
+	t.Dist, t.Parent = s.finalize(n)
 	return t
 }
 

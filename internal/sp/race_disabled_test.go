@@ -1,0 +1,5 @@
+//go:build !race
+
+package sp
+
+const raceEnabled = false

@@ -68,11 +68,11 @@ func Max(xs []float64) float64 {
 // Summary bundles the descriptive statistics reported in the paper's
 // tables.
 type Summary struct {
-	N      int
-	Mean   float64
-	SD     float64
-	SE     float64
-	Max    float64
+	N    int
+	Mean float64
+	SD   float64
+	SE   float64
+	Max  float64
 }
 
 // Summarize computes a Summary of xs.
