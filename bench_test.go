@@ -17,6 +17,7 @@ import (
 	"repro/internal/ch"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/geo"
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/simstudy"
@@ -311,6 +312,87 @@ func BenchmarkMicroBuildTreeInto(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sp.BuildTreeInto(ws, g, w, 0, sp.Forward)
+	}
+}
+
+// --- Tree backends of the choice-routing planners ------------------------------
+//
+// The §II-B tentpole: the Plateaus planner answering the same queries on
+// full Dijkstra trees vs PHAST trees swept out of the contraction
+// hierarchy. Run on a uniform grid (the structure where full-tree Dijkstra
+// is most heap-bound) with -benchmem to see the allocation profile.
+
+// benchGrid builds a rows×cols grid town with a few arterials, the same
+// shape the ch package benchmarks use.
+func benchGrid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows*cols, rows*cols*4)
+	o := geo.Point{Lat: -37.81, Lon: 144.96}
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddNode(geo.Offset(o, float64(r)*150, float64(c)*150))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			class := graph.Residential
+			if r%5 == 0 {
+				class = graph.Primary
+			}
+			if c+1 < cols {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r, c+1), Class: class, TwoWay: true})
+			}
+			if r+1 < rows {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r+1, c), Class: graph.Residential, TwoWay: true})
+			}
+		}
+	}
+	return b.Build()
+}
+
+func benchPlateausBackend(b *testing.B, backend core.TreeBackend) {
+	g := benchGrid(50, 50)
+	planner := core.NewPlateaus(g, core.Options{TreeBackend: backend})
+	rng := rand.New(rand.NewSource(4))
+	type q struct{ s, t graph.NodeID }
+	queries := make([]q, 16)
+	for i := range queries {
+		queries[i] = q{graph.NodeID(rng.Intn(g.NumNodes())), graph.NodeID(rng.Intn(g.NumNodes()))}
+		if queries[i].s == queries[i].t {
+			queries[i].t = (queries[i].t + 1) % graph.NodeID(g.NumNodes())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qq := queries[i%len(queries)]
+		if _, err := planner.Alternatives(qq.s, qq.t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlateausDijkstra(b *testing.B) { benchPlateausBackend(b, core.TreeDijkstra) }
+
+func BenchmarkPlateausCH(b *testing.B) { benchPlateausBackend(b, core.TreeCH) }
+
+// TestPlateausTreeSweepZeroAlloc pins the PHAST promise at the planner
+// substrate: building both complete trees (upward search + downward
+// sweep) on a warm workspace allocates nothing.
+func TestPlateausTreeSweepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	g := benchGrid(40, 40)
+	tb := ch.Build(g, g.CopyWeights()).NewTreeBuilder()
+	ws := sp.NewWorkspace()
+	s, dst := graph.NodeID(0), graph.NodeID(g.NumNodes()-1)
+	build := func() {
+		tb.BuildTreeInto(ws, s, sp.Forward)
+		tb.BuildTreeInto(ws, dst, sp.Backward)
+	}
+	build()
+	if allocs := testing.AllocsPerRun(10, build); allocs > 0 {
+		t.Errorf("PHAST tree pair: %v allocs/op after warm-up, want 0", allocs)
 	}
 }
 

@@ -38,17 +38,21 @@ func main() {
 	k := flag.Int("k", core.DefaultK, "routes per approach")
 	withYen := flag.Bool("yen", false, "also run Yen's k-shortest paths baseline")
 	geojsonOut := flag.String("geojson", "", "write all routes as GeoJSON to this file")
+	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra or ch (PHAST)")
 	flag.Parse()
 
-	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut); err != nil {
+	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut, *trees); err != nil {
 		fmt.Fprintln(os.Stderr, "altroutes:", err)
 		os.Exit(1)
 	}
 }
 
-func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut string) error {
+func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut, trees string) error {
+	backend, err := core.ParseTreeBackend(trees)
+	if err != nil {
+		return err
+	}
 	var g *graph.Graph
-	var err error
 	if graphPath != "" {
 		g, err = graph.LoadFile(graphPath)
 	} else {
@@ -73,7 +77,7 @@ func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode
 	}
 	fmt.Printf("Query: %d %v -> %d %v\n\n", s, g.Point(s), t, g.Point(t))
 
-	opts := core.Options{K: k}
+	opts := core.Options{K: k, TreeBackend: backend}
 	private := traffic.Apply(g, traffic.DefaultModel(uint64(seed)*2654435761+1))
 	planners := []core.Planner{
 		core.NewCommercial(g, private, opts),

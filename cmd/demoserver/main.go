@@ -25,17 +25,23 @@ func main() {
 	seed := flag.Int64("seed", 2022, "city generation seed")
 	ratingsPath := flag.String("ratings", "ratings.json", "file the submitted ratings are stored in (empty disables)")
 	workers := flag.Int("workers", 0, "concurrent planner calls per city (0 = number of CPUs)")
+	trees := flag.String("trees", "ch", "tree backend for the choice-routing planners: dijkstra or ch (PHAST; default, the serving-optimised path)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *ratingsPath, *workers); err != nil {
+	if err := run(*addr, *seed, *ratingsPath, *workers, *trees); err != nil {
 		fmt.Fprintln(os.Stderr, "demoserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, ratingsPath string, workers int) error {
-	fmt.Printf("Generating the three city networks (seed %d)...\n", seed)
-	study, err := eval.NewStudy(seed)
+func run(addr string, seed int64, ratingsPath string, workers int, trees string) error {
+	backend, err := core.ParseTreeBackend(trees)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{TreeBackend: backend}
+	fmt.Printf("Generating the three city networks (seed %d, %s trees)...\n", seed, trees)
+	study, err := eval.NewStudyOpts(seed, opts)
 	if err != nil {
 		return err
 	}

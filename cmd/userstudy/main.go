@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/simstudy"
 )
@@ -27,21 +28,26 @@ func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2 or all")
 	ablation := flag.Bool("ablation", false, "also print the parameter/refinement ablation table")
 	csvOut := flag.String("csv", "", "also write the raw study records to this CSV file")
+	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra or ch (PHAST)")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *table, *ablation, *csvOut); err != nil {
+	if err := run(*seed, *scale, *table, *ablation, *csvOut, *trees); err != nil {
 		fmt.Fprintln(os.Stderr, "userstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, scale float64, table string, ablation bool, csvOut string) error {
+func run(seed int64, scale float64, table string, ablation bool, csvOut, trees string) error {
 	if table != "1" && table != "2" && table != "all" {
 		return fmt.Errorf("invalid -table %q (want 1, 2 or all)", table)
 	}
+	backend, err := core.ParseTreeBackend(trees)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	fmt.Printf("Generating city networks (seed %d)...\n", seed)
-	study, err := eval.NewStudy(seed)
+	fmt.Printf("Generating city networks (seed %d, %s trees)...\n", seed, trees)
+	study, err := eval.NewStudyOpts(seed, core.Options{TreeBackend: backend})
 	if err != nil {
 		return err
 	}

@@ -86,7 +86,8 @@ func main() {
 			continue
 		}
 		checked++
-		reachedSum += pruned.LastReachedFwd
+		fwdReached, _ := pruned.LastReached()
+		reachedSum += fwdReached
 		identical := len(a) == len(b)
 		if identical {
 			for j := range a {

@@ -31,11 +31,19 @@ import (
 // diverse top-K, and finally reports travel times under the public
 // weights, exactly as the paper's query processor timed Google's routes
 // with OSM data.
+//
+// Like a real engine it also applies the §II-B tree optimisations: by
+// default its plateau trees are elliptically pruned to the UpperBound
+// reachable region (sp.BuildPrunedTree) — disable with
+// Options.DisablePrunedTrees — and Options.TreeBackend == TreeCH switches
+// to full PHAST trees swept out of a contraction hierarchy over the
+// private weights.
 type Commercial struct {
 	g       *graph.Graph
 	public  []float64 // OSM-derived weights used for reported travel times
 	private []float64 // the provider's own traffic-aware weights
 	opts    Options
+	trees   TreeSource // tree factory over the private weights
 	// ranking criteria weights
 	turnPenalty   float64 // fractional cost increase per significant turn
 	narrowPenalty float64 // fractional cost increase for single-lane average
@@ -48,17 +56,27 @@ type Commercial struct {
 // have one weight per edge; it is the provider's own view of travel times
 // (typically produced by traffic.Apply).
 func NewCommercial(g *graph.Graph, private []float64, opts Options) *Commercial {
-	return &Commercial{
+	opts = opts.withDefaults()
+	c := &Commercial{
 		g:             g,
 		public:        g.CopyWeights(),
 		private:       private,
-		opts:          opts.withDefaults(),
+		opts:          opts,
 		turnPenalty:   0.015,
 		narrowPenalty: 0.10,
 		maxPairwise:   0.80,
 		diversityBias: 0.45,
 		poolSize:      16,
 	}
+	switch {
+	case opts.TreeBackend == TreeCH:
+		c.trees = newTreeSource(g, private, TreeCH)
+	case opts.DisablePrunedTrees:
+		c.trees = newTreeSource(g, private, TreeDijkstra)
+	default:
+		c.trees = newPrunedTrees(g, private, opts.UpperBound)
+	}
+	return c
 }
 
 // Name implements Planner.
@@ -74,29 +92,23 @@ func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	fwd := sp.BuildTreeInto(ws, c.g, c.private, s, sp.Forward)
-	if !fwd.Reached(t) {
+	fwd, bwd, ok := c.trees.BuildTrees(ws, s, t)
+	if !ok {
 		return nil, ErrNoRoute
 	}
-	bwd := sp.BuildTreeInto(ws, c.g, c.private, t, sp.Backward)
 	fastestPrivate := fwd.Dist[t]
 
 	// Candidate pool: plateau routes under the provider's private data.
 	inner := &Plateaus{g: c.g, base: c.private, opts: c.opts}
 	plateaus := inner.FindPlateaus(fwd, bwd)
-	sort.Slice(plateaus, func(i, j int) bool {
-		si, sj := plateaus[i].Score(), plateaus[j].Score()
-		if si != sj {
-			return si > sj
-		}
-		return plateaus[i].RouteCostS < plateaus[j].RouteCostS
-	})
+	sortPlateaus(plateaus)
 
 	type scored struct {
 		p     path.Path // timed under private weights during selection
 		score float64
 	}
 	var pool []scored
+	buf := ws.PathBuf()
 	for _, pl := range plateaus {
 		if len(pool) >= c.poolSize {
 			break
@@ -104,7 +116,8 @@ func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 		if pl.RouteCostS > c.opts.UpperBound*fastestPrivate+1e-9 {
 			continue
 		}
-		cand, ok := inner.assemble(fwd, bwd, pl, s)
+		var cand path.Path
+		buf, cand, ok = inner.assembleInto(buf, fwd, bwd, pl)
 		if !ok {
 			continue
 		}
@@ -118,8 +131,11 @@ func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 		if dup {
 			continue
 		}
+		// The pool outlives the assembly buffer; own the edges.
+		cand.Edges = append([]graph.EdgeID(nil), cand.Edges...)
 		pool = append(pool, scored{p: cand, score: c.score(cand)})
 	}
+	ws.KeepPathBuf(buf)
 	if len(pool) == 0 {
 		return nil, ErrNoRoute
 	}

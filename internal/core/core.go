@@ -75,6 +75,21 @@ type Options struct {
 	PenaltyFactor float64
 	// Theta is the Dissimilarity admission threshold (default 0.5).
 	Theta float64
+	// TreeBackend selects how the choice-routing planners (Plateaus,
+	// Commercial, PrunedPlateaus) build their shortest-path trees: full
+	// Dijkstra searches (TreeDijkstra, the default, matching the paper's
+	// description) or PHAST downward sweeps over a contraction hierarchy
+	// (TreeCH, the §II-B optimisation commercial engines apply). The
+	// backends produce equivalent trees and route sets; TreeCH trades a
+	// one-off preprocessing at planner construction for much cheaper
+	// queries.
+	TreeBackend TreeBackend
+	// DisablePrunedTrees makes the Commercial planner build full trees
+	// instead of the elliptically pruned trees (sp.BuildPrunedTree) it
+	// uses by default. Pruned and full trees yield the same routes (the
+	// §II-B claim, verified by the test suite); the toggle exists for
+	// ablations. Ignored when TreeBackend is TreeCH.
+	DisablePrunedTrees bool
 	// ApplyUpperBoundToPenalty additionally filters Penalty routes by the
 	// upper bound — one of the "easily included" refinements of §IV-C.
 	ApplyUpperBoundToPenalty bool

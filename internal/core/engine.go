@@ -18,8 +18,8 @@ import (
 // warm sp.Workspace from the shared pool, so a saturated engine runs
 // steady-state query processing without allocating search arrays. Planners
 // used through an Engine must be safe for concurrent use — every planner
-// in this package is, except PrunedPlateaus (it records per-query
-// instrumentation fields).
+// in this package is (PrunedPlateaus records its per-query instrumentation
+// through atomics).
 type Engine struct {
 	sem chan struct{}
 }

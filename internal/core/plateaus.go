@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/path"
@@ -18,16 +18,26 @@ import (
 // are ranked by the Cotares goodness score C − R (plateau cost minus
 // generated route cost; 0 is best and is achieved exactly by the fastest
 // path, which is itself a plateau).
+//
+// How the two trees are built is pluggable (TreeSource): full Dijkstra
+// searches by default, or PHAST sweeps over a contraction hierarchy with
+// Options.TreeBackend == TreeCH — the §II-B optimisation that makes tree
+// construction near-linear after a one-off preprocessing.
 type Plateaus struct {
-	g    *graph.Graph
-	base []float64
-	opts Options
+	g     *graph.Graph
+	base  []float64
+	opts  Options
+	trees TreeSource
 }
 
 // NewPlateaus returns a Plateaus planner over g using the graph's base
-// travel-time weights.
+// travel-time weights. With Options.TreeBackend == TreeCH the constructor
+// contracts the graph into a hierarchy (a few ms per city network) so
+// every query can build its trees with downward sweeps.
 func NewPlateaus(g *graph.Graph, opts Options) *Plateaus {
-	return &Plateaus{g: g, base: g.CopyWeights(), opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	base := g.CopyWeights()
+	return &Plateaus{g: g, base: base, opts: opts, trees: newTreeSource(g, base, opts.TreeBackend)}
 }
 
 // Name implements Planner.
@@ -50,6 +60,25 @@ type Plateau struct {
 // cost. It is ≤ 0; closer to 0 is better.
 func (pl Plateau) Score() float64 { return pl.CostS - pl.RouteCostS }
 
+// sortPlateaus ranks by score descending (closest to zero first); ties by
+// route cost.
+func sortPlateaus(plateaus []Plateau) {
+	slices.SortFunc(plateaus, func(a, b Plateau) int {
+		sa, sb := a.Score(), b.Score()
+		switch {
+		case sa > sb:
+			return -1
+		case sa < sb:
+			return 1
+		case a.RouteCostS < b.RouteCostS:
+			return -1
+		case a.RouteCostS > b.RouteCostS:
+			return 1
+		}
+		return 0
+	})
+}
+
 // Alternatives implements Planner.
 func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	if err := validateQuery(p.g, s, t); err != nil {
@@ -60,24 +89,17 @@ func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	fwd := sp.BuildTreeInto(ws, p.g, p.base, s, sp.Forward)
-	if !fwd.Reached(t) {
+	fwd, bwd, ok := p.trees.BuildTrees(ws, s, t)
+	if !ok {
 		return nil, ErrNoRoute
 	}
-	bwd := sp.BuildTreeInto(ws, p.g, p.base, t, sp.Backward)
 	fastest := fwd.Dist[t]
 
 	plateaus := p.FindPlateaus(fwd, bwd)
-	// Rank by score descending (closest to zero first); ties by route cost.
-	sort.Slice(plateaus, func(i, j int) bool {
-		si, sj := plateaus[i].Score(), plateaus[j].Score()
-		if si != sj {
-			return si > sj
-		}
-		return plateaus[i].RouteCostS < plateaus[j].RouteCostS
-	})
+	sortPlateaus(plateaus)
 
 	var routes []path.Path
+	buf := ws.PathBuf()
 	for _, pl := range plateaus {
 		if len(routes) >= p.opts.K {
 			break
@@ -85,14 +107,17 @@ func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 		if pl.RouteCostS > p.opts.UpperBound*fastest+1e-9 {
 			continue
 		}
-		cand, ok := p.assemble(fwd, bwd, pl, s)
+		var cand path.Path
+		buf, cand, ok = p.assembleInto(buf, fwd, bwd, pl)
 		if !ok {
 			continue
 		}
 		if admit(p.g, cand, routes, p.opts.SimilarityCutoff) {
+			cand.Edges = append([]graph.EdgeID(nil), cand.Edges...)
 			routes = append(routes, cand)
 		}
 	}
+	ws.KeepPathBuf(buf)
 	if len(routes) == 0 {
 		return nil, ErrNoRoute
 	}
@@ -105,38 +130,54 @@ func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 func (p *Plateaus) FindPlateaus(fwd, bwd *sp.Tree) []Plateau {
 	g := p.g
 	// An edge e = (u,v) is a plateau edge iff it is the forward-tree edge
-	// into v and the backward-tree edge out of u.
+	// into v and the backward-tree edge out of u. Each node therefore has
+	// at most one incoming plateau edge (its fwd parent) and one outgoing
+	// plateau edge (its bwd parent), so chains are simple paths walkable
+	// along bwd.Parent pointers — no scratch maps needed.
 	isPlateau := func(e graph.EdgeID) bool {
+		if e < 0 {
+			return false
+		}
 		ed := g.Edge(e)
 		return fwd.Parent[ed.To] == e && bwd.Parent[ed.From] == e
 	}
-	// next[u] = the plateau edge leaving u, if any. Because plateau edges
-	// come from trees, each node has at most one incoming and one outgoing
-	// plateau edge, so chains are simple paths.
-	next := make(map[graph.NodeID]graph.EdgeID)
-	hasIncoming := make(map[graph.NodeID]bool)
-	for e := 0; e < g.NumEdges(); e++ {
-		id := graph.EdgeID(e)
-		if isPlateau(id) {
-			ed := g.Edge(id)
-			next[ed.From] = id
-			hasIncoming[ed.To] = true
+	isHead := func(v graph.NodeID) bool {
+		return isPlateau(bwd.Parent[v]) && !isPlateau(fwd.Parent[v])
+	}
+	// Pass 1: count chains and their total edges, so the result needs
+	// exactly two allocations (the chains, one shared edge backing) rather
+	// than one growing slice per plateau.
+	nChains, nEdges := 0, 0
+	for start := graph.NodeID(0); int(start) < g.NumNodes(); start++ {
+		if !isHead(start) {
+			continue // no chain leaving here, or interior/tail of one
+		}
+		nChains++
+		cur := start
+		for e := bwd.Parent[cur]; isPlateau(e); e = bwd.Parent[cur] {
+			nEdges++
+			cur = g.Edge(e).To
 		}
 	}
-	var out []Plateau
-	for start, first := range next {
-		if hasIncoming[start] {
-			continue // interior of a chain; walk starts only at heads
+	if nChains == 0 {
+		return nil
+	}
+	out := make([]Plateau, 0, nChains)
+	backing := make([]graph.EdgeID, 0, nEdges)
+	// Pass 2: walk the same chains again, filling in place.
+	for start := graph.NodeID(0); int(start) < g.NumNodes(); start++ {
+		if !isHead(start) {
+			continue
 		}
 		pl := Plateau{Start: start}
+		mark := len(backing)
 		cur := start
-		e, ok := first, true
-		for ok {
-			pl.Edges = append(pl.Edges, e)
+		for e := bwd.Parent[cur]; isPlateau(e); e = bwd.Parent[cur] {
+			backing = append(backing, e)
 			pl.CostS += p.base[e]
 			cur = g.Edge(e).To
-			e, ok = next[cur]
 		}
+		pl.Edges = backing[mark:len(backing):len(backing)]
 		pl.End = cur
 		if math.IsInf(fwd.Dist[pl.Start], 1) || math.IsInf(bwd.Dist[pl.End], 1) {
 			continue // defensive; tree edges imply reachability
@@ -147,24 +188,23 @@ func (p *Plateaus) FindPlateaus(fwd, bwd *sp.Tree) []Plateau {
 	return out
 }
 
-// assemble builds the full route for a plateau: s →(fwd tree) Start,
-// plateau chain, End →(bwd tree) t.
-func (p *Plateaus) assemble(fwd, bwd *sp.Tree, pl Plateau, s graph.NodeID) (path.Path, bool) {
-	head := fwd.PathTo(p.g, pl.Start)
-	if head == nil {
-		return path.Path{}, false
+// assembleInto builds the full route for a plateau on buf: s →(fwd tree)
+// Start, plateau chain, End →(bwd tree) t. The returned Path's Edges
+// alias buf — callers keeping the route beyond the next call must copy
+// them — so rejected candidates cost no edge-slice allocations.
+func (p *Plateaus) assembleInto(buf []graph.EdgeID, fwd, bwd *sp.Tree, pl Plateau) ([]graph.EdgeID, path.Path, bool) {
+	buf = buf[:0]
+	var ok bool
+	if buf, ok = fwd.PathInto(buf, p.g, pl.Start); !ok {
+		return buf, path.Path{}, false
 	}
-	tail := bwd.PathTo(p.g, pl.End)
-	if tail == nil {
-		return path.Path{}, false
+	buf = append(buf, pl.Edges...)
+	if buf, ok = bwd.PathInto(buf, p.g, pl.End); !ok {
+		return buf, path.Path{}, false
 	}
-	edges := make([]graph.EdgeID, 0, len(head)+len(pl.Edges)+len(tail))
-	edges = append(edges, head...)
-	edges = append(edges, pl.Edges...)
-	edges = append(edges, tail...)
-	cand, err := path.New(p.g, p.base, s, edges)
+	cand, err := path.New(p.g, p.base, fwd.Root, buf)
 	if err != nil {
-		return path.Path{}, false
+		return buf, path.Path{}, false
 	}
-	return cand, true
+	return buf, cand, true
 }

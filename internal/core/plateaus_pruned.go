@@ -1,12 +1,8 @@
 package core
 
 import (
-	"math"
-	"sort"
-
 	"repro/internal/graph"
 	"repro/internal/path"
-	"repro/internal/sp"
 )
 
 // PrunedPlateaus is the §II-B "compatibility with routing optimisations"
@@ -16,25 +12,31 @@ import (
 // argues, such trees "must still cover all feasible routes... and so when
 // they are combined, they still yield the same choice routes" — which the
 // test suite verifies against the full-tree planner.
+//
+// With Options.TreeBackend == TreeCH the planner instead builds full
+// PHAST trees from a contraction hierarchy (pruning is moot there: the
+// downward sweep is already near-linear), keeping the same instrumented
+// interface. The exploration counters are atomics, so the planner is safe
+// under core.Engine workers.
 type PrunedPlateaus struct {
-	g     *graph.Graph
-	base  []float64
-	opts  Options
-	scale float64 // admissible seconds-per-meter lower bound
-	// LastReachedFwd/Bwd record how many nodes the last query's trees
-	// explored, for instrumentation and tests.
-	LastReachedFwd int
-	LastReachedBwd int
+	inner *Plateaus
+	src   *countingTrees
 }
 
 // NewPrunedPlateaus returns the pruned-tree plateau planner.
 func NewPrunedPlateaus(g *graph.Graph, opts Options) *PrunedPlateaus {
+	opts = opts.withDefaults()
 	base := g.CopyWeights()
+	var src TreeSource
+	if opts.TreeBackend == TreeCH {
+		src = newTreeSource(g, base, TreeCH)
+	} else {
+		src = newPrunedTrees(g, base, opts.UpperBound)
+	}
+	counting := &countingTrees{src: src}
 	return &PrunedPlateaus{
-		g:     g,
-		base:  base,
-		opts:  opts.withDefaults(),
-		scale: sp.MinSecondsPerMeter(g, base),
+		inner: &Plateaus{g: g, base: base, opts: opts, trees: counting},
+		src:   counting,
 	}
 }
 
@@ -43,56 +45,13 @@ func (p *PrunedPlateaus) Name() string { return "Plateaus(pruned)" }
 
 // Alternatives implements Planner.
 func (p *PrunedPlateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
-	if err := validateQuery(p.g, s, t); err != nil {
-		return nil, err
-	}
-	if s == t {
-		return trivialQuery(p.g, p.base, s), nil
-	}
-	// The ellipse needs the fastest time first; a bidirectional search is
-	// cheap relative to tree building.
-	ws := sp.GetWorkspace()
-	defer ws.Release()
-	_, fastest := sp.BidirectionalShortestPathInto(ws, p.g, p.base, s, t)
-	if math.IsInf(fastest, 1) {
-		return nil, ErrNoRoute
-	}
-	maxCost := p.opts.UpperBound * fastest
-	fwd := sp.BuildPrunedTreeInto(ws, p.g, p.base, s, sp.Forward, t, maxCost, p.scale)
-	bwd := sp.BuildPrunedTreeInto(ws, p.g, p.base, t, sp.Backward, s, maxCost, p.scale)
-	p.LastReachedFwd = sp.CountReached(fwd)
-	p.LastReachedBwd = sp.CountReached(bwd)
-	if !fwd.Reached(t) {
-		return nil, ErrNoRoute
-	}
+	return p.inner.Alternatives(s, t)
+}
 
-	inner := &Plateaus{g: p.g, base: p.base, opts: p.opts}
-	plateaus := inner.FindPlateaus(fwd, bwd)
-	sort.Slice(plateaus, func(i, j int) bool {
-		si, sj := plateaus[i].Score(), plateaus[j].Score()
-		if si != sj {
-			return si > sj
-		}
-		return plateaus[i].RouteCostS < plateaus[j].RouteCostS
-	})
-	var routes []path.Path
-	for _, pl := range plateaus {
-		if len(routes) >= p.opts.K {
-			break
-		}
-		if pl.RouteCostS > maxCost+1e-9 {
-			continue
-		}
-		cand, ok := inner.assemble(fwd, bwd, pl, s)
-		if !ok {
-			continue
-		}
-		if admit(p.g, cand, routes, p.opts.SimilarityCutoff) {
-			routes = append(routes, cand)
-		}
-	}
-	if len(routes) == 0 {
-		return nil, ErrNoRoute
-	}
-	return routes, nil
+// LastReached reports how many nodes the most recent query's forward and
+// backward trees explored — instrumentation for tests and the chspeedup
+// example. Under concurrent use the values reflect some recent query
+// (each query's counts are stored atomically; the last writer wins).
+func (p *PrunedPlateaus) LastReached() (fwd, bwd int) {
+	return int(p.src.lastFwd.Load()), int(p.src.lastBwd.Load())
 }

@@ -49,10 +49,11 @@ func TestPrunedPlateausExploresFewerNodes(t *testing.T) {
 	if _, err := pruned.Alternatives(0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if pruned.LastReachedFwd >= g.NumNodes() {
+	fwd, bwd := pruned.LastReached()
+	if fwd >= g.NumNodes() {
 		t.Errorf("forward pruned tree reached all %d nodes; pruning ineffective", g.NumNodes())
 	}
-	if pruned.LastReachedBwd >= g.NumNodes() {
+	if bwd >= g.NumNodes() {
 		t.Errorf("backward pruned tree reached all nodes; pruning ineffective")
 	}
 }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+	"repro/internal/sp"
+)
+
+// TreeBackend selects how the choice-routing planners (Plateaus,
+// Commercial, PrunedPlateaus) obtain the forward/backward shortest-path
+// trees their plateau join consumes.
+type TreeBackend uint8
+
+const (
+	// TreeDijkstra builds trees with full Dijkstra searches, the paper's
+	// baseline description of Choice Routing.
+	TreeDijkstra TreeBackend = iota
+	// TreeCH builds trees from a contraction hierarchy with PHAST
+	// downward sweeps (ch.TreeBuilder) — the §II-B optimisation commercial
+	// engines apply. Trees are bit-compatible drop-ins for Dijkstra trees;
+	// the hierarchy is preprocessed once at planner construction.
+	TreeCH
+)
+
+// ParseTreeBackend maps the shared command-line flag spelling ("dijkstra"
+// or "ch") onto a TreeBackend.
+func ParseTreeBackend(s string) (TreeBackend, error) {
+	switch s {
+	case "dijkstra":
+		return TreeDijkstra, nil
+	case "ch":
+		return TreeCH, nil
+	}
+	return 0, fmt.Errorf("core: invalid tree backend %q (want dijkstra or ch)", s)
+}
+
+// TreeSource abstracts the tree factory behind the choice-routing
+// planners. Implementations must be safe for concurrent use: all per-call
+// scratch state lives in the passed workspace.
+type TreeSource interface {
+	// BuildTrees writes a forward tree rooted at s and a backward tree
+	// rooted at t into ws (aliasing its tree slots, like
+	// sp.BuildTreeInto). ok is false when t is unreachable from s, in
+	// which case the trees must not be used.
+	BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool)
+}
+
+// newTreeSource returns the full-tree source for a backend over fixed
+// weights: Dijkstra searches, or PHAST sweeps over a hierarchy contracted
+// here (one-off preprocessing, typically a few ms per city network).
+func newTreeSource(g *graph.Graph, weights []float64, backend TreeBackend) TreeSource {
+	if backend == TreeCH {
+		return chTrees{tb: ch.Build(g, weights).NewTreeBuilder()}
+	}
+	return dijkstraTrees{g: g, weights: weights}
+}
+
+// dijkstraTrees is the paper-baseline source: two full Dijkstra trees.
+type dijkstraTrees struct {
+	g       *graph.Graph
+	weights []float64
+}
+
+func (d dijkstraTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
+	fwd = sp.BuildTreeInto(ws, d.g, d.weights, s, sp.Forward)
+	if !fwd.Reached(t) {
+		return fwd, nil, false
+	}
+	bwd = sp.BuildTreeInto(ws, d.g, d.weights, t, sp.Backward)
+	return fwd, bwd, true
+}
+
+// chTrees is the PHAST source: complete trees out of the contraction
+// hierarchy's search spaces, two near-linear passes per tree.
+type chTrees struct {
+	tb *ch.TreeBuilder
+}
+
+func (c chTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
+	fwd = c.tb.BuildTreeInto(ws, s, sp.Forward)
+	if !fwd.Reached(t) {
+		return fwd, nil, false
+	}
+	bwd = c.tb.BuildTreeInto(ws, t, sp.Backward)
+	return fwd, bwd, true
+}
+
+// prunedTrees is the §II-B elliptic source: a bidirectional probe finds
+// the fastest time, then both trees explore only nodes that can lie on a
+// route within upperBound × fastest. Within that budget the trees'
+// distances equal the full trees', so the choice routes are preserved.
+type prunedTrees struct {
+	g          *graph.Graph
+	weights    []float64
+	scale      float64 // admissible seconds-per-meter lower bound
+	upperBound float64
+}
+
+// newPrunedTrees builds the elliptic source, deriving the admissible
+// scale from the same weights the trees will search — the invariant the
+// pruning bound depends on.
+func newPrunedTrees(g *graph.Graph, weights []float64, upperBound float64) *prunedTrees {
+	return &prunedTrees{
+		g:          g,
+		weights:    weights,
+		scale:      sp.MinSecondsPerMeter(g, weights),
+		upperBound: upperBound,
+	}
+}
+
+func (p *prunedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
+	_, fastest := sp.BidirectionalShortestPathInto(ws, p.g, p.weights, s, t)
+	if math.IsInf(fastest, 1) {
+		return nil, nil, false
+	}
+	maxCost := p.upperBound * fastest
+	fwd = sp.BuildPrunedTreeInto(ws, p.g, p.weights, s, sp.Forward, t, maxCost, p.scale)
+	bwd = sp.BuildPrunedTreeInto(ws, p.g, p.weights, t, sp.Backward, s, maxCost, p.scale)
+	if !fwd.Reached(t) {
+		return fwd, bwd, false
+	}
+	return fwd, bwd, true
+}
+
+// countingTrees decorates a source with concurrency-safe instrumentation:
+// how many nodes the last query's trees reached. The counts are plain
+// atomics — concurrent queries each record their own trees, last writer
+// wins — so planners carrying this instrumentation stay safe under
+// core.Engine workers.
+type countingTrees struct {
+	src              TreeSource
+	lastFwd, lastBwd atomic.Int64
+}
+
+func (c *countingTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
+	fwd, bwd, ok = c.src.BuildTrees(ws, s, t)
+	if fwd != nil {
+		c.lastFwd.Store(int64(sp.CountReached(fwd)))
+	}
+	if bwd != nil {
+		c.lastBwd.Store(int64(sp.CountReached(bwd)))
+	}
+	return fwd, bwd, ok
+}

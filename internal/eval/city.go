@@ -53,15 +53,22 @@ func (c *City) engine() *core.Engine {
 	return defaultEngine
 }
 
-// NewCity generates the city network and constructs the four planners.
-// seed controls both the synthetic network and the traffic field.
+// NewCity generates the city network and constructs the four planners
+// with the paper's default options. seed controls both the synthetic
+// network and the traffic field.
 func NewCity(profile citygen.Profile, seed int64) (*City, error) {
+	return NewCityOpts(profile, seed, core.Options{})
+}
+
+// NewCityOpts is NewCity with explicit planner options — the hook for
+// deployment knobs like Options.TreeBackend (Dijkstra vs CH trees in the
+// choice-routing planners).
+func NewCityOpts(profile citygen.Profile, seed int64, opts core.Options) (*City, error) {
 	g, err := profile.Generate(seed)
 	if err != nil {
 		return nil, err
 	}
 	tw := traffic.Apply(g, traffic.DefaultModel(uint64(seed)*2654435761+1))
-	opts := core.Options{}
 	c := &City{
 		Profile: profile,
 		Graph:   g,

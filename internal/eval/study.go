@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/citygen"
+	"repro/internal/core"
 	"repro/internal/simstudy"
 )
 
@@ -18,9 +19,16 @@ type Study struct {
 // NewStudy generates the three city setups. seed controls networks and
 // traffic; the per-cell response RNGs are derived from it.
 func NewStudy(seed int64) (*Study, error) {
+	return NewStudyOpts(seed, core.Options{})
+}
+
+// NewStudyOpts is NewStudy with explicit planner options, letting the
+// serving commands pick e.g. the tree backend of the choice-routing
+// planners.
+func NewStudyOpts(seed int64, opts core.Options) (*Study, error) {
 	s := &Study{Cities: make(map[string]*City, 3)}
 	for i, p := range citygen.Profiles() {
-		c, err := NewCity(p, seed+int64(i)*1000)
+		c, err := NewCityOpts(p, seed+int64(i)*1000, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package geo
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -247,5 +248,30 @@ func TestPointValid(t *testing.T) {
 func BenchmarkHaversine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = Haversine(melbCBD, monash)
+	}
+}
+
+func TestLowerBounderAdmissibleAndTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		// Random city-scale box anywhere up to |lat| 70°.
+		lat := rng.Float64()*140 - 70
+		lon := rng.Float64()*360 - 180
+		span := 0.01 + rng.Float64()*0.4 // degrees, up to ~44 km
+		bbox := BBox{MinLat: lat, MinLon: lon, MaxLat: lat + span, MaxLon: lon + span}
+		lb := NewLowerBounder(bbox)
+		for i := 0; i < 200; i++ {
+			a := Point{Lat: lat + rng.Float64()*span, Lon: lon + rng.Float64()*span}
+			b := Point{Lat: lat + rng.Float64()*span, Lon: lon + rng.Float64()*span}
+			h := Haversine(a, b)
+			got := lb.MetersLB(a, b)
+			if got > h+1e-9 {
+				t.Fatalf("trial %d: bound %f exceeds haversine %f for %v-%v (box %+v)", trial, got, h, a, b, bbox)
+			}
+			// The bound should stay useful: within 5% at city scale.
+			if h > 1 && got < 0.95*h {
+				t.Fatalf("trial %d: bound %f too loose vs haversine %f for %v-%v", trial, got, h, a, b)
+			}
+		}
 	}
 }

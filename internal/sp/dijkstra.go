@@ -59,20 +59,31 @@ func (t *Tree) Reached(v graph.NodeID) bool {
 // sequence. For Forward trees the edges run root→v; for Backward trees they
 // run v→root. It returns nil if v is unreachable.
 func (t *Tree) PathTo(g *graph.Graph, v graph.NodeID) []graph.EdgeID {
-	if !t.Reached(v) {
+	edges, ok := t.PathInto(make([]graph.EdgeID, 0, 32), g, v)
+	if !ok {
 		return nil
 	}
-	if v == t.Root {
-		return []graph.EdgeID{}
+	return edges
+}
+
+// PathInto is PathTo on caller-provided storage: the path's edges are
+// appended to buf (in root→v order for Forward trees, v→root for
+// Backward) and the extended slice is returned. ok is false when v is
+// unreachable or the tree is broken, in which case buf is returned with
+// nothing appended. Threading a workspace's PathBuf through repeated
+// reconstructions makes route extraction allocation-free.
+func (t *Tree) PathInto(buf []graph.EdgeID, g *graph.Graph, v graph.NodeID) ([]graph.EdgeID, bool) {
+	if !t.Reached(v) {
+		return buf, false
 	}
-	var edges []graph.EdgeID
+	mark := len(buf)
 	cur := v
 	for cur != t.Root {
 		e := t.Parent[cur]
 		if e < 0 {
-			return nil // defensive: broken tree
+			return buf[:mark], false // defensive: broken tree
 		}
-		edges = append(edges, e)
+		buf = append(buf, e)
 		if t.Dir == Forward {
 			cur = g.Edge(e).From
 		} else {
@@ -80,13 +91,13 @@ func (t *Tree) PathTo(g *graph.Graph, v graph.NodeID) []graph.EdgeID {
 		}
 	}
 	if t.Dir == Forward {
-		reverse(edges)
+		reverse(buf[mark:])
 	}
-	return edges
+	return buf, true
 }
 
-// clone returns an independently owned copy of a workspace-backed tree.
-func (t *Tree) clone() *Tree {
+// Clone returns an independently owned copy of a workspace-backed tree.
+func (t *Tree) Clone() *Tree {
 	return &Tree{
 		Root:   t.Root,
 		Dir:    t.Dir,
@@ -116,7 +127,7 @@ func copyEdges(edges []graph.EdgeID) []graph.EdgeID {
 func BuildTree(g *graph.Graph, weights []float64, root graph.NodeID, dir Direction) *Tree {
 	ws := GetWorkspace()
 	defer ws.Release()
-	return BuildTreeInto(ws, g, weights, root, dir).clone()
+	return BuildTreeInto(ws, g, weights, root, dir).Clone()
 }
 
 // BuildTreeInto is BuildTree on workspace memory: the returned Tree aliases
@@ -160,7 +171,7 @@ func BuildTreeInto(ws *Workspace, g *graph.Graph, weights []float64, root graph.
 		}
 	}
 	t.Root, t.Dir = root, dir
-	t.Dist, t.Parent = s.finalize(n)
+	t.Dist, t.Parent = s.Finalize(n)
 	return t
 }
 

@@ -79,11 +79,13 @@ func (s *SearchState) Update(v graph.NodeID, d float64, parent graph.EdgeID) {
 // meaningful while Touched(v) holds.
 func (s *SearchState) ParentOf(v graph.NodeID) graph.EdgeID { return s.parent[v] }
 
-// finalize materializes the search result over the first n slots so the
+// Finalize materializes the search result over the first n slots so the
 // dist/parent arrays can be read directly (by Tree consumers) without
 // stamp checks: untouched slots become +Inf / -1. The arrays then hold
-// exactly the bytes a fresh full-initialization search would produce.
-func (s *SearchState) finalize(n int) ([]float64, []graph.EdgeID) {
+// exactly the bytes a fresh full-initialization search would produce. It
+// is exported for external tree builders (ch.TreeBuilder) that run their
+// own search loops on the state and then post-process the dense arrays.
+func (s *SearchState) Finalize(n int) ([]float64, []graph.EdgeID) {
 	dist, parent, stamp := s.dist[:n], s.parent[:n], s.stamp[:n]
 	inf := math.Inf(1)
 	for v := range stamp {
@@ -93,6 +95,17 @@ func (s *SearchState) finalize(n int) ([]float64, []graph.EdgeID) {
 		}
 	}
 	return dist, parent
+}
+
+// DenseArrays starts a fresh generation and returns the state's backing
+// dist/parent arrays sized for n nodes, for external tree builders
+// (ch.TreeBuilder) that overwrite every slot rather than search
+// incrementally. The caller must fill all n entries; the stamp protocol
+// is bypassed, which is safe because Tree consumers read the returned
+// slices directly.
+func (s *SearchState) DenseArrays(n int) ([]float64, []graph.EdgeID) {
+	s.Begin(n)
+	return s.dist[:n], s.parent[:n]
 }
 
 // Workspace bundles the reusable scratch memory of the search functions in
@@ -140,6 +153,17 @@ func (ws *Workspace) pathBuf() []graph.EdgeID {
 	return ws.path[:0]
 }
 
+// PathBuf hands out the workspace's reusable edge buffer, emptied. It is
+// the scratch space behind Tree.PathInto-style route assembly: callers
+// append into it and return the grown storage via KeepPathBuf so the next
+// use starts with the accumulated capacity. The buffer is shared with the
+// ...Into path searches, so it is free only between searches.
+func (ws *Workspace) PathBuf() []graph.EdgeID { return ws.pathBuf() }
+
+// KeepPathBuf stows buf (typically a grown PathBuf) back into the
+// workspace for reuse.
+func (ws *Workspace) KeepPathBuf(buf []graph.EdgeID) { ws.path = buf }
+
 // treeSlot returns the reusable Tree header and SearchState for a build
 // direction: Forward trees live in the F slot, Backward trees in B.
 func (ws *Workspace) treeSlot(dir Direction) (*Tree, *SearchState) {
@@ -148,3 +172,8 @@ func (ws *Workspace) treeSlot(dir Direction) (*Tree, *SearchState) {
 	}
 	return &ws.treeB, &ws.B
 }
+
+// TreeSlot exposes treeSlot for external tree builders (ch.TreeBuilder)
+// whose results should be drop-in workspace trees: drive the SearchState,
+// fill the header, and the same aliasing rules as BuildTreeInto apply.
+func (ws *Workspace) TreeSlot(dir Direction) (*Tree, *SearchState) { return ws.treeSlot(dir) }
