@@ -406,6 +406,62 @@ func BenchmarkMicroCHDist(b *testing.B) {
 	}
 }
 
+// --- Live traffic: CH re-customization vs full rebuild ------------------------
+
+// BenchmarkCHBuildFull is the cost of following a published weight
+// snapshot the pre-refactor way: contract a fresh hierarchy from scratch
+// and derive its tree builder. Compare with BenchmarkCHRecustomize.
+func BenchmarkCHBuildFull(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	snap := city.Seq.WeightsAt(1) // the first rush-hour publish
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := ch.Build(city.Graph, snap)
+		if h.NewTreeBuilder() == nil {
+			b.Fatal("no tree builder")
+		}
+	}
+}
+
+// BenchmarkCHRecustomize is the live-traffic path: reuse the contraction
+// order and shortcut topology of the serving hierarchy and rebuild only
+// the arc weights for the published snapshot (plus the tree builder
+// repacking, which every swap needs too). The per-op time here, against
+// BenchmarkCHBuildFull, is the measured price of a weight-version swap.
+func BenchmarkCHRecustomize(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	base := ch.Build(city.Graph, city.Seq.WeightsAt(0))
+	snap := city.Seq.WeightsAt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := base.Recustomize(snap)
+		if h.NewTreeBuilder() == nil {
+			b.Fatal("no tree builder")
+		}
+	}
+}
+
+// BenchmarkServingCachedQuery measures the engine's versioned result
+// cache at full heat: the same query replayed between publishes is
+// answered without touching a planner.
+func BenchmarkServingCachedQuery(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	queries := benchQueries(b, city, simstudy.Medium, 1)
+	q := queries[0]
+	if _, err := city.RunPlanners(q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := city.RunPlanners(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestWorkspaceVariantsZeroAlloc pins the headline property of this
 // package's hot path: the ...Into searches allocate nothing after warm-up.
 func TestWorkspaceVariantsZeroAlloc(t *testing.T) {
@@ -457,7 +513,7 @@ func BenchmarkEngineBatchSerial(b *testing.B) {
 	city := study.Cities["Melbourne"]
 	queries := benchQueries(b, city, simstudy.Medium, 8)
 	serial := *city
-	serial.Engine = core.NewEngine(1)
+	serial.Router = core.NewRouter(core.NewEngine(1), city.Planners[:], city.PublicStore, city.TrafficStore)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := serial.RunPlannersBatch(queries); err != nil {

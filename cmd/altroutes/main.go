@@ -39,15 +39,16 @@ func main() {
 	withYen := flag.Bool("yen", false, "also run Yen's k-shortest paths baseline")
 	geojsonOut := flag.String("geojson", "", "write all routes as GeoJSON to this file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra or ch (PHAST)")
+	trafficStep := flag.Int("traffic-step", 0, "rush-hour step of the commercial provider's private weights (0 = the study's base congestion field)")
 	flag.Parse()
 
-	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut, *trees); err != nil {
+	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut, *trees, *trafficStep); err != nil {
 		fmt.Fprintln(os.Stderr, "altroutes:", err)
 		os.Exit(1)
 	}
 }
 
-func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut, trees string) error {
+func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut, trees string, trafficStep int) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
@@ -78,7 +79,15 @@ func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode
 	fmt.Printf("Query: %d %v -> %d %v\n\n", s, g.Point(s), t, g.Point(t))
 
 	opts := core.Options{K: k, TreeBackend: backend}
-	private := traffic.Apply(g, traffic.DefaultModel(uint64(seed)*2654435761+1))
+	// The provider's private metric comes from the deterministic rush-hour
+	// sequence; -traffic-step picks how far into the cycle it plans
+	// (step 0 reproduces the study's static congestion field). Comparing
+	// runs across steps shows the Fig. 4 rank flips live.
+	seq := traffic.NewSequence(g, traffic.DefaultModel(uint64(seed)*2654435761+1), 0)
+	private := seq.WeightsAt(trafficStep)
+	if trafficStep != 0 {
+		fmt.Printf("Commercial provider planning on rush-hour step %d of %d\n\n", trafficStep, seq.Period())
+	}
 	planners := []core.Planner{
 		core.NewCommercial(g, private, opts),
 		core.NewPlateaus(g, opts),

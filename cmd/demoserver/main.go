@@ -4,16 +4,26 @@
 // routes of the four blinded approaches (A: Google Maps stand-in,
 // B: Plateaus, C: Dissimilarity, D: Penalty) and submit 1-5 ratings.
 //
+// Unlike the paper's frozen demo, this one serves *live traffic*: each
+// city's private weights live in a versioned store, the POST /api/publish
+// endpoint (or the -traffic-step auto-advance) publishes the next
+// rush-hour snapshot, and the serving layer swaps planner weight versions
+// atomically — CH hierarchies re-customize in the background while the
+// old version keeps answering.
+//
 // Usage:
 //
 //	demoserver [-addr :8080] [-seed N] [-ratings ratings.json] [-workers N]
+//	           [-trees dijkstra|ch] [-traffic-step 30s] [-cache 4096]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -26,15 +36,17 @@ func main() {
 	ratingsPath := flag.String("ratings", "ratings.json", "file the submitted ratings are stored in (empty disables)")
 	workers := flag.Int("workers", 0, "concurrent planner calls per city (0 = number of CPUs)")
 	trees := flag.String("trees", "ch", "tree backend for the choice-routing planners: dijkstra or ch (PHAST; default, the serving-optimised path)")
+	trafficStep := flag.Duration("traffic-step", 0, "auto-advance the rush-hour traffic sequence at this interval (0 disables; publishes also arrive via POST /api/publish)")
+	cacheSize := flag.Int("cache", core.DefaultCacheSize, "versioned result-cache capacity of the serving engine (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *ratingsPath, *workers, *trees); err != nil {
+	if err := run(*addr, *seed, *ratingsPath, *workers, *trees, *trafficStep, *cacheSize); err != nil {
 		fmt.Fprintln(os.Stderr, "demoserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, ratingsPath string, workers int, trees string) error {
+func run(addr string, seed int64, ratingsPath string, workers int, trees string, trafficStep time.Duration, cacheSize int) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
@@ -45,15 +57,38 @@ func run(addr string, seed int64, ratingsPath string, workers int, trees string)
 	if err != nil {
 		return err
 	}
+	// One shared engine bounds planner concurrency server-wide, so a
+	// burst of requests cannot oversubscribe the machine. Its result
+	// cache is keyed by (planner, weight version, s, t) and invalidated
+	// on every publish.
 	engine := core.NewEngine(workers)
+	engine.SetCache(cacheSize)
 	for _, name := range study.CityNames() {
 		c := study.Cities[name]
-		// One shared engine bounds planner concurrency server-wide, so a
-		// burst of requests cannot oversubscribe the machine.
-		c.Engine = engine
-		fmt.Printf("  %-11s %5d nodes, %5d edges\n", name, c.Graph.NumNodes(), c.Graph.NumEdges())
+		c.SetEngine(engine)
+		log.Printf("demoserver: %-11s %5d nodes, %5d edges, trees=%s, public weights v%d, traffic weights v%d",
+			name, c.Graph.NumNodes(), c.Graph.NumEdges(), trees,
+			c.PublicStore.Version(), c.TrafficStore.Version())
+	}
+	if trafficStep > 0 {
+		go autoAdvance(study, trafficStep)
 	}
 	srv := server.New(study.Cities, ratingsPath)
-	fmt.Printf("Demo system listening on http://localhost%s (%d planner workers)\n", addr, engine.Workers())
+	log.Printf("demoserver: listening on http://localhost%s (%d planner workers, cache %d, traffic-step %v)",
+		addr, engine.Workers(), cacheSize, trafficStep)
 	return http.ListenAndServe(addr, srv)
+}
+
+// autoAdvance publishes the next rush-hour snapshot of every city at a
+// fixed cadence — the "shifting traffic" mode of the live demo.
+func autoAdvance(study *eval.Study, step time.Duration) {
+	ticker := time.NewTicker(step)
+	defer ticker.Stop()
+	for range ticker.C {
+		for _, name := range study.CityNames() {
+			c := study.Cities[name]
+			snap := c.AdvanceTraffic()
+			log.Printf("demoserver: %s traffic advanced to step %d (weights v%d)", name, c.Seq.Step(), snap.Version())
+		}
+	}
 }

@@ -1,0 +1,54 @@
+package ch
+
+// Recustomize returns a hierarchy over the same graph, contraction order
+// and shortcut topology, with every arc weight recomputed for a new weight
+// vector: original arcs read weights[orig] directly, shortcut arcs become
+// the sum of their two constituent arcs (constituents are always inserted
+// before the shortcut referencing them, so a single forward pass
+// suffices). This is the live-traffic path: a full Build spends almost all
+// of its time in bounded witness searches, while re-customization is one
+// linear pass over the arc array — orders of magnitude cheaper — so a
+// serving layer can follow a stream of weight snapshots by re-customizing
+// in the background and double-buffering the hierarchy swap.
+//
+// Semantics under the new metric:
+//
+//   - Every arc weight is the exact weight of a real path in the graph, so
+//     distances out of the re-customized hierarchy are always *upper
+//     bounds* on true shortest distances, and any unpacked path is a real
+//     path with exactly the reported weight.
+//   - Banned edges (+Inf) stay impassable: a shortcut containing a banned
+//     edge sums to +Inf and can never win a relaxation, so no search
+//     through the hierarchy ever routes over a closure.
+//   - Distances are *exact* whenever the new metric preserves the witness
+//     structure the hierarchy was contracted under — in particular for any
+//     uniform rescaling, and in practice for the bounded congestion
+//     multipliers the traffic model produces. A metric that flips many
+//     witnesses can leave some node pairs with over-estimated (even +Inf)
+//     distances because a shortcut pruned at Build time is missing; the
+//     guaranteed-exact fix is a customizable CH contracted without witness
+//     pruning (see ROADMAP).
+//
+// The receiver is not modified; the returned hierarchy shares the
+// immutable order/topology arrays with it and is safe for concurrent
+// queries once returned.
+func (h *Hierarchy) Recustomize(weights []float64) *Hierarchy {
+	arcs := make([]arc, len(h.arcs))
+	copy(arcs, h.arcs)
+	for i := range arcs {
+		a := &arcs[i]
+		if a.orig >= 0 {
+			a.weight = weights[a.orig]
+		} else {
+			a.weight = arcs[a.skip1].weight + arcs[a.skip2].weight
+		}
+	}
+	return &Hierarchy{
+		g:       h.g,
+		rank:    h.rank,
+		arcs:    arcs,
+		upFwd:   h.upFwd,
+		upBwd:   h.upBwd,
+		arcFrom: h.arcFrom,
+	}
+}

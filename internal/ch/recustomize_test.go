@@ -1,0 +1,136 @@
+package ch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sp"
+)
+
+// recustomizeTestGraph reuses the random network generator of ch_test.go;
+// not every pair is reachable, which the assertions below tolerate.
+func recustomizeTestGraph(t *testing.T, seed int64) (*graph.Graph, []float64) {
+	t.Helper()
+	g := randomCity(seed, 60)
+	return g, g.CopyWeights()
+}
+
+func TestRecustomizeSameWeightsIsIdentical(t *testing.T) {
+	g, w := recustomizeTestGraph(t, 1)
+	h := Build(g, w)
+	rh := h.Recustomize(w)
+	if rh.NumArcs() != h.NumArcs() || rh.NumShortcuts() != h.NumShortcuts() {
+		t.Fatalf("topology changed: %d/%d arcs, %d/%d shortcuts",
+			rh.NumArcs(), h.NumArcs(), rh.NumShortcuts(), h.NumShortcuts())
+	}
+	for s := graph.NodeID(0); int(s) < g.NumNodes(); s += 7 {
+		for tt := graph.NodeID(0); int(tt) < g.NumNodes(); tt += 11 {
+			if d1, d2 := h.Dist(s, tt), rh.Dist(s, tt); d1 != d2 {
+				t.Fatalf("Dist(%d,%d): original %g, re-customized %g", s, tt, d1, d2)
+			}
+		}
+	}
+}
+
+// TestRecustomizeScaledWeightsExact: uniform rescaling preserves every
+// witness, so the re-customized hierarchy must be exactly as good as a
+// from-scratch Dijkstra on the new metric — distances AND tree parents.
+func TestRecustomizeScaledWeightsExact(t *testing.T) {
+	g, w := recustomizeTestGraph(t, 2)
+	h := Build(g, w)
+
+	scaled := make([]float64, len(w))
+	for i := range w {
+		scaled[i] = 1.7 * w[i]
+	}
+	rh := h.Recustomize(scaled)
+	tb := rh.NewTreeBuilder()
+
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	for s := graph.NodeID(0); int(s) < g.NumNodes(); s += 9 {
+		want := sp.BuildTree(g, scaled, s, sp.Forward)
+		got := tb.BuildTreeInto(ws, s, sp.Forward)
+		for v := 0; v < g.NumNodes(); v++ {
+			dw, dg := want.Dist[v], got.Dist[v]
+			if math.IsInf(dw, 1) != math.IsInf(dg, 1) || (!math.IsInf(dw, 1) && math.Abs(dw-dg) > 1e-7) {
+				t.Fatalf("root %d node %d: dijkstra %g, re-customized CH %g", s, v, dw, dg)
+			}
+		}
+	}
+}
+
+// TestRecustomizeBanIsImpassable: +Inf edges in the new snapshot must stay
+// walls — no tree out of the re-customized hierarchy may use a banned
+// edge, and fully disconnected targets must read +Inf.
+func TestRecustomizeBanIsImpassable(t *testing.T) {
+	g, w := recustomizeTestGraph(t, 3)
+	h := Build(g, w)
+
+	rng := rand.New(rand.NewSource(77))
+	banned := map[graph.EdgeID]bool{}
+	bw := make([]float64, len(w))
+	copy(bw, w)
+	for len(banned) < g.NumEdges()/10 {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		banned[e] = true
+		bw[e] = math.Inf(1)
+	}
+	rh := h.Recustomize(bw)
+	tb := rh.NewTreeBuilder()
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	for s := graph.NodeID(0); int(s) < g.NumNodes(); s += 5 {
+		tree := tb.BuildTreeInto(ws, s, sp.Forward)
+		for v := 0; v < g.NumNodes(); v++ {
+			if e := tree.Parent[v]; e >= 0 && banned[e] {
+				t.Fatalf("root %d: tree parent of %d is banned edge %d", s, v, e)
+			}
+			if e := tree.Parent[v]; e >= 0 && !math.IsInf(tree.Dist[v], 1) && math.IsInf(bw[e], 1) {
+				t.Fatalf("root %d: finite distance through banned parent at %d", s, v)
+			}
+		}
+		// Anything Dijkstra cannot reach under the banned metric, the
+		// hierarchy must not claim to reach either (upper-bound property).
+		want := sp.BuildTree(g, bw, s, sp.Forward)
+		for v := 0; v < g.NumNodes(); v++ {
+			if math.IsInf(want.Dist[v], 1) && !math.IsInf(tree.Dist[v], 1) {
+				t.Fatalf("root %d: CH reaches %d which is disconnected under bans", s, v)
+			}
+			if !math.IsInf(tree.Dist[v], 1) && tree.Dist[v] < want.Dist[v]-1e-7 {
+				t.Fatalf("root %d node %d: CH distance %g below true %g", s, v, tree.Dist[v], want.Dist[v])
+			}
+		}
+	}
+}
+
+// TestRecustomizeChainFollowsSnapshots re-customizes repeatedly (the
+// serving pattern: each publish re-customizes the previous hierarchy's
+// *base* topology) and checks the result depends only on the final
+// weights, not the path taken to them.
+func TestRecustomizeChainFollowsSnapshots(t *testing.T) {
+	g, w := recustomizeTestGraph(t, 4)
+	h := Build(g, w)
+
+	rng := rand.New(rand.NewSource(5))
+	cur := h
+	var final []float64
+	for step := 0; step < 4; step++ {
+		next := make([]float64, len(w))
+		for i := range w {
+			next[i] = w[i] * (0.9 + 0.2*rng.Float64())
+		}
+		cur = cur.Recustomize(next)
+		final = next
+	}
+	direct := h.Recustomize(final)
+	for s := graph.NodeID(0); int(s) < g.NumNodes(); s += 13 {
+		for tt := graph.NodeID(0); int(tt) < g.NumNodes(); tt += 17 {
+			if d1, d2 := cur.Dist(s, tt), direct.Dist(s, tt); d1 != d2 {
+				t.Fatalf("Dist(%d,%d): chained %g, direct %g", s, tt, d1, d2)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/weights"
+)
+
+// cacheKey identifies one cached answer: which planner, under which
+// weight version, for which query. Keying by version is what makes the
+// cache safe under live traffic — an answer computed under snapshot N can
+// only ever be returned to a lookup that resolved version N.
+type cacheKey struct {
+	planner Planner
+	version weights.Version
+	s, t    graph.NodeID
+}
+
+// resultCache is the engine's fastest-path/result cache: a bounded map
+// with FIFO eviction. Hot (version, s, t) pairs — the fastest route and
+// its alternatives — are served without touching a planner; a publish
+// clears the whole cache (superseded versions are never looked up again,
+// so keeping them would only hold memory).
+//
+// Cached route slices are shared between all readers; callers must treat
+// Result.Routes as immutable (every consumer in this repository does).
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey][]path.Path
+	order   []cacheKey // FIFO eviction ring
+	next    int
+	filled  bool
+
+	hits, misses atomic.Uint64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		entries: make(map[cacheKey][]path.Path, capacity),
+		order:   make([]cacheKey, capacity),
+	}
+}
+
+func (c *resultCache) get(k cacheKey) ([]path.Path, bool) {
+	c.mu.Lock()
+	routes, ok := c.entries[k]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return routes, ok
+}
+
+func (c *resultCache) put(k cacheKey, routes []path.Path) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.order) == 0 {
+		return
+	}
+	if _, dup := c.entries[k]; dup {
+		return
+	}
+	if c.filled {
+		delete(c.entries, c.order[c.next])
+	}
+	c.entries[k] = routes
+	c.order[c.next] = k
+	c.next++
+	if c.next == len(c.order) {
+		c.next, c.filled = 0, true
+	}
+}
+
+// clear drops every entry; the engine calls it on every weight publish.
+func (c *resultCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+	c.next, c.filled = 0, false
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/sp"
+	"repro/internal/weights"
 )
 
 // Commercial simulates the commercial navigation provider of the study
@@ -17,10 +18,13 @@ import (
 // distinguishing behaviour:
 //
 //  1. It plans on *different underlying data* — a private traffic-aware
-//     weight vector (see the traffic package) rather than the public
+//     weight metric (see the traffic package) rather than the public
 //     OSM-derived weights. Its routes are optimal under its own data but
 //     may look like detours when judged under OSM data, recreating the
-//     Fig. 4 confound.
+//     Fig. 4 confound. Under live serving that private metric is a
+//     versioned store: every query resolves the provider's current
+//     traffic snapshot, exactly the "route rankings flip as traffic
+//     changes" behaviour the paper could only observe from outside.
 //  2. It applies extra ranking criteria beyond travel time — fewer turns
 //     and wider roads — the refinements §IV-C speculates a commercial
 //     product would have engineered.
@@ -37,13 +41,13 @@ import (
 // reachable region (sp.BuildPrunedTree) — disable with
 // Options.DisablePrunedTrees — and Options.TreeBackend == TreeCH switches
 // to full PHAST trees swept out of a contraction hierarchy over the
-// private weights.
+// private weights (re-customized in the background as traffic versions
+// are published).
 type Commercial struct {
-	g       *graph.Graph
-	public  []float64 // OSM-derived weights used for reported travel times
-	private []float64 // the provider's own traffic-aware weights
-	opts    Options
-	trees   TreeSource // tree factory over the private weights
+	g      *graph.Graph
+	public []float64 // OSM-derived weights used for reported travel times
+	opts   Options
+	prov   *provider // private-metric snapshots + per-version trees
 	// ranking criteria weights
 	turnPenalty   float64 // fractional cost increase per significant turn
 	narrowPenalty float64 // fractional cost increase for single-lane average
@@ -52,15 +56,20 @@ type Commercial struct {
 	poolSize      int     // plateau candidates considered before ranking
 }
 
-// NewCommercial returns the simulated commercial provider. private must
-// have one weight per edge; it is the provider's own view of travel times
-// (typically produced by traffic.Apply).
+// NewCommercial returns the simulated commercial provider. The private
+// metric it plans on comes from Options.Weights (a live store or pinned
+// snapshot); when that is nil, private must hold one weight per edge (the
+// provider's own view of travel times, typically produced by
+// traffic.Apply) and is pinned.
 func NewCommercial(g *graph.Graph, private []float64, opts Options) *Commercial {
 	opts = opts.withDefaults()
+	src := opts.Weights
+	if src == nil {
+		src = weights.Pin(private)
+	}
 	c := &Commercial{
 		g:             g,
-		public:        g.CopyWeights(),
-		private:       private,
+		public:        g.BaseWeights(),
 		opts:          opts,
 		turnPenalty:   0.015,
 		narrowPenalty: 0.10,
@@ -68,39 +77,50 @@ func NewCommercial(g *graph.Graph, private []float64, opts Options) *Commercial 
 		diversityBias: 0.45,
 		poolSize:      16,
 	}
-	switch {
-	case opts.TreeBackend == TreeCH:
-		c.trees = newTreeSource(g, private, TreeCH)
-	case opts.DisablePrunedTrees:
-		c.trees = newTreeSource(g, private, TreeDijkstra)
-	default:
-		c.trees = newPrunedTrees(g, private, opts.UpperBound)
-	}
+	pruned := opts.TreeBackend != TreeCH && !opts.DisablePrunedTrees
+	c.prov = newProvider(g, src, true, opts.TreeBackend, pruned, opts.UpperBound, nil)
 	return c
 }
 
 // Name implements Planner.
 func (c *Commercial) Name() string { return "GMaps" }
 
+// WeightsVersion implements VersionedPlanner: the version of the
+// *private* traffic metric, the one that changes under live serving.
+func (c *Commercial) WeightsVersion() weights.Version { return c.prov.weightsVersion() }
+
+func (c *Commercial) refreshAsync() { c.prov.refreshAsync() }
+func (c *Commercial) refreshSync()  { c.prov.refreshSync() }
+
 // Alternatives implements Planner.
 func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	routes, _, err := c.AlternativesVersioned(s, t)
+	return routes, err
+}
+
+// AlternativesVersioned implements VersionedPlanner.
+func (c *Commercial) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
 	if err := validateQuery(c.g, s, t); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	v := c.prov.view()
+	private := v.snap.Weights()
+	ver := v.snap.Version()
 	if s == t {
-		return trivialQuery(c.g, c.public, s), nil
+		return trivialQuery(c.g, c.public, s), ver, nil
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	fwd, bwd, ok := c.trees.BuildTrees(ws, s, t)
+	fwd, bwd, ok := v.trees.BuildTrees(ws, s, t)
 	if !ok {
-		return nil, ErrNoRoute
+		return nil, ver, ErrNoRoute
 	}
 	fastestPrivate := fwd.Dist[t]
 
 	// Candidate pool: plateau routes under the provider's private data.
-	inner := &Plateaus{g: c.g, base: c.private, opts: c.opts}
-	plateaus := inner.FindPlateaus(fwd, bwd)
+	sc := getPlateauScratch()
+	defer putPlateauScratch(sc)
+	plateaus := findPlateausInto(sc, c.g, private, fwd, bwd)
 	sortPlateaus(plateaus)
 
 	type scored struct {
@@ -117,7 +137,7 @@ func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 			continue
 		}
 		var cand path.Path
-		buf, cand, ok = inner.assembleInto(buf, fwd, bwd, pl)
+		buf, cand, ok = assemblePlateauRoute(buf, c.g, private, fwd, bwd, pl)
 		if !ok {
 			continue
 		}
@@ -137,7 +157,7 @@ func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	}
 	ws.KeepPathBuf(buf)
 	if len(pool) == 0 {
-		return nil, ErrNoRoute
+		return nil, ver, ErrNoRoute
 	}
 	// The provider's best route (its fastest) always comes first; the rest
 	// of the pool is re-ranked by the engineered goodness score.
@@ -179,7 +199,7 @@ func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	for i, p := range selected {
 		out[i] = path.MustNew(c.g, c.public, s, p.Edges)
 	}
-	return out, nil
+	return out, ver, nil
 }
 
 // score is the provider's goodness function: private travel time inflated

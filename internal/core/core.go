@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/path"
+	"repro/internal/weights"
 )
 
 // Paper parameter defaults (§III "Parameter Details").
@@ -64,6 +65,14 @@ type Planner interface {
 // Options configures a planner. The zero value selects the paper's
 // parameters via the Default* constants.
 type Options struct {
+	// Weights is the weight source the planner resolves per query: a
+	// *weights.Store for live traffic (each query plans on the store's
+	// latest snapshot) or a *weights.Snapshot to pin one version forever.
+	// nil pins the graph's base travel-time weights — the static
+	// configuration of the paper's experiments. For the Commercial
+	// planner this source is its *private* (traffic-aware) metric; all
+	// other planners plan on the public metric.
+	Weights weights.Source
 	// K is the maximum number of routes to return (default 3).
 	K int
 	// UpperBound caps alternative travel time at UpperBound × fastest
@@ -131,6 +140,15 @@ func (o Options) withDefaults() Options {
 		o.LocalOptimalityTolerance = 0.02
 	}
 	return o
+}
+
+// resolveSource defaults a nil Options.Weights to a pin of the graph's
+// own base travel-time weights — the paper's static configuration.
+func resolveSource(g *graph.Graph, src weights.Source) weights.Source {
+	if src == nil {
+		return weights.Pin(g.BaseWeights())
+	}
+	return src
 }
 
 func validateQuery(g *graph.Graph, s, t graph.NodeID) error {

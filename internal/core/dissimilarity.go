@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/sp"
+	"repro/internal/weights"
 )
 
 // Dissimilarity implements the SSVP-D+ technique of Chondrogiannis et al.
@@ -19,37 +20,52 @@ import (
 //
 // Both shortest-path trees are built once per query; every via-path is
 // assembled from tree pointers, which keeps the approximation fast enough
-// for interactive use (the exact problem is NP-hard).
+// for interactive use (the exact problem is NP-hard). Each query resolves
+// the current weight snapshot from Options.Weights, so the planner
+// follows live traffic without per-version state.
 type Dissimilarity struct {
 	g    *graph.Graph
-	base []float64
+	src  weights.Source
 	opts Options
 }
 
-// NewDissimilarity returns a Dissimilarity planner over g using the
-// graph's base travel-time weights.
+// NewDissimilarity returns a Dissimilarity planner over g planning on
+// Options.Weights (nil pins the graph's base travel-time weights).
 func NewDissimilarity(g *graph.Graph, opts Options) *Dissimilarity {
-	return &Dissimilarity{g: g, base: g.CopyWeights(), opts: opts.withDefaults()}
+	o := opts.withDefaults()
+	return &Dissimilarity{g: g, src: resolveSource(g, o.Weights), opts: o}
 }
 
 // Name implements Planner.
 func (d *Dissimilarity) Name() string { return "Dissimilarity" }
 
+// WeightsVersion implements VersionedPlanner.
+func (d *Dissimilarity) WeightsVersion() weights.Version { return d.src.Snapshot().Version() }
+
 // Alternatives implements Planner.
 func (d *Dissimilarity) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	routes, _, err := d.AlternativesVersioned(s, t)
+	return routes, err
+}
+
+// AlternativesVersioned implements VersionedPlanner.
+func (d *Dissimilarity) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
 	if err := validateQuery(d.g, s, t); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	snap := d.src.Snapshot()
+	base := snap.Weights()
+	ver := snap.Version()
 	if s == t {
-		return trivialQuery(d.g, d.base, s), nil
+		return trivialQuery(d.g, base, s), ver, nil
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	fwd := sp.BuildTreeInto(ws, d.g, d.base, s, sp.Forward)
+	fwd := sp.BuildTreeInto(ws, d.g, base, s, sp.Forward)
 	if !fwd.Reached(t) {
-		return nil, ErrNoRoute
+		return nil, ver, ErrNoRoute
 	}
-	bwd := sp.BuildTreeInto(ws, d.g, d.base, t, sp.Backward)
+	bwd := sp.BuildTreeInto(ws, d.g, base, t, sp.Backward)
 	fastest := fwd.Dist[t]
 	bound := d.opts.UpperBound * fastest
 
@@ -90,7 +106,7 @@ func (d *Dissimilarity) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 		if onSelected[c.node] {
 			continue
 		}
-		cand, ok := d.viaPath(fwd, bwd, s, c.node)
+		cand, ok := d.viaPath(base, fwd, bwd, s, c.node)
 		if !ok {
 			continue
 		}
@@ -104,7 +120,7 @@ func (d *Dissimilarity) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 		if !admit(d.g, cand, routes, d.opts.SimilarityCutoff) {
 			continue
 		}
-		if !admitLocalOpt(d.g, d.base, cand, fastest, d.opts) {
+		if !admitLocalOpt(d.g, base, cand, fastest, d.opts) {
 			continue
 		}
 		routes = append(routes, cand)
@@ -113,15 +129,15 @@ func (d *Dissimilarity) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 		}
 	}
 	if len(routes) == 0 {
-		return nil, ErrNoRoute
+		return nil, ver, ErrNoRoute
 	}
-	return routes, nil
+	return routes, ver, nil
 }
 
 // viaPath assembles sp(s,u) + sp(u,t) from the two trees. Via-paths that
 // revisit a node (the two halves overlap) are rejected as malformed
 // candidates, mirroring SSVP's simple-path requirement.
-func (d *Dissimilarity) viaPath(fwd, bwd *sp.Tree, s, u graph.NodeID) (path.Path, bool) {
+func (d *Dissimilarity) viaPath(base []float64, fwd, bwd *sp.Tree, s, u graph.NodeID) (path.Path, bool) {
 	head := fwd.PathTo(d.g, u)
 	if head == nil && u != s {
 		return path.Path{}, false
@@ -133,7 +149,7 @@ func (d *Dissimilarity) viaPath(fwd, bwd *sp.Tree, s, u graph.NodeID) (path.Path
 	edges := make([]graph.EdgeID, 0, len(head)+len(tail))
 	edges = append(edges, head...)
 	edges = append(edges, tail...)
-	cand, err := path.New(d.g, d.base, s, edges)
+	cand, err := path.New(d.g, base, s, edges)
 	if err != nil {
 		return path.Path{}, false
 	}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/path"
+	"repro/internal/weights"
 )
 
 // Engine is the concurrent serving-layer entry point: it fans a batch of
@@ -20,8 +22,19 @@ import (
 // used through an Engine must be safe for concurrent use — every planner
 // in this package is (PrunedPlateaus records its per-query instrumentation
 // through atomics).
+//
+// With SetCache the engine additionally memoizes answers keyed by
+// (planner, weight version, s, t): under live traffic the same hot
+// queries recur between publishes, and a versioned key guarantees a hit
+// can never serve routes from a superseded snapshot. The serving layer
+// (core.Router) invalidates the cache on every publish.
 type Engine struct {
-	sem chan struct{}
+	sem   chan struct{}
+	cache atomic.Pointer[resultCache]
+	// cacheSet records that SetCache was called explicitly, so a Router
+	// only installs its default cache on engines whose owner never chose
+	// (an explicit SetCache(0) stays disabled).
+	cacheSet atomic.Bool
 }
 
 // NewEngine returns an engine running at most workers concurrent planner
@@ -36,6 +49,36 @@ func NewEngine(workers int) *Engine {
 // Workers returns the engine's concurrency bound.
 func (e *Engine) Workers() int { return cap(e.sem) }
 
+// SetCache equips the engine with a result cache holding up to capacity
+// answers (capacity <= 0 removes the cache). Only planners implementing
+// VersionedPlanner are cached — without a version the key would alias
+// answers across weight swaps.
+func (e *Engine) SetCache(capacity int) {
+	e.cacheSet.Store(true)
+	if capacity <= 0 {
+		e.cache.Store(nil)
+		return
+	}
+	e.cache.Store(newResultCache(capacity))
+}
+
+// InvalidateCache drops every cached answer. The Router calls it on each
+// weight publish; it is harmless (and a no-op) without a cache.
+func (e *Engine) InvalidateCache() {
+	if c := e.cache.Load(); c != nil {
+		c.clear()
+	}
+}
+
+// CacheStats reports cumulative cache hits and misses (zeros without a
+// cache) — the serving metric the demo server logs per query.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	if c := e.cache.Load(); c != nil {
+		return c.hits.Load(), c.misses.Load()
+	}
+	return 0, 0
+}
+
 // Job is one Alternatives call of a batch.
 type Job struct {
 	Planner Planner
@@ -45,7 +88,11 @@ type Job struct {
 // Result is the outcome of one Job, in batch order.
 type Result struct {
 	Routes []path.Path
-	Err    error
+	// Version is the weight snapshot the answer was computed under (0 for
+	// planners that are not VersionedPlanner). Treat Routes as immutable:
+	// cached results are shared between callers.
+	Version weights.Version
+	Err     error
 }
 
 // AlternativesBatch answers all jobs concurrently (bounded by the worker
@@ -59,7 +106,7 @@ func (e *Engine) AlternativesBatch(jobs []Job) []Result {
 		// latency-critical single-query path — but still under the
 		// semaphore so the worker bound holds across concurrent callers.
 		e.sem <- struct{}{}
-		runJob(&jobs[0], &results[0])
+		e.runJob(&jobs[0], &results[0])
 		<-e.sem
 		return results
 	}
@@ -72,7 +119,7 @@ func (e *Engine) AlternativesBatch(jobs []Job) []Result {
 				<-e.sem
 				wg.Done()
 			}()
-			runJob(&jobs[i], &results[i])
+			e.runJob(&jobs[i], &results[i])
 		}(i)
 	}
 	wg.Wait()
@@ -82,14 +129,37 @@ func (e *Engine) AlternativesBatch(jobs []Job) []Result {
 // runJob executes one planner call, converting a panic into the job's
 // error: a worker goroutine must never take the whole process down (the
 // HTTP handler's own recover cannot reach it).
-func runJob(job *Job, res *Result) {
+func (e *Engine) runJob(job *Job, res *Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Routes = nil
 			res.Err = fmt.Errorf("core: planner %s panicked on %d->%d: %v", job.Planner.Name(), job.S, job.T, r)
 		}
 	}()
-	res.Routes, res.Err = job.Planner.Alternatives(job.S, job.T)
+	vp, versioned := job.Planner.(VersionedPlanner)
+	cache := e.cache.Load()
+	if cache == nil || !versioned {
+		if versioned {
+			res.Routes, res.Version, res.Err = vp.AlternativesVersioned(job.S, job.T)
+			return
+		}
+		res.Routes, res.Err = job.Planner.Alternatives(job.S, job.T)
+		return
+	}
+	// Look up under the version the planner would serve right now; store
+	// under the version it actually used. A lookup that hits therefore
+	// always returns routes computed under exactly its own version, even
+	// if a publish lands mid-flight.
+	key := cacheKey{planner: job.Planner, version: vp.WeightsVersion(), s: job.S, t: job.T}
+	if routes, ok := cache.get(key); ok {
+		res.Routes, res.Version = routes, key.version
+		return
+	}
+	res.Routes, res.Version, res.Err = vp.AlternativesVersioned(job.S, job.T)
+	if res.Err == nil {
+		key.version = res.Version
+		cache.put(key, res.Routes)
+	}
 }
 
 // Alternatives answers one query with every planner concurrently — the

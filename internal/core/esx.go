@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/sp"
+	"repro/internal/weights"
 )
 
 // ESX implements the edge-exclusion heuristic for k-shortest paths with
@@ -25,41 +26,59 @@ import (
 // the ablation benchmarks.
 type ESX struct {
 	g    *graph.Graph
-	base []float64
+	src  weights.Source
 	opts Options
 	// maxExclusionsPerRound bounds the Dijkstra re-runs per result path.
 	maxExclusionsPerRound int
 }
 
-// NewESX returns an ESX planner over g using the graph's base travel-time
-// weights.
+// NewESX returns an ESX planner over g planning on Options.Weights (nil
+// pins the graph's base travel-time weights).
 func NewESX(g *graph.Graph, opts Options) *ESX {
-	return &ESX{g: g, base: g.CopyWeights(), opts: opts.withDefaults(), maxExclusionsPerRound: 24}
+	o := opts.withDefaults()
+	return &ESX{g: g, src: resolveSource(g, o.Weights), opts: o, maxExclusionsPerRound: 24}
 }
 
 // Name implements Planner.
 func (x *ESX) Name() string { return "ESX" }
 
+// WeightsVersion implements VersionedPlanner.
+func (x *ESX) WeightsVersion() weights.Version { return x.src.Snapshot().Version() }
+
+// AlternativesVersioned implements VersionedPlanner: the snapshot is
+// resolved exactly once, so the reported version always matches the
+// weights the routes were computed under, even when a publish races.
+func (x *ESX) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
+	snap := x.src.Snapshot()
+	routes, err := x.alternatives(snap.Weights(), s, t)
+	return routes, snap.Version(), err
+}
+
 // Alternatives implements Planner.
 func (x *ESX) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	routes, _, err := x.AlternativesVersioned(s, t)
+	return routes, err
+}
+
+func (x *ESX) alternatives(base []float64, s, t graph.NodeID) ([]path.Path, error) {
 	if err := validateQuery(x.g, s, t); err != nil {
 		return nil, err
 	}
 	if s == t {
-		return trivialQuery(x.g, x.base, s), nil
+		return trivialQuery(x.g, base, s), nil
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	first, d := sp.ShortestPathInto(ws, x.g, x.base, s, t)
+	first, d := sp.ShortestPathInto(ws, x.g, base, s, t)
 	if first == nil || math.IsInf(d, 1) {
 		return nil, ErrNoRoute
 	}
-	routes := []path.Path{path.MustNew(x.g, x.base, s, append([]graph.EdgeID(nil), first...))}
+	routes := []path.Path{path.MustNew(x.g, base, s, append([]graph.EdgeID(nil), first...))}
 	fastest := routes[0].TimeS
 
 	excluded := make(map[graph.EdgeID]bool)
 	for len(routes) < x.opts.K {
-		next, ok := x.nextDissimilar(ws, s, t, routes, fastest, excluded)
+		next, ok := x.nextDissimilar(ws, base, s, t, routes, fastest, excluded)
 		if !ok {
 			break
 		}
@@ -71,10 +90,10 @@ func (x *ESX) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 // nextDissimilar runs the exclusion loop for one result path. The
 // exclusion set persists across rounds (as in ESX) so progress is not
 // re-derived from scratch for every k.
-func (x *ESX) nextDissimilar(ws *sp.Workspace, s, t graph.NodeID, selected []path.Path, fastest float64, excluded map[graph.EdgeID]bool) (path.Path, bool) {
-	work := make([]float64, len(x.base))
+func (x *ESX) nextDissimilar(ws *sp.Workspace, base []float64, s, t graph.NodeID, selected []path.Path, fastest float64, excluded map[graph.EdgeID]bool) (path.Path, bool) {
+	work := make([]float64, len(base))
 	rebuild := func() {
-		copy(work, x.base)
+		copy(work, base)
 		for e := range excluded {
 			work[e] = math.Inf(1)
 		}
@@ -85,7 +104,7 @@ func (x *ESX) nextDissimilar(ws *sp.Workspace, s, t graph.NodeID, selected []pat
 		if edges == nil || math.IsInf(d, 1) {
 			return path.Path{}, false
 		}
-		cand := path.MustNew(x.g, x.base, s, edges)
+		cand := path.MustNew(x.g, base, s, edges)
 		if cand.TimeS > x.opts.UpperBound*fastest+1e-9 {
 			return path.Path{}, false // already beyond the bound; giving up
 		}

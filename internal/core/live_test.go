@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/traffic"
+	"repro/internal/weights"
+)
+
+// --- Refactor equivalence ---------------------------------------------------
+
+// TestStoreBackedPlannersMatchPinned is the refactor's acceptance gate:
+// for a fixed snapshot, a planner resolving weights from a live store
+// must return byte-identical route sets to one pinned at construction
+// (the pre-refactor behaviour), on both tree backends.
+func TestStoreBackedPlannersMatchPinned(t *testing.T) {
+	g := randomRoadNetwork(42, 150)
+	store := weights.NewStore(g.BaseWeights())
+	private := traffic.Apply(g, traffic.DefaultModel(9))
+	privStore := weights.NewStore(private)
+
+	for _, backend := range []TreeBackend{TreeDijkstra, TreeCH} {
+		pinnedOpts := Options{TreeBackend: backend}
+		storeOpts := Options{TreeBackend: backend, Weights: store}
+		cases := []struct {
+			name           string
+			pinned, stored Planner
+		}{
+			{"Plateaus", NewPlateaus(g, pinnedOpts), NewPlateaus(g, storeOpts)},
+			{"PrunedPlateaus", NewPrunedPlateaus(g, pinnedOpts), NewPrunedPlateaus(g, storeOpts)},
+			{"Dissimilarity", NewDissimilarity(g, pinnedOpts), NewDissimilarity(g, storeOpts)},
+			{"Penalty", NewPenalty(g, pinnedOpts), NewPenalty(g, storeOpts)},
+			{"Commercial", NewCommercial(g, private, pinnedOpts),
+				NewCommercial(g, nil, Options{TreeBackend: backend, Weights: privStore})},
+		}
+		for _, tc := range cases {
+			comparePlannersExact(t, tc.pinned, tc.stored, g, 8, 77)
+		}
+	}
+}
+
+// --- Ban semantics across version swaps -------------------------------------
+
+// banFastestRoute finds a query with a route and returns it along with
+// the edges of the planner's first route (the ones we will close).
+func banFastestRoute(t *testing.T, g *graph.Graph, pl Planner, seed int64) (s, dst graph.NodeID, edges []graph.EdgeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for q := 0; q < 200; q++ {
+		s = graph.NodeID(rng.Intn(g.NumNodes()))
+		dst = graph.NodeID(rng.Intn(g.NumNodes()))
+		if s == dst {
+			continue
+		}
+		routes, err := pl.Alternatives(s, dst)
+		if err != nil || len(routes) == 0 || len(routes[0].Edges) < 3 {
+			continue
+		}
+		return s, dst, append([]graph.EdgeID(nil), routes[0].Edges...)
+	}
+	t.Fatal("no suitable query found")
+	return
+}
+
+// TestBanSurvivesSnapshotSwap closes the fastest route's edges in
+// snapshot N, then publishes a fresh traffic vector as snapshot N+1: the
+// bans must still be impassable for every planner on both tree backends
+// (the +Inf mask is re-applied by the store on every publish, and the CH
+// backend must re-customize it into its hierarchy).
+func TestBanSurvivesSnapshotSwap(t *testing.T) {
+	g := randomRoadNetwork(5, 150)
+	for _, backend := range []TreeBackend{TreeDijkstra, TreeCH} {
+		store := weights.NewStore(g.BaseWeights())
+		opts := Options{TreeBackend: backend, Weights: store}
+		planners := []Planner{
+			NewPlateaus(g, opts),
+			NewPrunedPlateaus(g, opts),
+			NewDissimilarity(g, opts),
+			NewPenalty(g, opts),
+			NewCommercial(g, nil, opts), // plans on the same store as its private metric
+		}
+		router := NewRouter(NewEngine(2), planners, store)
+
+		s, dst, banned := banFastestRoute(t, g, planners[0], int64(backend)+11)
+		store.Ban(banned...) // snapshot N: closures take effect
+
+		// Snapshot N+1: a whole new (perturbed) weight vector, no mention
+		// of the bans — the store must carry them forward.
+		next := make([]float64, len(g.BaseWeights()))
+		rng := rand.New(rand.NewSource(99))
+		for i, w := range g.BaseWeights() {
+			next[i] = w * (1 + 0.3*rng.Float64())
+		}
+		store.Publish(next)
+		router.Sync() // wait out the background re-customization
+
+		isBanned := make(map[graph.EdgeID]bool, len(banned))
+		for _, e := range banned {
+			isBanned[e] = true
+		}
+		for _, pl := range planners {
+			routes, err := pl.Alternatives(s, dst)
+			if err == ErrNoRoute {
+				continue // acceptable: the closure disconnected the pair for this planner
+			}
+			if err != nil {
+				t.Fatalf("backend %v %s: %v", backend, pl.Name(), err)
+			}
+			for ri, r := range routes {
+				if math.IsInf(r.TimeS, 1) {
+					t.Errorf("backend %v %s route %d has infinite travel time", backend, pl.Name(), ri)
+				}
+				for _, e := range r.Edges {
+					if isBanned[e] {
+						t.Errorf("backend %v %s route %d uses banned edge %d after snapshot swap",
+							backend, pl.Name(), ri, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- Versioned result cache -------------------------------------------------
+
+func TestEngineCacheVersionedHitsAndInvalidation(t *testing.T) {
+	g := randomRoadNetwork(8, 150)
+	store := weights.NewStore(g.BaseWeights())
+	pl := NewPlateaus(g, Options{Weights: store})
+	engine := NewEngine(2)
+	router := NewRouter(engine, []Planner{pl}, store)
+
+	s, dst, _ := banFastestRoute(t, g, pl, 3)
+	first := router.Alternatives(s, dst)[0]
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Version != 1 {
+		t.Fatalf("first answer at version %d, want 1", first.Version)
+	}
+	again := router.Alternatives(s, dst)[0]
+	hits, _ := engine.CacheStats()
+	if hits == 0 {
+		t.Fatal("repeat query did not hit the cache")
+	}
+	if len(again.Routes) != len(first.Routes) {
+		t.Fatal("cached answer differs from computed answer")
+	}
+	for i := range first.Routes {
+		if !path.Equal(first.Routes[i], again.Routes[i]) {
+			t.Fatalf("cached route %d differs", i)
+		}
+	}
+
+	// A publish invalidates: the same query recomputes under version 2.
+	store.Publish(g.BaseWeights())
+	router.Sync()
+	after := router.Alternatives(s, dst)[0]
+	if after.Err != nil {
+		t.Fatal(after.Err)
+	}
+	if after.Version != 2 {
+		t.Fatalf("post-publish answer at version %d, want 2", after.Version)
+	}
+	// Identical weights were republished, so the routes themselves match.
+	for i := range first.Routes {
+		if !path.Equal(first.Routes[i], after.Routes[i]) {
+			t.Fatalf("route %d changed across an identical-weights republish", i)
+		}
+	}
+}
+
+func TestUnversionedPlannersBypassCache(t *testing.T) {
+	g := testCity(t)
+	engine := NewEngine(1)
+	engine.SetCache(16)
+	// A planner that does not implement VersionedPlanner must run every
+	// time and report version 0.
+	pl := plainPlanner{inner: NewPlateaus(g, Options{})}
+	r1 := engine.Alternatives([]Planner{pl}, 0, graph.NodeID(g.NumNodes()-1))[0]
+	r2 := engine.Alternatives([]Planner{pl}, 0, graph.NodeID(g.NumNodes()-1))[0]
+	if r1.Version != 0 || r2.Version != 0 {
+		t.Fatalf("unversioned planner reported versions %d/%d", r1.Version, r2.Version)
+	}
+	if hits, _ := engine.CacheStats(); hits != 0 {
+		t.Fatal("unversioned planner was served from the cache")
+	}
+}
+
+// TestRouterHonoursExplicitCacheDisable: SetCache(0) is a deliberate
+// choice; the Router's default cache must only land on engines whose
+// owner never called SetCache.
+func TestRouterHonoursExplicitCacheDisable(t *testing.T) {
+	g := testCity(t)
+	store := weights.NewStore(g.BaseWeights())
+	pl := NewPlateaus(g, Options{Weights: store})
+
+	disabled := NewEngine(1)
+	disabled.SetCache(0)
+	router := NewRouter(disabled, []Planner{pl}, store)
+	router.Alternatives(0, graph.NodeID(g.NumNodes()-1))
+	router.Alternatives(0, graph.NodeID(g.NumNodes()-1))
+	if hits, misses := disabled.CacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("explicitly disabled cache served traffic: %d hits / %d misses", hits, misses)
+	}
+
+	fresh := NewEngine(1)
+	router.SetEngine(fresh) // never configured: gets the default cache
+	router.Alternatives(0, graph.NodeID(g.NumNodes()-1))
+	if _, misses := fresh.CacheStats(); misses == 0 {
+		t.Fatal("unconfigured engine did not get the router's default cache")
+	}
+}
+
+// plainPlanner strips the VersionedPlanner interface off a planner.
+type plainPlanner struct{ inner *Plateaus }
+
+func (p plainPlanner) Name() string { return "plain" }
+func (p plainPlanner) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	return p.inner.Alternatives(s, t)
+}
+
+// --- Double-buffered CH swap ------------------------------------------------
+
+// TestCHSwapServesOldThenNew publishes a uniformly scaled snapshot (which
+// re-customization handles exactly) and verifies that (a) queries before
+// Sync never fail or block on the rebuild, and (b) after Sync the planner
+// serves the new version with route sets identical to a from-scratch
+// planner pinned at the new snapshot.
+func TestCHSwapServesOldThenNew(t *testing.T) {
+	g := randomRoadNetwork(21, 150)
+	store := weights.NewStore(g.BaseWeights())
+	pl := NewPlateaus(g, Options{TreeBackend: TreeCH, Weights: store})
+	router := NewRouter(NewEngine(2), []Planner{pl}, store)
+
+	s, dst, _ := banFastestRoute(t, g, pl, 13)
+
+	scaled := make([]float64, len(g.BaseWeights()))
+	for i, w := range g.BaseWeights() {
+		scaled[i] = 1.5 * w
+	}
+	store.Publish(scaled)
+	// Mid-swap: the query must answer immediately under *some* version.
+	routes, ver, err := pl.AlternativesVersioned(s, dst)
+	if err != nil || len(routes) == 0 {
+		t.Fatalf("mid-swap query failed: %v", err)
+	}
+	if ver != 1 && ver != 2 {
+		t.Fatalf("mid-swap version = %d, want 1 or 2", ver)
+	}
+
+	router.Sync()
+	if v := pl.WeightsVersion(); v != 2 {
+		t.Fatalf("post-sync version = %d, want 2", v)
+	}
+	fresh := NewPlateaus(g, Options{TreeBackend: TreeCH, Weights: weights.Pin(scaled)})
+	comparePlannersExact(t, fresh, pl, g, 8, 29)
+}
+
+// --- Race smoke: publishes racing batch queries -----------------------------
+
+// TestConcurrentPublishWithBatchQueries is the live-serving smoke test CI
+// runs under -race: a rush-hour producer publishes snapshots while the
+// engine answers batches across all planners and both backends. Every
+// answer must be a coherent single-version result (no torn reads, no
+// panics); correctness of the final state is pinned by a post-Sync
+// equality check against a planner built fresh at the final snapshot.
+func TestConcurrentPublishWithBatchQueries(t *testing.T) {
+	g := randomRoadNetwork(31, 120)
+	pubStore := weights.NewStore(g.BaseWeights())
+	seq := traffic.NewSequence(g, traffic.DefaultModel(4), 8)
+	privStore := weights.NewStore(seq.WeightsAt(0))
+
+	opts := Options{Weights: pubStore}
+	chOpts := Options{Weights: pubStore, TreeBackend: TreeCH}
+	planners := []Planner{
+		NewPlateaus(g, opts),
+		NewPlateaus(g, chOpts),
+		NewPrunedPlateaus(g, chOpts),
+		NewDissimilarity(g, opts),
+		NewPenalty(g, opts),
+		NewCommercial(g, nil, Options{Weights: privStore, TreeBackend: TreeCH}),
+	}
+	engine := NewEngine(4)
+	router := NewRouter(engine, planners, pubStore, privStore)
+
+	const publishes = 6
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := make([]float64, len(g.BaseWeights()))
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < publishes; i++ {
+			seq.Advance(privStore)
+			for j, w := range g.BaseWeights() {
+				next[j] = w * (1 + 0.2*rng.Float64())
+			}
+			pubStore.Publish(next)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 10; round++ {
+		jobs := make([]Job, 0, 3*len(planners))
+		for q := 0; q < 3; q++ {
+			s := graph.NodeID(rng.Intn(g.NumNodes()))
+			dst := graph.NodeID(rng.Intn(g.NumNodes()))
+			for _, pl := range planners {
+				jobs = append(jobs, Job{Planner: pl, S: s, T: dst})
+			}
+		}
+		for _, r := range router.AlternativesBatch(jobs) {
+			if r.Err != nil && r.Err != ErrNoRoute {
+				t.Fatalf("batch under publish churn: %v", r.Err)
+			}
+		}
+	}
+	wg.Wait()
+	router.Sync()
+
+	// Steady state: the Dijkstra-backed store planner must now agree
+	// exactly with a fresh planner pinned at the final snapshot.
+	fresh := NewPlateaus(g, Options{Weights: pubStore.Latest()})
+	comparePlannersExact(t, fresh, planners[0].(*Plateaus), g, 6, 3)
+	if v := planners[0].(*Plateaus).WeightsVersion(); v != pubStore.Version() {
+		t.Fatalf("post-sync version %d != store version %d", v, pubStore.Version())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/path"
+	"repro/internal/weights"
 )
 
 // Pareto implements the skyline-paths baseline of §II-D (Barth & Funke;
@@ -22,7 +23,7 @@ import (
 // memory on adversarial graphs.
 type Pareto struct {
 	g    *graph.Graph
-	base []float64
+	src  weights.Source
 	opts Options
 	// maxLabelsPerNode caps each node's frontier; the skyline of real road
 	// networks is narrow, so 32 is generous.
@@ -32,11 +33,24 @@ type Pareto struct {
 // NewPareto returns a Pareto (skyline) planner over g using travel time
 // and distance as the two criteria.
 func NewPareto(g *graph.Graph, opts Options) *Pareto {
-	return &Pareto{g: g, base: g.CopyWeights(), opts: opts.withDefaults(), maxLabelsPerNode: 32}
+	o := opts.withDefaults()
+	return &Pareto{g: g, src: resolveSource(g, o.Weights), opts: o, maxLabelsPerNode: 32}
 }
 
 // Name implements Planner.
 func (p *Pareto) Name() string { return "Pareto" }
+
+// WeightsVersion implements VersionedPlanner.
+func (p *Pareto) WeightsVersion() weights.Version { return p.src.Snapshot().Version() }
+
+// AlternativesVersioned implements VersionedPlanner: the snapshot is
+// resolved exactly once, so the reported version always matches the
+// weights the routes were computed under, even when a publish races.
+func (p *Pareto) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
+	snap := p.src.Snapshot()
+	routes, err := p.alternatives(snap.Weights(), s, t)
+	return routes, snap.Version(), err
+}
 
 // label is one partial path in the bicriteria search.
 type label struct {
@@ -110,13 +124,18 @@ func (h *labelHeap) pop() int {
 // Alternatives implements Planner: it returns up to K skyline paths in
 // ascending travel-time order (the fastest path is always the first).
 func (p *Pareto) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	routes, _, err := p.AlternativesVersioned(s, t)
+	return routes, err
+}
+
+func (p *Pareto) alternatives(base []float64, s, t graph.NodeID) ([]path.Path, error) {
 	if err := validateQuery(p.g, s, t); err != nil {
 		return nil, err
 	}
 	if s == t {
-		return trivialQuery(p.g, p.base, s), nil
+		return trivialQuery(p.g, base, s), nil
 	}
-	skyline := p.Skyline(s, t)
+	skyline := p.skyline(base, s, t)
 	if len(skyline) == 0 {
 		return nil, ErrNoRoute
 	}
@@ -127,8 +146,13 @@ func (p *Pareto) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 }
 
 // Skyline returns the full Pareto frontier of s-t paths within the travel
-// time upper bound, in ascending travel-time (descending distance) order.
+// time upper bound, in ascending travel-time (descending distance) order,
+// under the current weight snapshot.
 func (p *Pareto) Skyline(s, t graph.NodeID) []path.Path {
+	return p.skyline(p.src.Snapshot().Weights(), s, t)
+}
+
+func (p *Pareto) skyline(base []float64, s, t graph.NodeID) []path.Path {
 	arena := make([]label, 0, 1024)
 	frontier := make(map[graph.NodeID][]int) // node -> arena indices of non-dominated labels
 	h := &labelHeap{arena: &arena}
@@ -161,7 +185,7 @@ func (p *Pareto) Skyline(s, t graph.NodeID) []path.Path {
 		}
 		for _, e := range p.g.OutEdges(lab.node) {
 			ed := p.g.Edge(e)
-			nt := lab.timeS + p.base[e]
+			nt := lab.timeS + base[e]
 			nd := lab.distM + ed.LengthM
 			if bestT > 0 && nt > p.opts.UpperBound*bestT+1e-9 {
 				continue
@@ -179,7 +203,7 @@ func (p *Pareto) Skyline(s, t graph.NodeID) []path.Path {
 	out := make([]path.Path, 0, len(results))
 	for _, li := range results {
 		edges := reconstruct(arena, li)
-		cand, err := path.New(p.g, p.base, s, edges)
+		cand, err := path.New(p.g, base, s, edges)
 		if err != nil {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/sp"
+	"repro/internal/weights"
 )
 
 // Penalty implements the penalty-based alternative-route technique
@@ -15,23 +16,26 @@ import (
 //
 // Following the paper's configuration, routes are reported with travel
 // times under the *original* weights and no upper-bound filter is applied
-// unless Options.ApplyUpperBoundToPenalty is set.
+// unless Options.ApplyUpperBoundToPenalty is set. Each query resolves the
+// current weight snapshot from Options.Weights and penalizes a private
+// working copy of it, so the planner follows live traffic without any
+// per-version state of its own.
 type Penalty struct {
 	g    *graph.Graph
-	base []float64
+	src  weights.Source
 	opts Options
 	// maxIterations bounds the search when penalised reroutes keep
 	// rediscovering known paths; 4·K+4 is generous for road networks.
 	maxIterations int
 }
 
-// NewPenalty returns a Penalty planner over g using the graph's base
-// travel-time weights.
+// NewPenalty returns a Penalty planner over g planning on Options.Weights
+// (nil pins the graph's base travel-time weights).
 func NewPenalty(g *graph.Graph, opts Options) *Penalty {
 	o := opts.withDefaults()
 	return &Penalty{
 		g:             g,
-		base:          g.CopyWeights(),
+		src:           resolveSource(g, o.Weights),
 		opts:          o,
 		maxIterations: 4*o.K + 4,
 	}
@@ -40,16 +44,28 @@ func NewPenalty(g *graph.Graph, opts Options) *Penalty {
 // Name implements Planner.
 func (p *Penalty) Name() string { return "Penalty" }
 
+// WeightsVersion implements VersionedPlanner.
+func (p *Penalty) WeightsVersion() weights.Version { return p.src.Snapshot().Version() }
+
 // Alternatives implements Planner.
 func (p *Penalty) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	routes, _, err := p.AlternativesVersioned(s, t)
+	return routes, err
+}
+
+// AlternativesVersioned implements VersionedPlanner.
+func (p *Penalty) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
 	if err := validateQuery(p.g, s, t); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	snap := p.src.Snapshot()
+	base := snap.Weights()
+	ver := snap.Version()
 	if s == t {
-		return trivialQuery(p.g, p.base, s), nil
+		return trivialQuery(p.g, base, s), ver, nil
 	}
-	work := make([]float64, len(p.base))
-	copy(work, p.base)
+	work := make([]float64, len(base))
+	copy(work, base)
 	ws := sp.GetWorkspace()
 	defer ws.Release()
 
@@ -63,7 +79,7 @@ func (p *Penalty) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 			break
 		}
 		// Evaluate and report the route under the original weights.
-		cand := path.MustNew(p.g, p.base, s, edges)
+		cand := path.MustNew(p.g, base, s, edges)
 		if iter == 0 {
 			fastest = cand.TimeS
 		}
@@ -72,7 +88,7 @@ func (p *Penalty) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 			cand.TimeS > p.opts.UpperBound*fastest {
 			ok = false
 		}
-		if ok && !admitLocalOpt(p.g, p.base, cand, fastest, p.opts) {
+		if ok && !admitLocalOpt(p.g, base, cand, fastest, p.opts) {
 			ok = false
 		}
 		if ok {
@@ -84,9 +100,9 @@ func (p *Penalty) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 		p.penalize(work, edges)
 	}
 	if len(routes) == 0 {
-		return nil, ErrNoRoute
+		return nil, ver, ErrNoRoute
 	}
-	return routes, nil
+	return routes, ver, nil
 }
 
 func (p *Penalty) penalize(work []float64, edges []graph.EdgeID) {

@@ -3,10 +3,12 @@ package core
 import (
 	"math"
 	"slices"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/sp"
+	"repro/internal/weights"
 )
 
 // Plateaus implements Cotares' Choice Routing technique (Jones, US patent
@@ -19,29 +21,48 @@ import (
 // generated route cost; 0 is best and is achieved exactly by the fastest
 // path, which is itself a plateau).
 //
-// How the two trees are built is pluggable (TreeSource): full Dijkstra
-// searches by default, or PHAST sweeps over a contraction hierarchy with
-// Options.TreeBackend == TreeCH — the §II-B optimisation that makes tree
-// construction near-linear after a one-off preprocessing.
+// The planner resolves its weights per query from Options.Weights (a
+// live-traffic store or a pinned snapshot; nil pins the graph's base
+// weights), and how the two trees are built is pluggable (TreeSource):
+// full Dijkstra searches by default, or PHAST sweeps over a contraction
+// hierarchy with Options.TreeBackend == TreeCH — the §II-B optimisation
+// that makes tree construction near-linear after a one-off preprocessing.
+// Under TreeCH a new weight version re-customizes the hierarchy in the
+// background while the old one keeps serving (see provider).
 type Plateaus struct {
-	g     *graph.Graph
-	base  []float64
-	opts  Options
-	trees TreeSource
+	g    *graph.Graph
+	opts Options
+	prov *provider
 }
 
-// NewPlateaus returns a Plateaus planner over g using the graph's base
-// travel-time weights. With Options.TreeBackend == TreeCH the constructor
-// contracts the graph into a hierarchy (a few ms per city network) so
-// every query can build its trees with downward sweeps.
+// NewPlateaus returns a Plateaus planner over g. With Options.TreeBackend
+// == TreeCH the constructor contracts the current snapshot's hierarchy (a
+// few ms per city network) so every query can build its trees with
+// downward sweeps.
 func NewPlateaus(g *graph.Graph, opts Options) *Plateaus {
+	return newPlateaus(g, opts, false, nil)
+}
+
+// newPlateaus is the shared constructor: pruned selects elliptic tree
+// pruning (ignored under TreeCH), wrap decorates each version's tree
+// source (PrunedPlateaus' counting instrumentation).
+func newPlateaus(g *graph.Graph, opts Options, pruned bool, wrap func(TreeSource) TreeSource) *Plateaus {
 	opts = opts.withDefaults()
-	base := g.CopyWeights()
-	return &Plateaus{g: g, base: base, opts: opts, trees: newTreeSource(g, base, opts.TreeBackend)}
+	return &Plateaus{
+		g:    g,
+		opts: opts,
+		prov: newProvider(g, opts.Weights, true, opts.TreeBackend, pruned, opts.UpperBound, wrap),
+	}
 }
 
 // Name implements Planner.
 func (p *Plateaus) Name() string { return "Plateaus" }
+
+// WeightsVersion implements VersionedPlanner.
+func (p *Plateaus) WeightsVersion() weights.Version { return p.prov.weightsVersion() }
+
+func (p *Plateaus) refreshAsync() { p.prov.refreshAsync() }
+func (p *Plateaus) refreshSync()  { p.prov.refreshSync() }
 
 // Plateau is a maximal chain of edges that appears in both the forward and
 // the backward shortest-path tree. Exposed for visualization (Fig. 1 of
@@ -81,21 +102,35 @@ func sortPlateaus(plateaus []Plateau) {
 
 // Alternatives implements Planner.
 func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	routes, _, err := p.AlternativesVersioned(s, t)
+	return routes, err
+}
+
+// AlternativesVersioned implements VersionedPlanner. The whole query —
+// trees, plateau costs, bounds, reported times — runs under the single
+// snapshot its view resolved, so answers stay internally consistent while
+// publishes race.
+func (p *Plateaus) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
 	if err := validateQuery(p.g, s, t); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	v := p.prov.view()
+	base := v.snap.Weights()
+	ver := v.snap.Version()
 	if s == t {
-		return trivialQuery(p.g, p.base, s), nil
+		return trivialQuery(p.g, base, s), ver, nil
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	fwd, bwd, ok := p.trees.BuildTrees(ws, s, t)
+	fwd, bwd, ok := v.trees.BuildTrees(ws, s, t)
 	if !ok {
-		return nil, ErrNoRoute
+		return nil, ver, ErrNoRoute
 	}
 	fastest := fwd.Dist[t]
 
-	plateaus := p.FindPlateaus(fwd, bwd)
+	sc := getPlateauScratch()
+	defer putPlateauScratch(sc)
+	plateaus := findPlateausInto(sc, p.g, base, fwd, bwd)
 	sortPlateaus(plateaus)
 
 	var routes []path.Path
@@ -108,7 +143,7 @@ func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 			continue
 		}
 		var cand path.Path
-		buf, cand, ok = p.assembleInto(buf, fwd, bwd, pl)
+		buf, cand, ok = assemblePlateauRoute(buf, p.g, base, fwd, bwd, pl)
 		if !ok {
 			continue
 		}
@@ -119,21 +154,72 @@ func (p *Plateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	}
 	ws.KeepPathBuf(buf)
 	if len(routes) == 0 {
-		return nil, ErrNoRoute
+		return nil, ver, ErrNoRoute
 	}
-	return routes, nil
+	return routes, ver, nil
 }
 
 // FindPlateaus joins a forward and a backward shortest-path tree and
-// returns all maximal plateau chains, unranked. Exposed for the Fig. 1
-// walkthrough example and for tests of the plateau invariants.
+// returns all maximal plateau chains, unranked, with chain costs taken
+// from the planner's current weight snapshot — callers on a live store
+// should pin a snapshot (Options.Weights = weights.Pin(...)) and build
+// their trees under it, or a publish between the tree builds and this
+// call can mix metrics in the reported costs. Exposed for the Fig. 1
+// walkthrough example and for tests of the plateau invariants; the
+// returned plateaus own their storage. (The query path uses the pooled
+// scratch variant findPlateausInto instead, under a single resolved
+// view.)
 func (p *Plateaus) FindPlateaus(fwd, bwd *sp.Tree) []Plateau {
-	g := p.g
-	// An edge e = (u,v) is a plateau edge iff it is the forward-tree edge
-	// into v and the backward-tree edge out of u. Each node therefore has
-	// at most one incoming plateau edge (its fwd parent) and one outgoing
-	// plateau edge (its bwd parent), so chains are simple paths walkable
-	// along bwd.Parent pointers — no scratch maps needed.
+	sc := getPlateauScratch()
+	defer putPlateauScratch(sc)
+	pls := findPlateausInto(sc, p.g, p.prov.view().snap.Weights(), fwd, bwd)
+	if len(pls) == 0 {
+		return nil
+	}
+	out := make([]Plateau, len(pls))
+	copy(out, pls)
+	backing := make([]graph.EdgeID, 0, len(sc.edges))
+	for i := range out {
+		mark := len(backing)
+		backing = append(backing, out[i].Edges...)
+		out[i].Edges = backing[mark:len(backing):len(backing)]
+	}
+	return out
+}
+
+// plateauScratch is the reusable storage of one plateau join: the chains,
+// one shared edge backing, and the per-chain edge counts the single-pass
+// walk records before the backing stops growing. Pooled so a warmed-up
+// serving process joins trees with zero allocations.
+type plateauScratch struct {
+	plateaus []Plateau
+	edges    []graph.EdgeID
+	counts   []int32
+}
+
+var plateauPool = sync.Pool{New: func() any { return new(plateauScratch) }}
+
+func getPlateauScratch() *plateauScratch { return plateauPool.Get().(*plateauScratch) }
+func putPlateauScratch(sc *plateauScratch) {
+	sc.plateaus = sc.plateaus[:0]
+	sc.edges = sc.edges[:0]
+	sc.counts = sc.counts[:0]
+	plateauPool.Put(sc)
+}
+
+// findPlateausInto joins the trees in a single pass over the node set,
+// writing into sc and returning its plateau slice (valid until the
+// scratch is released). An edge e = (u,v) is a plateau edge iff it is the
+// forward-tree edge into v and the backward-tree edge out of u. Each node
+// therefore has at most one incoming plateau edge (its fwd parent) and
+// one outgoing plateau edge (its bwd parent), so chains are simple paths
+// walkable along bwd.Parent pointers — no maps, and each chain is walked
+// exactly once: edges append to the shared scratch backing and the Edges
+// views are fixed up after the walk, when the backing is final.
+func findPlateausInto(sc *plateauScratch, g *graph.Graph, base []float64, fwd, bwd *sp.Tree) []Plateau {
+	sc.plateaus = sc.plateaus[:0]
+	sc.edges = sc.edges[:0]
+	sc.counts = sc.counts[:0]
 	isPlateau := func(e graph.EdgeID) bool {
 		if e < 0 {
 			return false
@@ -144,65 +230,54 @@ func (p *Plateaus) FindPlateaus(fwd, bwd *sp.Tree) []Plateau {
 	isHead := func(v graph.NodeID) bool {
 		return isPlateau(bwd.Parent[v]) && !isPlateau(fwd.Parent[v])
 	}
-	// Pass 1: count chains and their total edges, so the result needs
-	// exactly two allocations (the chains, one shared edge backing) rather
-	// than one growing slice per plateau.
-	nChains, nEdges := 0, 0
 	for start := graph.NodeID(0); int(start) < g.NumNodes(); start++ {
 		if !isHead(start) {
 			continue // no chain leaving here, or interior/tail of one
 		}
-		nChains++
-		cur := start
-		for e := bwd.Parent[cur]; isPlateau(e); e = bwd.Parent[cur] {
-			nEdges++
-			cur = g.Edge(e).To
-		}
-	}
-	if nChains == 0 {
-		return nil
-	}
-	out := make([]Plateau, 0, nChains)
-	backing := make([]graph.EdgeID, 0, nEdges)
-	// Pass 2: walk the same chains again, filling in place.
-	for start := graph.NodeID(0); int(start) < g.NumNodes(); start++ {
-		if !isHead(start) {
-			continue
-		}
 		pl := Plateau{Start: start}
-		mark := len(backing)
+		mark := len(sc.edges)
 		cur := start
 		for e := bwd.Parent[cur]; isPlateau(e); e = bwd.Parent[cur] {
-			backing = append(backing, e)
-			pl.CostS += p.base[e]
+			sc.edges = append(sc.edges, e)
+			pl.CostS += base[e]
 			cur = g.Edge(e).To
 		}
-		pl.Edges = backing[mark:len(backing):len(backing)]
 		pl.End = cur
 		if math.IsInf(fwd.Dist[pl.Start], 1) || math.IsInf(bwd.Dist[pl.End], 1) {
-			continue // defensive; tree edges imply reachability
+			sc.edges = sc.edges[:mark] // defensive; tree edges imply reachability
+			continue
 		}
 		pl.RouteCostS = fwd.Dist[pl.Start] + pl.CostS + bwd.Dist[pl.End]
-		out = append(out, pl)
+		sc.plateaus = append(sc.plateaus, pl)
+		sc.counts = append(sc.counts, int32(len(sc.edges)-mark))
 	}
-	return out
+	// Chains landed in the backing in discovery order, so the spans are
+	// contiguous; materialize the Edges views now that appends are done.
+	off := 0
+	for i := range sc.plateaus {
+		n := int(sc.counts[i])
+		sc.plateaus[i].Edges = sc.edges[off : off+n : off+n]
+		off += n
+	}
+	return sc.plateaus
 }
 
-// assembleInto builds the full route for a plateau on buf: s →(fwd tree)
-// Start, plateau chain, End →(bwd tree) t. The returned Path's Edges
-// alias buf — callers keeping the route beyond the next call must copy
-// them — so rejected candidates cost no edge-slice allocations.
-func (p *Plateaus) assembleInto(buf []graph.EdgeID, fwd, bwd *sp.Tree, pl Plateau) ([]graph.EdgeID, path.Path, bool) {
+// assemblePlateauRoute builds the full route for a plateau on buf: s
+// →(fwd tree) Start, plateau chain, End →(bwd tree) t, evaluated under
+// base. The returned Path's Edges alias buf — callers keeping the route
+// beyond the next call must copy them — so rejected candidates cost no
+// edge-slice allocations.
+func assemblePlateauRoute(buf []graph.EdgeID, g *graph.Graph, base []float64, fwd, bwd *sp.Tree, pl Plateau) ([]graph.EdgeID, path.Path, bool) {
 	buf = buf[:0]
 	var ok bool
-	if buf, ok = fwd.PathInto(buf, p.g, pl.Start); !ok {
+	if buf, ok = fwd.PathInto(buf, g, pl.Start); !ok {
 		return buf, path.Path{}, false
 	}
 	buf = append(buf, pl.Edges...)
-	if buf, ok = bwd.PathInto(buf, p.g, pl.End); !ok {
+	if buf, ok = bwd.PathInto(buf, g, pl.End); !ok {
 		return buf, path.Path{}, false
 	}
-	cand, err := path.New(p.g, p.base, fwd.Root, buf)
+	cand, err := path.New(g, base, fwd.Root, buf)
 	if err != nil {
 		return buf, path.Path{}, false
 	}

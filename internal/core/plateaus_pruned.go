@@ -1,8 +1,11 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/graph"
 	"repro/internal/path"
+	"repro/internal/weights"
 )
 
 // PrunedPlateaus is the §II-B "compatibility with routing optimisations"
@@ -16,36 +19,48 @@ import (
 // With Options.TreeBackend == TreeCH the planner instead builds full
 // PHAST trees from a contraction hierarchy (pruning is moot there: the
 // downward sweep is already near-linear), keeping the same instrumented
-// interface. The exploration counters are atomics, so the planner is safe
-// under core.Engine workers.
+// interface. The exploration counters are atomics shared by every weight
+// version's tree source, so the planner is safe under core.Engine workers
+// and across live snapshot swaps.
 type PrunedPlateaus struct {
-	inner *Plateaus
-	src   *countingTrees
+	inner  *Plateaus
+	counts *treeCounts
 }
 
 // NewPrunedPlateaus returns the pruned-tree plateau planner.
 func NewPrunedPlateaus(g *graph.Graph, opts Options) *PrunedPlateaus {
-	opts = opts.withDefaults()
-	base := g.CopyWeights()
-	var src TreeSource
-	if opts.TreeBackend == TreeCH {
-		src = newTreeSource(g, base, TreeCH)
-	} else {
-		src = newPrunedTrees(g, base, opts.UpperBound)
-	}
-	counting := &countingTrees{src: src}
+	counts := &treeCounts{}
+	wrap := func(src TreeSource) TreeSource { return &countingTrees{src: src, counts: counts} }
+	pruned := opts.withDefaults().TreeBackend != TreeCH
 	return &PrunedPlateaus{
-		inner: &Plateaus{g: g, base: base, opts: opts, trees: counting},
-		src:   counting,
+		inner:  newPlateaus(g, opts, pruned, wrap),
+		counts: counts,
 	}
 }
 
 // Name implements Planner.
 func (p *PrunedPlateaus) Name() string { return "Plateaus(pruned)" }
 
+// WeightsVersion implements VersionedPlanner.
+func (p *PrunedPlateaus) WeightsVersion() weights.Version { return p.inner.WeightsVersion() }
+
+func (p *PrunedPlateaus) refreshAsync() { p.inner.refreshAsync() }
+func (p *PrunedPlateaus) refreshSync()  { p.inner.refreshSync() }
+
 // Alternatives implements Planner.
 func (p *PrunedPlateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	return p.inner.Alternatives(s, t)
+}
+
+// AlternativesVersioned implements VersionedPlanner.
+func (p *PrunedPlateaus) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
+	return p.inner.AlternativesVersioned(s, t)
+}
+
+// treeCounts is the concurrency-safe exploration instrumentation shared
+// by all of a planner's per-version tree sources.
+type treeCounts struct {
+	lastFwd, lastBwd atomic.Int64
 }
 
 // LastReached reports how many nodes the most recent query's forward and
@@ -53,5 +68,5 @@ func (p *PrunedPlateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 // example. Under concurrent use the values reflect some recent query
 // (each query's counts are stored atomically; the last writer wins).
 func (p *PrunedPlateaus) LastReached() (fwd, bwd int) {
-	return int(p.src.lastFwd.Load()), int(p.src.lastBwd.Load())
+	return int(p.counts.lastFwd.Load()), int(p.counts.lastBwd.Load())
 }

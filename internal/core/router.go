@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/weights"
+)
+
+// DefaultCacheSize is the result-cache capacity a Router installs on its
+// engine when the engine has none: roomy enough for the hot query set of
+// one demo city between publishes, small enough to be irrelevant next to
+// the graph itself.
+const DefaultCacheSize = 4096
+
+// Router is the live-traffic serving layer: it owns a planner set, the
+// weight stores they plan on, and the engine that answers queries. It
+// subscribes to every store, so a publish
+//
+//  1. invalidates the engine's versioned result cache, and
+//  2. kicks background re-customization in every planner that derives
+//     per-version state (the CH hierarchies of TreeCH planners),
+//
+// after which each planner's view swings to the new version by an atomic
+// pointer swap — old state keeps serving until its replacement is ready,
+// and no query ever blocks on a rebuild.
+//
+// Swap granularity is per planner: during a rebuild window different
+// planners (or the same planner across two queries) may serve adjacent
+// versions. Every individual answer is computed under exactly one
+// snapshot and carries its version in Result.Version; Sync provides a
+// barrier for callers that need the whole set at the latest version.
+type Router struct {
+	engine   atomic.Pointer[Engine]
+	planners []Planner
+	stores   []*weights.Store
+}
+
+// NewRouter wires the serving layer together. A nil engine gets a fresh
+// default-sized one; an engine whose owner never called SetCache gets a
+// DefaultCacheSize cache (an explicit SetCache(0) is honoured). The
+// router subscribes to the given stores — every store a planner resolves
+// from should be listed, or its publishes won't trigger invalidation and
+// re-customization.
+func NewRouter(engine *Engine, planners []Planner, stores ...*weights.Store) *Router {
+	if engine == nil {
+		engine = NewEngine(0)
+	}
+	if !engine.cacheSet.Load() {
+		engine.SetCache(DefaultCacheSize)
+	}
+	r := &Router{
+		planners: append([]Planner(nil), planners...),
+		stores:   stores,
+	}
+	r.engine.Store(engine)
+	for _, st := range stores {
+		st.Subscribe(func(*weights.Snapshot) { r.onPublish() })
+	}
+	return r
+}
+
+// Engine returns the engine currently answering this router's queries.
+func (r *Router) Engine() *Engine { return r.engine.Load() }
+
+// SetEngine swaps the serving engine (a deployment sharing one worker
+// pool across cities installs it here). The new engine inherits cache
+// duty: it gets a DefaultCacheSize cache unless its owner already called
+// SetCache (including SetCache(0) to run uncached).
+func (r *Router) SetEngine(e *Engine) {
+	if !e.cacheSet.Load() {
+		e.SetCache(DefaultCacheSize)
+	}
+	r.engine.Store(e)
+}
+
+// Planners returns the planner set, in registration order.
+func (r *Router) Planners() []Planner { return r.planners }
+
+// Stores returns the weight stores the router is subscribed to.
+func (r *Router) Stores() []*weights.Store { return r.stores }
+
+// Alternatives answers one query with every planner concurrently.
+func (r *Router) Alternatives(s, t graph.NodeID) []Result {
+	return r.Engine().Alternatives(r.planners, s, t)
+}
+
+// AlternativesBatch fans an arbitrary job batch out over the engine.
+func (r *Router) AlternativesBatch(jobs []Job) []Result {
+	return r.Engine().AlternativesBatch(jobs)
+}
+
+// onPublish is the store subscription hook. It must not block the
+// publisher: cache invalidation is O(entries) map clearing, and planner
+// refreshes only CAS a flag and spawn (at most one) rebuild goroutine.
+func (r *Router) onPublish() {
+	r.Engine().InvalidateCache()
+	for _, p := range r.planners {
+		if rf, ok := p.(refresher); ok {
+			rf.refreshAsync()
+		}
+	}
+}
+
+// Sync blocks until every planner serves its source's latest snapshot —
+// the barrier behind deterministic tests and maintenance endpoints that
+// must observe a completed swap.
+func (r *Router) Sync() {
+	for _, p := range r.planners {
+		if rf, ok := p.(refresher); ok {
+			rf.refreshSync()
+		}
+	}
+}
+
+// Versions reports, per planner, the weight version currently serving (0
+// for planners without version tracking) — the observability hook the
+// demo server logs per query.
+func (r *Router) Versions() []weights.Version {
+	out := make([]weights.Version, len(r.planners))
+	for i, p := range r.planners {
+		if vp, ok := p.(VersionedPlanner); ok {
+			out[i] = vp.WeightsVersion()
+		}
+	}
+	return out
+}

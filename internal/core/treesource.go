@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"repro/internal/ch"
 	"repro/internal/graph"
@@ -49,17 +48,9 @@ type TreeSource interface {
 	BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool)
 }
 
-// newTreeSource returns the full-tree source for a backend over fixed
-// weights: Dijkstra searches, or PHAST sweeps over a hierarchy contracted
-// here (one-off preprocessing, typically a few ms per city network).
-func newTreeSource(g *graph.Graph, weights []float64, backend TreeBackend) TreeSource {
-	if backend == TreeCH {
-		return chTrees{tb: ch.Build(g, weights).NewTreeBuilder()}
-	}
-	return dijkstraTrees{g: g, weights: weights}
-}
-
 // dijkstraTrees is the paper-baseline source: two full Dijkstra trees.
+// (Per-version sources are constructed by provider.buildView, which owns
+// the backend selection and the CH re-customization chain.)
 type dijkstraTrees struct {
 	g       *graph.Graph
 	weights []float64
@@ -127,22 +118,22 @@ func (p *prunedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd 
 }
 
 // countingTrees decorates a source with concurrency-safe instrumentation:
-// how many nodes the last query's trees reached. The counts are plain
-// atomics — concurrent queries each record their own trees, last writer
-// wins — so planners carrying this instrumentation stay safe under
-// core.Engine workers.
+// how many nodes the last query's trees reached. The counts live in a
+// treeCounts shared across weight versions (plain atomics — concurrent
+// queries each record their own trees, last writer wins), so planners
+// carrying this instrumentation stay safe under core.Engine workers.
 type countingTrees struct {
-	src              TreeSource
-	lastFwd, lastBwd atomic.Int64
+	src    TreeSource
+	counts *treeCounts
 }
 
 func (c *countingTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
 	fwd, bwd, ok = c.src.BuildTrees(ws, s, t)
 	if fwd != nil {
-		c.lastFwd.Store(int64(sp.CountReached(fwd)))
+		c.counts.lastFwd.Store(int64(sp.CountReached(fwd)))
 	}
 	if bwd != nil {
-		c.lastBwd.Store(int64(sp.CountReached(bwd)))
+		c.counts.lastBwd.Store(int64(sp.CountReached(bwd)))
 	}
 	return fwd, bwd, ok
 }

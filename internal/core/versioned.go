@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/weights"
+)
+
+// VersionedPlanner is a Planner that resolves its weights from a
+// weights.Source per query and can report which snapshot version an
+// answer was computed under. Every planner in this package implements it;
+// the engine's result cache requires it (an unversioned planner's answers
+// cannot be keyed, so they are never cached).
+type VersionedPlanner interface {
+	Planner
+	// WeightsVersion returns the version the next query would plan on.
+	// For a CH-backed planner mid-swap this is the version of the
+	// hierarchy currently serving, which may trail the source's latest
+	// until background re-customization completes.
+	WeightsVersion() weights.Version
+	// AlternativesVersioned is Alternatives plus the snapshot version the
+	// routes were computed under.
+	AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error)
+}
+
+// refresher is implemented by planners that derive per-version state
+// (contraction hierarchies, pruning bounds) from their weight source. The
+// Router uses it to start background re-customization on publish and to
+// block until every planner serves the latest version.
+type refresher interface {
+	refreshAsync()
+	refreshSync()
+}
+
+// view is one fully resolved weight version: the snapshot itself plus
+// whatever per-version state the planner's tree backend needs. Views are
+// immutable once installed; a query resolves exactly one view and uses it
+// for everything (trees, plateau costs, admission bounds), so its answer
+// is consistent under a single snapshot even while publishes race.
+type view struct {
+	snap  *weights.Snapshot
+	trees TreeSource
+	// hier is kept for the TreeCH backend so the next version can be
+	// re-customized (weights-only rebuild) instead of contracted from
+	// scratch.
+	hier *ch.Hierarchy
+}
+
+// provider resolves a weights.Source into views, caching the current one
+// behind an atomic pointer. Cheap backends (Dijkstra, pruned) rebuild
+// synchronously on the first query that sees a new version; the CH
+// backend is double-buffered: the stale view keeps serving while a single
+// background goroutine re-customizes the hierarchy, and the pointer swap
+// is atomic.
+type provider struct {
+	g          *graph.Graph
+	src        weights.Source
+	backend    TreeBackend
+	pruned     bool    // elliptic pruning (ignored when backend == TreeCH)
+	upperBound float64 // pruning budget
+	needTrees  bool    // planners without a tree seam skip tree state
+	// wrap optionally decorates each version's tree source (the counting
+	// instrumentation of PrunedPlateaus).
+	wrap func(TreeSource) TreeSource
+
+	cur      atomic.Pointer[view]
+	mu       sync.Mutex  // serializes rebuilds
+	inflight atomic.Bool // coalesces concurrent async refreshes
+}
+
+// newProvider builds the resolver and synchronously installs the view of
+// the source's current snapshot, so construction keeps its pre-refactor
+// meaning: a TreeCH planner leaves its constructor with a ready hierarchy.
+// A nil src pins the graph's own base weights.
+func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, pruned bool, upperBound float64, wrap func(TreeSource) TreeSource) *provider {
+	if src == nil {
+		src = weights.Pin(g.BaseWeights())
+	}
+	p := &provider{
+		g:          g,
+		src:        src,
+		backend:    backend,
+		pruned:     pruned,
+		upperBound: upperBound,
+		needTrees:  needTrees,
+		wrap:       wrap,
+	}
+	p.refreshSync()
+	return p
+}
+
+// view resolves the view a query should run on. When the source has moved
+// past the installed view, Dijkstra-style backends rebuild inline (their
+// per-version state is a few cheap scans); the CH backend kicks a
+// background re-customization and keeps serving the installed view — the
+// double-buffer half of the live-swap design.
+func (p *provider) view() *view {
+	cur := p.cur.Load()
+	snap := p.src.Snapshot()
+	if cur != nil && cur.snap.Version() >= snap.Version() {
+		return cur
+	}
+	if cur == nil || p.backend != TreeCH || !p.needTrees {
+		return p.rebuildTo(snap)
+	}
+	p.refreshAsync()
+	return cur
+}
+
+// weightsVersion reports the serving view's version without forcing a
+// rebuild (but nudging one along if the source has moved).
+func (p *provider) weightsVersion() weights.Version {
+	return p.view().snap.Version()
+}
+
+// rebuildTo synchronously installs a view for at least the given
+// snapshot's version. Concurrent callers coalesce: whoever takes the lock
+// first builds, the rest observe the result.
+func (p *provider) rebuildTo(snap *weights.Snapshot) *view {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.cur.Load()
+	if cur != nil && cur.snap.Version() >= snap.Version() {
+		return cur
+	}
+	v := p.buildView(snap, cur)
+	p.cur.Store(v)
+	return v
+}
+
+// refreshAsync starts (at most one) background rebuild toward the
+// source's latest snapshot. Queries keep resolving the old view until the
+// atomic swap; a publish arriving mid-rebuild is picked up by the next
+// query's view() call, so the provider converges without a scheduler.
+func (p *provider) refreshAsync() {
+	if !p.inflight.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer p.inflight.Store(false)
+		p.rebuildTo(p.src.Snapshot())
+	}()
+}
+
+// refreshSync blocks until the provider serves the source's latest
+// snapshot — the Router's barrier for tests and deterministic swaps.
+func (p *provider) refreshSync() {
+	p.rebuildTo(p.src.Snapshot())
+}
+
+// buildView constructs the per-version state. For TreeCH, prev's
+// hierarchy (when available) is re-customized — a linear weights-only
+// pass — instead of contracting from scratch.
+func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
+	v := &view{snap: snap}
+	if !p.needTrees {
+		return v
+	}
+	w := snap.Weights()
+	switch {
+	case p.backend == TreeCH:
+		if prev != nil && prev.hier != nil {
+			v.hier = prev.hier.Recustomize(w)
+		} else {
+			v.hier = ch.Build(p.g, w)
+		}
+		v.trees = chTrees{tb: v.hier.NewTreeBuilder()}
+	case p.pruned:
+		v.trees = newPrunedTrees(p.g, w, p.upperBound)
+	default:
+		v.trees = dijkstraTrees{g: p.g, weights: w}
+	}
+	if p.wrap != nil {
+		v.trees = p.wrap(v.trees)
+	}
+	return v
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/path"
 	"repro/internal/sp"
+	"repro/internal/weights"
 )
 
 // Yen implements Yen's classic k-shortest loopless paths algorithm
@@ -18,18 +19,31 @@ import (
 // four studied techniques) and as a correctness oracle in tests.
 type Yen struct {
 	g    *graph.Graph
-	base []float64
+	src  weights.Source
 	opts Options
 }
 
-// NewYen returns a Yen planner over g using the graph's base travel-time
-// weights.
+// NewYen returns a Yen planner over g planning on Options.Weights (nil
+// pins the graph's base travel-time weights).
 func NewYen(g *graph.Graph, opts Options) *Yen {
-	return &Yen{g: g, base: g.CopyWeights(), opts: opts.withDefaults()}
+	o := opts.withDefaults()
+	return &Yen{g: g, src: resolveSource(g, o.Weights), opts: o}
 }
 
 // Name implements Planner.
 func (y *Yen) Name() string { return "Yen" }
+
+// WeightsVersion implements VersionedPlanner.
+func (y *Yen) WeightsVersion() weights.Version { return y.src.Snapshot().Version() }
+
+// AlternativesVersioned implements VersionedPlanner: the snapshot is
+// resolved exactly once, so the reported version always matches the
+// weights the routes were computed under, even when a publish races.
+func (y *Yen) AlternativesVersioned(s, t graph.NodeID) ([]path.Path, weights.Version, error) {
+	snap := y.src.Snapshot()
+	routes, err := y.alternatives(snap.Weights(), s, t)
+	return routes, snap.Version(), err
+}
 
 // candidateHeap orders candidate paths by travel time.
 type candidateHeap []path.Path
@@ -49,19 +63,24 @@ func (h *candidateHeap) Pop() any {
 // Alternatives implements Planner. It returns the K shortest loopless
 // paths in ascending travel-time order.
 func (y *Yen) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
+	routes, _, err := y.AlternativesVersioned(s, t)
+	return routes, err
+}
+
+func (y *Yen) alternatives(base []float64, s, t graph.NodeID) ([]path.Path, error) {
 	if err := validateQuery(y.g, s, t); err != nil {
 		return nil, err
 	}
 	if s == t {
-		return trivialQuery(y.g, y.base, s), nil
+		return trivialQuery(y.g, base, s), nil
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	first, d := sp.ShortestPathInto(ws, y.g, y.base, s, t)
+	first, d := sp.ShortestPathInto(ws, y.g, base, s, t)
 	if first == nil || math.IsInf(d, 1) {
 		return nil, ErrNoRoute
 	}
-	result := []path.Path{path.MustNew(y.g, y.base, s, append([]graph.EdgeID(nil), first...))}
+	result := []path.Path{path.MustNew(y.g, base, s, append([]graph.EdgeID(nil), first...))}
 	cands := &candidateHeap{}
 
 	for len(result) < y.opts.K {
@@ -73,8 +92,8 @@ func (y *Yen) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 
 			// Ban edges that would recreate a known path with this root,
 			// and ban revisiting root nodes, by inflating weights.
-			work := make([]float64, len(y.base))
-			copy(work, y.base)
+			work := make([]float64, len(base))
+			copy(work, base)
 			for _, r := range result {
 				if len(r.Edges) > i && sharesPrefix(r.Edges, rootEdges, i) {
 					work[r.Edges[i]] = math.Inf(1)
@@ -100,7 +119,7 @@ func (y *Yen) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 			total := make([]graph.EdgeID, 0, i+len(spurEdges))
 			total = append(total, rootEdges...)
 			total = append(total, spurEdges...)
-			cand, err := path.New(y.g, y.base, s, total)
+			cand, err := path.New(y.g, base, s, total)
 			if err != nil || math.IsInf(cand.TimeS, 1) {
 				continue
 			}

@@ -18,39 +18,61 @@ import (
 	"repro/internal/sp"
 	"repro/internal/spatial"
 	"repro/internal/traffic"
+	"repro/internal/weights"
 )
 
 // NumApproaches is the number of compared techniques (Table I columns).
 const NumApproaches = 4
 
-// City bundles everything needed to answer study queries for one city.
+// City bundles everything needed to answer study queries for one city:
+// the network, the versioned weight stores, the planner set, and the
+// Router that serves them under live traffic.
 type City struct {
 	Profile citygen.Profile
 	Graph   *graph.Graph
 	Index   *spatial.Index
-	// Public is the OSM-derived weight vector (displayed travel times).
+	// Public is the OSM-derived weight vector (displayed travel times),
+	// as initially published to PublicStore.
 	Public []float64
-	// Traffic is the real-traffic weight vector: the commercial provider
-	// plans on it, and resident raters partially judge by it.
+	// Traffic is the initial real-traffic weight vector (rush-hour step
+	// 0): the commercial provider plans on the TrafficStore this vector
+	// seeds, and resident raters partially judge by the store's current
+	// snapshot (TrafficNow).
 	Traffic []float64
+	// PublicStore versions the public OSM metric (road closures publish
+	// here); Plateaus, Dissimilarity and Penalty plan on it.
+	PublicStore *weights.Store
+	// TrafficStore versions the provider's private traffic metric; the
+	// Commercial planner plans on it and Seq publishes into it.
+	TrafficStore *weights.Store
+	// Seq is the deterministic rush-hour producer feeding TrafficStore.
+	Seq *traffic.Sequence
 	// Planners in Table I column order: GMaps, Plateaus, Dissimilarity,
 	// Penalty.
 	Planners [NumApproaches]core.Planner
-	// Engine fans the four approaches (and batch workloads) out over a
-	// bounded worker pool. NewCity sets it; replace it to tune the
-	// concurrency of a deployment. A nil Engine falls back to a shared
-	// process-wide default, so hand-assembled Cities keep working.
-	Engine *core.Engine
+	// Router is the serving layer: it owns the engine (with its versioned
+	// result cache), subscribes to both stores, and swaps planner weight
+	// versions atomically on publish. A nil Router falls back to a shared
+	// process-wide engine, so hand-assembled Cities keep working.
+	Router *core.Router
 }
 
 // defaultEngine serves Cities assembled without NewCity.
 var defaultEngine = core.NewEngine(0)
 
 func (c *City) engine() *core.Engine {
-	if c.Engine != nil {
-		return c.Engine
+	if c.Router != nil {
+		return c.Router.Engine()
 	}
 	return defaultEngine
+}
+
+// SetEngine installs a shared engine (a multi-city deployment pools its
+// workers this way) while keeping the Router's publish subscriptions.
+func (c *City) SetEngine(e *core.Engine) {
+	if c.Router != nil {
+		c.Router.SetEngine(e)
+	}
 }
 
 // NewCity generates the city network and constructs the four planners
@@ -62,28 +84,56 @@ func NewCity(profile citygen.Profile, seed int64) (*City, error) {
 
 // NewCityOpts is NewCity with explicit planner options — the hook for
 // deployment knobs like Options.TreeBackend (Dijkstra vs CH trees in the
-// choice-routing planners).
+// choice-routing planners). Options.Weights is overridden per planner:
+// the public store for the three OSM-metric approaches, the traffic
+// store for the commercial stand-in.
 func NewCityOpts(profile citygen.Profile, seed int64, opts core.Options) (*City, error) {
 	g, err := profile.Generate(seed)
 	if err != nil {
 		return nil, err
 	}
-	tw := traffic.Apply(g, traffic.DefaultModel(uint64(seed)*2654435761+1))
+	seq := traffic.NewSequence(g, traffic.DefaultModel(uint64(seed)*2654435761+1), 0)
+	tw := seq.WeightsAt(0)
 	c := &City{
-		Profile: profile,
-		Graph:   g,
-		Index:   spatial.NewIndex(g, 16),
-		Public:  g.CopyWeights(),
-		Traffic: tw,
-		Engine:  core.NewEngine(0),
+		Profile:      profile,
+		Graph:        g,
+		Index:        spatial.NewIndex(g, 16),
+		Public:       g.BaseWeights(),
+		Traffic:      tw,
+		PublicStore:  weights.NewStore(g.BaseWeights()),
+		TrafficStore: weights.NewStore(tw),
+		Seq:          seq,
 	}
+	popts := opts
+	popts.Weights = c.PublicStore
+	topts := opts
+	topts.Weights = c.TrafficStore
 	c.Planners = [NumApproaches]core.Planner{
-		core.NewCommercial(g, tw, opts),
-		core.NewPlateaus(g, opts),
-		core.NewDissimilarity(g, opts),
-		core.NewPenalty(g, opts),
+		core.NewCommercial(g, nil, topts),
+		core.NewPlateaus(g, popts),
+		core.NewDissimilarity(g, popts),
+		core.NewPenalty(g, popts),
 	}
+	c.Router = core.NewRouter(core.NewEngine(0), c.Planners[:], c.PublicStore, c.TrafficStore)
 	return c, nil
+}
+
+// TrafficNow returns the provider's current private weight snapshot —
+// what resident raters judge against under live traffic. It falls back
+// to the initial Traffic vector for hand-assembled Cities.
+func (c *City) TrafficNow() []float64 {
+	if c.TrafficStore != nil {
+		return c.TrafficStore.Latest().Weights()
+	}
+	return c.Traffic
+}
+
+// AdvanceTraffic produces the next rush-hour step and publishes it to the
+// traffic store: the engine cache is invalidated, the commercial
+// planner's hierarchy re-customizes in the background, and subsequent
+// queries plan on the new snapshot.
+func (c *City) AdvanceTraffic() *weights.Snapshot {
+	return c.Seq.Advance(c.TrafficStore)
 }
 
 // Query is one s–t study query with its fastest (public) travel time and
@@ -132,10 +182,13 @@ func (c *City) SampleQuery(rng *rand.Rand, band simstudy.Band) (Query, bool) {
 	return Query{}, false
 }
 
-// RouteSets holds the four approaches' answers to one query.
+// RouteSets holds the four approaches' answers to one query, plus the
+// weight snapshot version each answer was computed under (0 for planners
+// without version tracking).
 type RouteSets struct {
 	Query
-	Sets [NumApproaches][]path.Path
+	Sets     [NumApproaches][]path.Path
+	Versions [NumApproaches]weights.Version
 }
 
 // RunPlanners answers q with all four approaches, fanned out concurrently
@@ -147,6 +200,7 @@ func (c *City) RunPlanners(q Query) (RouteSets, error) {
 	rs := RouteSets{Query: q}
 	results := c.engine().Alternatives(c.Planners[:], q.S, q.T)
 	for i, r := range results {
+		rs.Versions[i] = r.Version
 		if r.Err == core.ErrNoRoute {
 			continue
 		}
@@ -174,6 +228,7 @@ func (c *City) RunPlannersBatch(qs []Query) ([]RouteSets, error) {
 		out[qi].Query = qs[qi]
 		for i := 0; i < NumApproaches; i++ {
 			r := results[qi*NumApproaches+i]
+			out[qi].Versions[i] = r.Version
 			if r.Err == core.ErrNoRoute {
 				continue
 			}
@@ -191,7 +246,7 @@ func (c *City) RunPlannersBatch(qs []Query) ([]RouteSets, error) {
 func (c *City) FastestPrivate(s, t graph.NodeID) float64 {
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	_, d := sp.BidirectionalShortestPathInto(ws, c.Graph, c.Traffic, s, t)
+	_, d := sp.BidirectionalShortestPathInto(ws, c.Graph, c.TrafficNow(), s, t)
 	return d
 }
 
@@ -230,7 +285,7 @@ func (c *City) RunCell(cell simstudy.Cell, n int, params simstudy.RaterParams, r
 		}
 		var feats [NumApproaches]simstudy.Features
 		for i := 0; i < NumApproaches; i++ {
-			feats[i] = simstudy.ExtractFeatures(c.Graph, c.Traffic, rs.Sets[i], q.FastestS, fastPriv)
+			feats[i] = simstudy.ExtractFeatures(c.Graph, c.TrafficNow(), rs.Sets[i], q.FastestS, fastPriv)
 			rec.Ratings[i] = rater.Rate(feats[i])
 			rec.Sim[i] = path.SimT(c.Graph, rs.Sets[i])
 			rec.NumRoutes[i] = len(rs.Sets[i])

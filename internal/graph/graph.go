@@ -59,6 +59,10 @@ type Graph struct {
 	fwdTo   []NodeID
 	revFrom []NodeID
 
+	// baseW caches the travel-time weight of every edge, indexed by
+	// EdgeID — the public OSM-derived metric shared by every reader.
+	baseW []float64
+
 	bbox geo.BBox
 }
 
@@ -127,15 +131,20 @@ func (g *Graph) FindEdge(u, v NodeID) EdgeID {
 	return best
 }
 
+// BaseWeights returns the graph's own travel-time weight vector, indexed
+// by EdgeID. The returned slice aliases internal storage and must not be
+// modified; it is the shared read-only metric that weight snapshots and
+// planners resolve against without per-construction copies.
+func (g *Graph) BaseWeights() []float64 { return g.baseW }
+
 // CopyWeights returns a fresh slice holding the travel-time weight of every
 // edge, indexed by EdgeID. Algorithms that perturb weights (Penalty,
 // traffic simulation) operate on such copies so that the graph itself stays
-// immutable and shareable across goroutines.
+// immutable and shareable across goroutines; read-only consumers should use
+// BaseWeights instead.
 func (g *Graph) CopyWeights() []float64 {
-	w := make([]float64, len(g.edges))
-	for i := range g.edges {
-		w[i] = g.edges[i].TimeS
-	}
+	w := make([]float64, len(g.baseW))
+	copy(w, g.baseW)
 	return w
 }
 
@@ -256,6 +265,10 @@ func (b *Builder) Build() *Graph {
 		g.revAdj[revNext[e.To]] = EdgeID(i)
 		g.revFrom[revNext[e.To]] = e.From
 		revNext[e.To]++
+	}
+	g.baseW = make([]float64, len(g.edges))
+	for i := range g.edges {
+		g.baseW[i] = g.edges[i].TimeS
 	}
 	if n > 0 {
 		g.bbox = geo.NewBBox(g.points...)

@@ -17,6 +17,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,6 +65,8 @@ func New(cities map[string]*eval.City, storePath string) *Server {
 	s.mux.HandleFunc("GET /api/network", s.handleNetwork)
 	s.mux.HandleFunc("GET /api/routes", s.handleRoutes)
 	s.mux.HandleFunc("POST /api/rating", s.handleRating)
+	s.mux.HandleFunc("POST /api/publish", s.handlePublish)
+	s.mux.HandleFunc("GET /api/traffic", s.handleTraffic)
 	return s
 }
 
@@ -178,8 +183,11 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	type approachJSON struct {
-		Label  string      `json:"label"`
-		Routes []routeJSON `json:"routes"`
+		Label string `json:"label"`
+		// WeightVersion is the weight snapshot this approach's answer was
+		// computed under — the observable half of a live swap.
+		WeightVersion uint64      `json:"weightVersion"`
+		Routes        []routeJSON `json:"routes"`
 	}
 	out := struct {
 		SNode      [2]float64     `json:"sNode"`
@@ -198,11 +206,100 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i := range c.Planners {
-		aj := approachJSON{Label: displayLabels[i]}
+		aj := approachJSON{Label: displayLabels[i], WeightVersion: uint64(rs.Versions[i])}
 		for _, rt := range rs.Sets[i] {
 			aj.Routes = append(aj.Routes, toRouteJSON(c, rt))
 		}
 		out.Approaches = append(out.Approaches, aj)
+	}
+	// Live-swap observability: which snapshot each approach answered
+	// under, plus the serving cache's cumulative hit rate.
+	if c.Router != nil {
+		hits, misses := c.Router.Engine().CacheStats()
+		log.Printf("server: %s %d->%d answered at weight versions A=%d B=%d C=%d D=%d (cache %d hits / %d misses)",
+			q.Get("city"), sv, tv, rs.Versions[0], rs.Versions[1], rs.Versions[2], rs.Versions[3], hits, misses)
+	}
+	writeJSON(w, out)
+}
+
+// handlePublish is the live-traffic maintenance endpoint: it advances the
+// city's rush-hour sequence one step and/or bans edges (road closures) on
+// both metrics, then reports the resulting store versions. Bans are
+// applied before the traffic step so a single call closes a road and
+// publishes the jam that follows.
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	c, ok := s.cities[q.Get("city")]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown city")
+		return
+	}
+	if c.Seq == nil || c.TrafficStore == nil || c.PublicStore == nil {
+		httpError(w, http.StatusConflict, "city has no live-traffic stores")
+		return
+	}
+	if ban := q.Get("ban"); ban != "" {
+		var edges []graph.EdgeID
+		for _, f := range strings.Split(ban, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || id < 0 || id >= c.Graph.NumEdges() {
+				httpError(w, http.StatusBadRequest, "bad ban edge id: "+f)
+				return
+			}
+			edges = append(edges, graph.EdgeID(id))
+		}
+		// A closure affects both what the provider plans on and what the
+		// public metric reports, so it is banned on both stores.
+		c.PublicStore.Ban(edges...)
+		c.TrafficStore.Ban(edges...)
+		log.Printf("server: %s closed %d edges (public v%d, traffic v%d)",
+			q.Get("city"), len(edges), c.PublicStore.Version(), c.TrafficStore.Version())
+	}
+	if q.Get("step") != "0" { // advancing is the default action
+		snap := c.AdvanceTraffic()
+		log.Printf("server: %s traffic advanced to step %d (weights v%d)",
+			q.Get("city"), c.Seq.Step(), snap.Version())
+	}
+	s.writeTrafficStatus(w, q.Get("city"), c)
+}
+
+// handleTraffic reports the live-traffic state of one city.
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("city")
+	c, ok := s.cities[name]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown city")
+		return
+	}
+	if c.TrafficStore == nil {
+		httpError(w, http.StatusConflict, "city has no live-traffic stores")
+		return
+	}
+	s.writeTrafficStatus(w, name, c)
+}
+
+func (s *Server) writeTrafficStatus(w http.ResponseWriter, name string, c *eval.City) {
+	out := struct {
+		City           string   `json:"city"`
+		Step           int      `json:"step"`
+		PublicVersion  uint64   `json:"publicVersion"`
+		TrafficVersion uint64   `json:"trafficVersion"`
+		BannedEdges    []int    `json:"bannedEdges,omitempty"`
+		Planners       []uint64 `json:"plannerVersions,omitempty"`
+	}{
+		City:           name,
+		Step:           c.Seq.Step(),
+		PublicVersion:  uint64(c.PublicStore.Version()),
+		TrafficVersion: uint64(c.TrafficStore.Version()),
+	}
+	for _, e := range c.TrafficStore.Banned() {
+		out.BannedEdges = append(out.BannedEdges, int(e))
+	}
+	sort.Ints(out.BannedEdges)
+	if c.Router != nil {
+		for _, v := range c.Router.Versions() {
+			out.Planners = append(out.Planners, uint64(v))
+		}
 	}
 	writeJSON(w, out)
 }

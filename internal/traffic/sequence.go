@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/weights"
+)
+
+// Sequence is the live-traffic snapshot producer: a deterministic,
+// time-stepped rush-hour cycle over one road network. Step 0 reproduces
+// the base Model exactly (so a freshly assembled city matches the static
+// experiments byte for byte); subsequent steps swing congestion intensity
+// and hotspot severity through a smooth peak-and-trough cycle, modelling
+// traffic building toward rush hour and draining away again. Each step is
+// a whole new weight vector, which Advance publishes into a
+// weights.Store — the store then applies its ban mask, so road closures
+// survive every traffic step.
+//
+// Everything is deterministic in (graph, model, step index): replaying a
+// sequence reproduces the identical snapshot values, which is what makes
+// live-swap behaviour testable.
+type Sequence struct {
+	g     *graph.Graph
+	model Model
+	// period is the number of steps in one full rush-hour cycle.
+	period int
+	// mu serializes Advance end to end (step take, weight computation,
+	// publish), so concurrent producers cannot publish steps out of order
+	// — the store's newest version is always the newest step.
+	mu   sync.Mutex
+	step int
+}
+
+// DefaultPeriod is the cycle length used when NewSequence is given a
+// non-positive period: 12 steps per cycle, i.e. a publish cadence of
+// "five minutes" in simulated rush-hour time.
+const DefaultPeriod = 12
+
+// NewSequence returns a producer over g whose step-0 weights equal
+// Apply(g, model).
+func NewSequence(g *graph.Graph, model Model, period int) *Sequence {
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	return &Sequence{g: g, model: model.withDefaults(), period: period}
+}
+
+// Period returns the steps per rush-hour cycle.
+func (s *Sequence) Period() int { return s.period }
+
+// Step returns the index of the last produced step (0 before any Advance).
+func (s *Sequence) Step() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.step
+}
+
+// ModelAt returns the congestion model of step i: the base model with
+// intensity and hotspot severity scaled by the rush-hour profile. Hotspot
+// *positions* stay fixed across steps (the same bottlenecks jam and clear),
+// which is what lets CH re-customization reuse its contraction order
+// profitably.
+func (s *Sequence) ModelAt(i int) Model {
+	m := s.model
+	// Rush-hour profile: 1 at step 0, swinging ±50% over one period.
+	p := 1 + 0.5*math.Sin(2*math.Pi*float64(i)/float64(s.period))
+	m.Intensity *= p
+	m.HotspotSeverity = 1 + (m.HotspotSeverity-1)*p
+	return m
+}
+
+// WeightsAt computes the full private weight vector of step i.
+func (s *Sequence) WeightsAt(i int) []float64 {
+	return Apply(s.g, s.ModelAt(i))
+}
+
+// Advance produces the next step's weight vector and publishes it to
+// store, returning the published snapshot (with the store's ban mask
+// applied). It is safe for concurrent use: callers advance distinct
+// steps and publish them in step order.
+func (s *Sequence) Advance(store *weights.Store) *weights.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.step++
+	return store.Publish(s.WeightsAt(s.step))
+}

@@ -1,0 +1,93 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/weights"
+)
+
+func sequenceTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return testGraph()
+}
+
+func TestSequenceStepZeroMatchesApply(t *testing.T) {
+	g := sequenceTestGraph(t)
+	m := DefaultModel(42)
+	seq := NewSequence(g, m, 0)
+	want := Apply(g, m)
+	got := seq.WeightsAt(0)
+	for e := range want {
+		if got[e] != want[e] {
+			t.Fatalf("edge %d: step-0 weight %g != Apply %g", e, got[e], want[e])
+		}
+	}
+}
+
+func TestSequenceDeterministicAndVarying(t *testing.T) {
+	g := sequenceTestGraph(t)
+	a := NewSequence(g, DefaultModel(42), 12)
+	b := NewSequence(g, DefaultModel(42), 12)
+	same, diff := true, false
+	w0 := a.WeightsAt(0)
+	for i := 1; i <= 3; i++ {
+		wa, wb := a.WeightsAt(i), b.WeightsAt(i)
+		for e := range wa {
+			if wa[e] != wb[e] {
+				same = false
+			}
+			if wa[e] != w0[e] {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Fatal("two sequences with identical parameters disagree")
+	}
+	if !diff {
+		t.Fatal("traffic steps never change any weight")
+	}
+}
+
+func TestSequenceWeightsStayPositiveFinite(t *testing.T) {
+	g := sequenceTestGraph(t)
+	seq := NewSequence(g, DefaultModel(9), 8)
+	for i := 0; i <= 8; i++ {
+		for e, w := range seq.WeightsAt(i) {
+			if !(w > 0) || math.IsInf(w, 1) {
+				t.Fatalf("step %d edge %d: weight %g out of range", i, e, w)
+			}
+		}
+	}
+}
+
+func TestAdvancePublishesNumberedSnapshotsAndKeepsBans(t *testing.T) {
+	g := sequenceTestGraph(t)
+	seq := NewSequence(g, DefaultModel(42), 12)
+	store := weights.NewStore(seq.WeightsAt(0))
+
+	store.Ban(graph.EdgeID(3)) // version 2
+	s := seq.Advance(store)
+	if s.Version() != 3 {
+		t.Fatalf("advance published version %d, want 3", s.Version())
+	}
+	if seq.Step() != 1 {
+		t.Fatalf("step = %d, want 1", seq.Step())
+	}
+	if !math.IsInf(s.Weights()[3], 1) {
+		t.Fatal("traffic step dropped the store's ban")
+	}
+	// The published vector matches the deterministic step computation on
+	// every unbanned edge.
+	want := seq.WeightsAt(1)
+	for e := range want {
+		if e == 3 {
+			continue
+		}
+		if s.Weights()[e] != want[e] {
+			t.Fatalf("edge %d: published %g, want %g", e, s.Weights()[e], want[e])
+		}
+	}
+}
