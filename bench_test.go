@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/cch"
 	"repro/internal/ch"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -350,9 +351,9 @@ func benchGrid(rows, cols int) *graph.Graph {
 	return b.Build()
 }
 
-func benchPlateausBackend(b *testing.B, backend core.TreeBackend) {
+func benchPlateausBackend(b *testing.B, backend core.TreeBackend, hier core.HierarchyKind) {
 	g := benchGrid(50, 50)
-	planner := core.NewPlateaus(g, core.Options{TreeBackend: backend})
+	planner := core.NewPlateaus(g, core.Options{TreeBackend: backend, Hierarchy: hier})
 	rng := rand.New(rand.NewSource(4))
 	type q struct{ s, t graph.NodeID }
 	queries := make([]q, 16)
@@ -371,9 +372,11 @@ func benchPlateausBackend(b *testing.B, backend core.TreeBackend) {
 	}
 }
 
-func BenchmarkPlateausDijkstra(b *testing.B) { benchPlateausBackend(b, core.TreeDijkstra) }
+func BenchmarkPlateausDijkstra(b *testing.B) {
+	benchPlateausBackend(b, core.TreeDijkstra, core.HierarchyWitness)
+}
 
-func BenchmarkPlateausCH(b *testing.B) { benchPlateausBackend(b, core.TreeCH) }
+func BenchmarkPlateausCH(b *testing.B) { benchPlateausBackend(b, core.TreeCH, core.HierarchyWitness) }
 
 // TestPlateausTreeSweepZeroAlloc pins the PHAST promise at the planner
 // substrate: building both complete trees (upward search + downward
@@ -441,6 +444,47 @@ func BenchmarkCHRecustomize(b *testing.B) {
 			b.Fatal("no tree builder")
 		}
 	}
+}
+
+// BenchmarkCCHPreprocess is the one-off metric-independent half of the
+// customizable hierarchy: nested-dissection order, chordal fill-in and
+// triangle lists. Paid once per road network, never per snapshot.
+func BenchmarkCCHPreprocess(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cch.Preprocess(city.Graph).NumPairs() == 0 {
+			b.Fatal("empty topology")
+		}
+	}
+}
+
+// BenchmarkCCHCustomize is the customizable flavor's per-publish path:
+// one triangle-relaxation sweep plus the tree-builder repack — exact for
+// the snapshot whatever it contains, with no re-contraction. Against
+// BenchmarkCHBuildFull this is the measured price of making an arbitrary
+// snapshot exactly servable; against BenchmarkCHRecustomize it is the
+// premium over the witness flavor's (only conditionally exact) swap.
+func BenchmarkCCHCustomize(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	pre := cch.Preprocess(city.Graph)
+	snap := city.Seq.WeightsAt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := pre.Customize(snap)
+		if h.NewTreeBuilder() == nil {
+			b.Fatal("no tree builder")
+		}
+	}
+}
+
+// BenchmarkPlateausCCH is the grid planner benchmark on the customizable
+// hierarchy — the query-time cost of the no-witness-pruning arc surplus,
+// to read against BenchmarkPlateausCH and BenchmarkPlateausDijkstra.
+func BenchmarkPlateausCCH(b *testing.B) {
+	benchPlateausBackend(b, core.TreeCH, core.HierarchyCCH)
 }
 
 // BenchmarkServingCachedQuery measures the engine's versioned result

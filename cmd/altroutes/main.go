@@ -39,17 +39,22 @@ func main() {
 	withYen := flag.Bool("yen", false, "also run Yen's k-shortest paths baseline")
 	geojsonOut := flag.String("geojson", "", "write all routes as GeoJSON to this file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra or ch (PHAST)")
+	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
 	trafficStep := flag.Int("traffic-step", 0, "rush-hour step of the commercial provider's private weights (0 = the study's base congestion field)")
 	flag.Parse()
 
-	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut, *trees, *trafficStep); err != nil {
+	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut, *trees, *hierarchy, *trafficStep); err != nil {
 		fmt.Fprintln(os.Stderr, "altroutes:", err)
 		os.Exit(1)
 	}
 }
 
-func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut, trees string, trafficStep int) error {
+func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut, trees, hierarchy string, trafficStep int) error {
 	backend, err := core.ParseTreeBackend(trees)
+	if err != nil {
+		return err
+	}
+	hkind, err := core.ParseHierarchyKind(hierarchy)
 	if err != nil {
 		return err
 	}
@@ -78,7 +83,7 @@ func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode
 	}
 	fmt.Printf("Query: %d %v -> %d %v\n\n", s, g.Point(s), t, g.Point(t))
 
-	opts := core.Options{K: k, TreeBackend: backend}
+	opts := core.Options{K: k, TreeBackend: backend, Hierarchy: hkind}
 	// The provider's private metric comes from the deterministic rush-hour
 	// sequence; -traffic-step picks how far into the cycle it plans
 	// (step 0 reproduces the study's static congestion field). Comparing

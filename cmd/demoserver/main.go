@@ -14,7 +14,8 @@
 // Usage:
 //
 //	demoserver [-addr :8080] [-seed N] [-ratings ratings.json] [-workers N]
-//	           [-trees dijkstra|ch] [-traffic-step 30s] [-cache 4096]
+//	           [-trees dijkstra|ch] [-hierarchy witness|cch] [-traffic-step 30s]
+//	           [-cache 4096]
 package main
 
 import (
@@ -36,23 +37,28 @@ func main() {
 	ratingsPath := flag.String("ratings", "ratings.json", "file the submitted ratings are stored in (empty disables)")
 	workers := flag.Int("workers", 0, "concurrent planner calls per city (0 = number of CPUs)")
 	trees := flag.String("trees", "ch", "tree backend for the choice-routing planners: dijkstra or ch (PHAST; default, the serving-optimised path)")
+	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind -trees ch: witness (smallest, exact only under witness-preserving metrics) or cch (customizable; default, exact for every published snapshot incl. closures)")
 	trafficStep := flag.Duration("traffic-step", 0, "auto-advance the rush-hour traffic sequence at this interval (0 disables; publishes also arrive via POST /api/publish)")
 	cacheSize := flag.Int("cache", core.DefaultCacheSize, "versioned result-cache capacity of the serving engine (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *ratingsPath, *workers, *trees, *trafficStep, *cacheSize); err != nil {
+	if err := run(*addr, *seed, *ratingsPath, *workers, *trees, *hierarchy, *trafficStep, *cacheSize); err != nil {
 		fmt.Fprintln(os.Stderr, "demoserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, ratingsPath string, workers int, trees string, trafficStep time.Duration, cacheSize int) error {
+func run(addr string, seed int64, ratingsPath string, workers int, trees, hierarchy string, trafficStep time.Duration, cacheSize int) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{TreeBackend: backend}
-	fmt.Printf("Generating the three city networks (seed %d, %s trees)...\n", seed, trees)
+	hkind, err := core.ParseHierarchyKind(hierarchy)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{TreeBackend: backend, Hierarchy: hkind}
+	fmt.Printf("Generating the three city networks (seed %d, %s trees, %s hierarchy)...\n", seed, trees, hkind)
 	study, err := eval.NewStudyOpts(seed, opts)
 	if err != nil {
 		return err
@@ -66,8 +72,8 @@ func run(addr string, seed int64, ratingsPath string, workers int, trees string,
 	for _, name := range study.CityNames() {
 		c := study.Cities[name]
 		c.SetEngine(engine)
-		log.Printf("demoserver: %-11s %5d nodes, %5d edges, trees=%s, public weights v%d, traffic weights v%d",
-			name, c.Graph.NumNodes(), c.Graph.NumEdges(), trees,
+		log.Printf("demoserver: %-11s %5d nodes, %5d edges, trees=%s, hierarchy=%s, public weights v%d, traffic weights v%d",
+			name, c.Graph.NumNodes(), c.Graph.NumEdges(), trees, hkind,
 			c.PublicStore.Version(), c.TrafficStore.Version())
 	}
 	if trafficStep > 0 {

@@ -29,15 +29,16 @@ func main() {
 	ablation := flag.Bool("ablation", false, "also print the parameter/refinement ablation table")
 	csvOut := flag.String("csv", "", "also write the raw study records to this CSV file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra or ch (PHAST)")
+	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *table, *ablation, *csvOut, *trees); err != nil {
+	if err := run(*seed, *scale, *table, *ablation, *csvOut, *trees, *hierarchy); err != nil {
 		fmt.Fprintln(os.Stderr, "userstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, scale float64, table string, ablation bool, csvOut, trees string) error {
+func run(seed int64, scale float64, table string, ablation bool, csvOut, trees, hierarchy string) error {
 	if table != "1" && table != "2" && table != "all" {
 		return fmt.Errorf("invalid -table %q (want 1, 2 or all)", table)
 	}
@@ -45,9 +46,13 @@ func run(seed int64, scale float64, table string, ablation bool, csvOut, trees s
 	if err != nil {
 		return err
 	}
+	hkind, err := core.ParseHierarchyKind(hierarchy)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	fmt.Printf("Generating city networks (seed %d, %s trees)...\n", seed, trees)
-	study, err := eval.NewStudyOpts(seed, core.Options{TreeBackend: backend})
+	fmt.Printf("Generating city networks (seed %d, %s trees, %s hierarchy)...\n", seed, trees, hkind)
+	study, err := eval.NewStudyOpts(seed, core.Options{TreeBackend: backend, Hierarchy: hkind})
 	if err != nil {
 		return err
 	}

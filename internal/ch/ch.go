@@ -7,6 +7,13 @@
 // order and inserts shortcuts, point-to-point queries run as bidirectional
 // upward searches that settle a tiny fraction of the graph, returning
 // exact shortest paths that unpack to original edge sequences.
+//
+// The package is split along the Hierarchy seam (seam.go): Build here is
+// the *witness* flavor — metric-dependent contraction with bounded witness
+// searches — while the customizable flavor with metric-independent
+// contraction lives in repro/internal/cch. Both compile to the shared
+// Runtime that the queries, the PHAST TreeBuilder and the serving layer
+// consume.
 package ch
 
 import (
@@ -16,38 +23,14 @@ import (
 	"repro/internal/sp"
 )
 
-// arc is one directed edge of the hierarchy graph: either an original
-// road edge or a shortcut replacing two lower arcs.
-type arc struct {
-	to     graph.NodeID
-	weight float64
-	// orig is the original edge ID for road arcs, -1 for shortcuts.
-	orig graph.EdgeID
-	// skip1, skip2 are the two replaced arcs (indices into arcs) for
-	// shortcuts, -1 otherwise.
-	skip1, skip2 int32
-}
-
-// Hierarchy is a preprocessed contraction hierarchy over a road network
-// with fixed weights. It is immutable after Build and safe for concurrent
-// queries.
-type Hierarchy struct {
-	g    *graph.Graph
-	rank []int32 // contraction order; higher rank = more important
-	arcs []arc
-	// upFwd[v] lists arcs v->w with rank[w] > rank[v];
-	// upBwd[v] lists arcs u->v (stored at v) with rank[u] > rank[v].
-	upFwd [][]int32
-	upBwd [][]int32
-	// arcFrom[i] is the tail node of arcs[i].
-	arcFrom []graph.NodeID
-}
+// KindWitness labels hierarchies contracted with witness pruning.
+const KindWitness = "witness"
 
 // buildGraph is the mutable adjacency used during contraction.
 type buildGraph struct {
-	arcs       []arc
+	arcs       []Arc
 	out        [][]int32 // arc indices leaving each node
-	in         [][]int32 // arc indices entering each node (arc.to == node owner is implicit for out; for in we store the arc plus its from node)
+	in         [][]int32 // arc indices entering each node (arc.To == node owner is implicit for out; for in we store the arc plus its from node)
 	inFrom     [][]graph.NodeID
 	contracted []bool
 	// wit is the reusable scratch state of the bounded witness searches;
@@ -58,7 +41,7 @@ type buildGraph struct {
 
 func (b *buildGraph) addArc(from, to graph.NodeID, w float64, orig graph.EdgeID, skip1, skip2 int32) int32 {
 	idx := int32(len(b.arcs))
-	b.arcs = append(b.arcs, arc{to: to, weight: w, orig: orig, skip1: skip1, skip2: skip2})
+	b.arcs = append(b.arcs, Arc{To: to, Weight: w, Orig: orig, Skip1: skip1, Skip2: skip2})
 	b.out[from] = append(b.out[from], idx)
 	b.in[to] = append(b.in[to], idx)
 	b.inFrom[to] = append(b.inFrom[to], from)
@@ -69,7 +52,7 @@ func (b *buildGraph) addArc(from, to graph.NodeID, w float64, orig graph.EdgeID,
 // few node-degrees of work per node; the witness searches are bounded, so
 // preprocessing may insert slightly more shortcuts than strictly necessary
 // (hurting nothing but memory).
-func Build(g *graph.Graph, weights []float64) *Hierarchy {
+func Build(g *graph.Graph, weights []float64) *Runtime {
 	n := g.NumNodes()
 	bg := &buildGraph{
 		out:        make([][]int32, n),
@@ -108,38 +91,20 @@ func Build(g *graph.Graph, weights []float64) *Hierarchy {
 		contractedCount++
 		bg.contracted[v] = true
 		for _, ai := range bg.out[v] {
-			neighborsContracted[bg.arcs[ai].to]++
+			neighborsContracted[bg.arcs[ai].To]++
 		}
 		for _, u := range bg.inFrom[v] {
 			neighborsContracted[u]++
 		}
 	}
 
-	h := &Hierarchy{
-		g:     g,
-		rank:  rank,
-		arcs:  bg.arcs,
-		upFwd: make([][]int32, n),
-		upBwd: make([][]int32, n),
-	}
-	// Split arcs into upward-forward and upward-backward adjacency.
 	from := make([]graph.NodeID, len(bg.arcs))
 	for v := 0; v < n; v++ {
 		for _, ai := range bg.out[v] {
 			from[ai] = graph.NodeID(v)
 		}
 	}
-	for ai := range bg.arcs {
-		u := from[ai]
-		w := bg.arcs[ai].to
-		if rank[u] < rank[w] {
-			h.upFwd[u] = append(h.upFwd[u], int32(ai))
-		} else if rank[u] > rank[w] {
-			h.upBwd[w] = append(h.upBwd[w], int32(ai))
-		}
-	}
-	h.arcFrom = from
-	return h
+	return NewRuntime(g, KindWitness, rank, from, bg.arcs, nil)
 }
 
 // priority is the contraction order heuristic: edge difference plus the
@@ -148,7 +113,7 @@ func priority(bg *buildGraph, v graph.NodeID, contractedNeighbors int) float64 {
 	shortcuts := countShortcuts(bg, v)
 	removed := 0
 	for _, ai := range bg.out[v] {
-		if !bg.contracted[bg.arcs[ai].to] {
+		if !bg.contracted[bg.arcs[ai].To] {
 			removed++
 		}
 	}
@@ -187,7 +152,7 @@ func contract(bg *buildGraph, v graph.NodeID) {
 		if bg.contracted[u] || u == v {
 			continue
 		}
-		if prev, ok := inArc[u]; !ok || bg.arcs[ai].weight < bg.arcs[prev].weight {
+		if prev, ok := inArc[u]; !ok || bg.arcs[ai].Weight < bg.arcs[prev].Weight {
 			inArc[u] = ai
 		}
 	}
@@ -205,8 +170,8 @@ func outArc(bg *buildGraph, v, w graph.NodeID) int32 {
 	best := int32(-1)
 	bestW := math.Inf(1)
 	for _, ai := range bg.out[v] {
-		if bg.arcs[ai].to == w && bg.arcs[ai].weight < bestW {
-			best, bestW = ai, bg.arcs[ai].weight
+		if bg.arcs[ai].To == w && bg.arcs[ai].Weight < bestW {
+			best, bestW = ai, bg.arcs[ai].Weight
 		}
 	}
 	return best
@@ -223,18 +188,18 @@ func forEachPair(bg *buildGraph, v graph.NodeID, visit func(u, w graph.NodeID, w
 		if bg.contracted[u] || u == v {
 			continue
 		}
-		if w, ok := inW[u]; !ok || bg.arcs[ai].weight < w {
-			inW[u] = bg.arcs[ai].weight
+		if w, ok := inW[u]; !ok || bg.arcs[ai].Weight < w {
+			inW[u] = bg.arcs[ai].Weight
 		}
 	}
 	outW := make(map[graph.NodeID]float64)
 	for _, ai := range bg.out[v] {
-		w := bg.arcs[ai].to
+		w := bg.arcs[ai].To
 		if bg.contracted[w] || w == v {
 			continue
 		}
-		if cur, ok := outW[w]; !ok || bg.arcs[ai].weight < cur {
-			outW[w] = bg.arcs[ai].weight
+		if cur, ok := outW[w]; !ok || bg.arcs[ai].Weight < cur {
+			outW[w] = bg.arcs[ai].Weight
 		}
 	}
 	for u, wu := range inW {
@@ -286,13 +251,13 @@ func witnessSearch(bg *buildGraph, u, v graph.NodeID, maxDist float64) *sp.Searc
 		count++
 		for _, ai := range bg.out[node] {
 			a := bg.arcs[ai]
-			if a.to == v || bg.contracted[a.to] {
+			if a.To == v || bg.contracted[a.To] {
 				continue
 			}
-			nd := prio + a.weight
-			if nd <= maxDist && nd < s.DistOf(a.to) {
-				s.Update(a.to, nd, -1)
-				s.Heap.Push(a.to, nd)
+			nd := prio + a.Weight
+			if nd <= maxDist && nd < s.DistOf(a.To) {
+				s.Update(a.To, nd, -1)
+				s.Heap.Push(a.To, nd)
 			}
 		}
 	}

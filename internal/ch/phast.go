@@ -87,7 +87,7 @@ type sweepScratch struct {
 // NewTreeBuilder derives the one-shot PHAST ordering and packed
 // adjacency from the hierarchy. The work is a few linear passes over the
 // arc set, negligible next to Build itself.
-func (h *Hierarchy) NewTreeBuilder() *TreeBuilder {
+func (h *Runtime) NewTreeBuilder() *TreeBuilder {
 	n := h.g.NumNodes()
 	tb := &TreeBuilder{n: n}
 
@@ -99,12 +99,19 @@ func (h *Hierarchy) NewTreeBuilder() *TreeBuilder {
 	lastEdge := make([]graph.EdgeID, m)
 	for ai := range h.arcs {
 		a := &h.arcs[ai]
-		if a.orig >= 0 {
-			firstEdge[ai] = a.orig
-			lastEdge[ai] = a.orig
-		} else {
-			firstEdge[ai] = firstEdge[a.skip1]
-			lastEdge[ai] = lastEdge[a.skip2]
+		switch {
+		case a.Orig >= 0:
+			firstEdge[ai] = a.Orig
+			lastEdge[ai] = a.Orig
+		case a.Skip1 >= 0:
+			firstEdge[ai] = firstEdge[a.Skip1]
+			lastEdge[ai] = lastEdge[a.Skip2]
+		default:
+			// An inert arc: the pair exists in the topology but the current
+			// metric gives it no realizing path (CCH only). It carries +Inf
+			// and can never win a relaxation, so it resolves to no edge.
+			firstEdge[ai] = -1
+			lastEdge[ai] = -1
 		}
 	}
 
@@ -134,13 +141,13 @@ func (h *Hierarchy) NewTreeBuilder() *TreeBuilder {
 	for i, v := range tb.order {
 		k := tb.fwdOff[i]
 		for _, ai := range h.upBwd[v] {
-			tb.fwdArcs[k] = downArc{up: tb.pos[h.arcFrom[ai]], w: h.arcs[ai].weight}
+			tb.fwdArcs[k] = downArc{up: tb.pos[h.arcFrom[ai]], w: h.arcs[ai].Weight}
 			tb.fwdEnds[k] = arcEnds{first: firstEdge[ai], last: lastEdge[ai]}
 			k++
 		}
 		k = tb.bwdOff[i]
 		for _, ai := range h.upFwd[v] {
-			tb.bwdArcs[k] = downArc{up: tb.pos[h.arcs[ai].to], w: h.arcs[ai].weight}
+			tb.bwdArcs[k] = downArc{up: tb.pos[h.arcs[ai].To], w: h.arcs[ai].Weight}
 			tb.bwdEnds[k] = arcEnds{first: firstEdge[ai], last: lastEdge[ai]}
 			k++
 		}

@@ -11,7 +11,7 @@ import (
 // unreachable. The search is the standard bidirectional upward Dijkstra:
 // the forward frontier climbs rank-increasing arcs from s, the backward
 // frontier climbs from t, and the best meeting node gives the answer.
-func (h *Hierarchy) Dist(s, t graph.NodeID) float64 {
+func (h *Runtime) Dist(s, t graph.NodeID) float64 {
 	ws := sp.GetWorkspace()
 	defer ws.Release()
 	d, _ := h.searchInto(ws, s, t)
@@ -21,7 +21,7 @@ func (h *Hierarchy) Dist(s, t graph.NodeID) float64 {
 // Path returns the shortest s-t path as original graph edges together with
 // its travel time. Shortcuts are unpacked recursively. It returns
 // (nil, +Inf) when t is unreachable.
-func (h *Hierarchy) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
+func (h *Runtime) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
 	ws := sp.GetWorkspace()
 	defer ws.Release()
 	d, meet := h.searchInto(ws, s, t)
@@ -44,7 +44,7 @@ func (h *Hierarchy) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
 	for cur := meet; cur != t; {
 		ai := int32(ws.B.ParentOf(cur))
 		downArcs = append(downArcs, ai)
-		cur = h.arcs[ai].to
+		cur = h.arcs[ai].To
 	}
 	var edges []graph.EdgeID
 	for _, ai := range upArcs {
@@ -57,14 +57,14 @@ func (h *Hierarchy) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
 }
 
 // unpack appends the original edges of an arc, expanding shortcuts.
-func (h *Hierarchy) unpack(ai int32, out *[]graph.EdgeID) {
+func (h *Runtime) unpack(ai int32, out *[]graph.EdgeID) {
 	a := h.arcs[ai]
-	if a.orig >= 0 {
-		*out = append(*out, a.orig)
+	if a.Orig >= 0 {
+		*out = append(*out, a.Orig)
 		return
 	}
-	h.unpack(a.skip1, out)
-	h.unpack(a.skip2, out)
+	h.unpack(a.Skip1, out)
+	h.unpack(a.Skip2, out)
 }
 
 // searchInto runs the bidirectional upward search on the workspace's two
@@ -72,7 +72,7 @@ func (h *Hierarchy) unpack(ai int32, out *[]graph.EdgeID) {
 // graph edges) and returns the distance and meeting node. Earlier versions
 // allocated four maps and two container/heap queues per query; the
 // workspace makes repeated queries allocation-free.
-func (h *Hierarchy) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, graph.NodeID) {
+func (h *Runtime) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, graph.NodeID) {
 	if s == t {
 		return 0, s
 	}
@@ -111,10 +111,10 @@ func (h *Hierarchy) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, gr
 			}
 			for _, ai := range h.upFwd[u] {
 				a := h.arcs[ai]
-				nd := du + a.weight
-				if nd < f.DistOf(a.to) {
-					f.Update(a.to, nd, graph.EdgeID(ai))
-					f.Heap.Push(a.to, nd)
+				nd := du + a.Weight
+				if nd < f.DistOf(a.To) {
+					f.Update(a.To, nd, graph.EdgeID(ai))
+					f.Heap.Push(a.To, nd)
 				}
 			}
 		} else if b.Heap.Len() > 0 {
@@ -129,7 +129,7 @@ func (h *Hierarchy) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, gr
 			}
 			for _, ai := range h.upBwd[u] {
 				from := h.arcFrom[ai]
-				nd := du + h.arcs[ai].weight
+				nd := du + h.arcs[ai].Weight
 				if nd < b.DistOf(from) {
 					b.Update(from, nd, graph.EdgeID(ai))
 					b.Heap.Push(from, nd)
@@ -142,10 +142,22 @@ func (h *Hierarchy) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, gr
 
 // NumArcs returns the hierarchy's arc count (original edges + shortcuts),
 // a preprocessing size measure.
-func (h *Hierarchy) NumArcs() int { return len(h.arcs) }
+func (h *Runtime) NumArcs() int { return len(h.arcs) }
 
-// NumShortcuts returns the number of inserted shortcut arcs.
-func (h *Hierarchy) NumShortcuts() int { return len(h.arcs) - h.g.NumEdges() }
+// NumShortcuts returns the number of arcs not backed by a single original
+// edge. For the witness flavor this equals NumArcs minus the graph's edge
+// count; for the CCH flavor the split is metric-dependent (an arc counts
+// as a shortcut when the current customization resolved it through a
+// lower triangle, or left it impassable).
+func (h *Runtime) NumShortcuts() int {
+	count := 0
+	for i := range h.arcs {
+		if h.arcs[i].Orig < 0 {
+			count++
+		}
+	}
+	return count
+}
 
 func reverseInt32(xs []int32) {
 	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {

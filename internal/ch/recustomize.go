@@ -5,11 +5,12 @@ package ch
 // vector: original arcs read weights[orig] directly, shortcut arcs become
 // the sum of their two constituent arcs (constituents are always inserted
 // before the shortcut referencing them, so a single forward pass
-// suffices). This is the live-traffic path: a full Build spends almost all
-// of its time in bounded witness searches, while re-customization is one
-// linear pass over the arc array — orders of magnitude cheaper — so a
-// serving layer can follow a stream of weight snapshots by re-customizing
-// in the background and double-buffering the hierarchy swap.
+// suffices). This is the witness flavor's live-traffic path: a full Build
+// spends almost all of its time in bounded witness searches, while
+// re-customization is one linear pass over the arc array — orders of
+// magnitude cheaper — so a serving layer can follow a stream of weight
+// snapshots by re-customizing in the background and double-buffering the
+// hierarchy swap.
 //
 // Semantics under the new metric:
 //
@@ -26,29 +27,32 @@ package ch
 //     multipliers the traffic model produces. A metric that flips many
 //     witnesses can leave some node pairs with over-estimated (even +Inf)
 //     distances because a shortcut pruned at Build time is missing; the
-//     guaranteed-exact fix is a customizable CH contracted without witness
-//     pruning (see ROADMAP).
+//     guaranteed-exact fix is the customizable flavor (repro/internal/cch),
+//     contracted without witness pruning.
 //
 // The receiver is not modified; the returned hierarchy shares the
 // immutable order/topology arrays with it and is safe for concurrent
 // queries once returned.
-func (h *Hierarchy) Recustomize(weights []float64) *Hierarchy {
-	arcs := make([]arc, len(h.arcs))
+//
+// Recustomize is the witness-flavor path only and refuses runtimes
+// carrying a flavor customize hook (CCH): summing a CCH runtime's stale
+// triangle decomposition under a new metric would silently demote its
+// exactness guarantee to the witness flavor's upper bounds. Metric swaps
+// on any flavor go through Customize.
+func (h *Runtime) Recustomize(weights []float64) *Runtime {
+	if h.customize != nil {
+		panic("ch: Recustomize is the witness-flavor path; use Customize on a " + h.kind + " hierarchy")
+	}
+	arcs := make([]Arc, len(h.arcs))
 	copy(arcs, h.arcs)
 	for i := range arcs {
 		a := &arcs[i]
-		if a.orig >= 0 {
-			a.weight = weights[a.orig]
-		} else {
-			a.weight = arcs[a.skip1].weight + arcs[a.skip2].weight
+		switch {
+		case a.Orig >= 0:
+			a.Weight = weights[a.Orig]
+		case a.Skip1 >= 0:
+			a.Weight = arcs[a.Skip1].Weight + arcs[a.Skip2].Weight
 		}
 	}
-	return &Hierarchy{
-		g:       h.g,
-		rank:    h.rank,
-		arcs:    arcs,
-		upFwd:   h.upFwd,
-		upBwd:   h.upBwd,
-		arcFrom: h.arcFrom,
-	}
+	return h.WithArcs(arcs)
 }

@@ -1,0 +1,158 @@
+package ch
+
+import "repro/internal/graph"
+
+// Hierarchy is the seam between hierarchy *flavors* and hierarchy
+// *consumers*. Everything downstream of preprocessing — the bidirectional
+// point-to-point query, the PHAST tree builder, core's double-buffered
+// weight-version provider — consumes this interface and never a concrete
+// contraction algorithm, so the serving stack can swap how the hierarchy
+// was built without touching a single consumer:
+//
+//   - ch.Build contracts with bounded witness searches (the classic
+//     Geisberger et al. scheme): smallest arc count, and Customize
+//     (weights-only re-customization) is exact only for metrics that
+//     preserve the build-time witness structure.
+//   - cch.Build (package repro/internal/cch) contracts metric-independently
+//     on a nested-dissection order with no witness pruning (the
+//     customizable-CH scheme of Dibbelt et al.): more arcs, but Customize
+//     runs a triangle relaxation that is exact for *any* weight vector,
+//     including +Inf closures.
+//
+// Implementations are immutable after construction and safe for
+// concurrent queries.
+type Hierarchy interface {
+	// Graph returns the road network the hierarchy was built over.
+	Graph() *graph.Graph
+	// Kind names the flavor ("witness" or "cch") for logging and ablation
+	// tables.
+	Kind() string
+	// Rank returns the contraction order (higher rank = more important).
+	// The returned slice aliases internal storage and must not be modified.
+	Rank() []int32
+	// Dist returns the exact-under-this-flavor's-contract shortest travel
+	// time from s to t (+Inf if unreachable).
+	Dist(s, t graph.NodeID) float64
+	// Path returns the shortest s-t path as original graph edges plus its
+	// travel time, unpacking shortcuts.
+	Path(s, t graph.NodeID) ([]graph.EdgeID, float64)
+	// NewTreeBuilder derives the PHAST one-to-all tree builder.
+	NewTreeBuilder() *TreeBuilder
+	// Customize returns a hierarchy over the same contraction order and
+	// topology with arc weights rebuilt for the given vector — the cheap
+	// live-traffic path (no re-contraction). The witness flavor sums
+	// frozen shortcut constituents (exact only under witness-preserving
+	// metrics, always a ban-respecting upper bound); the CCH flavor runs
+	// the triangle relaxation (exact for any metric). The receiver is not
+	// modified.
+	Customize(weights []float64) Hierarchy
+	// NumArcs returns the arc count (original edges + shortcuts), a
+	// preprocessing size measure.
+	NumArcs() int
+	// NumShortcuts returns the number of arcs not backed by a single
+	// original edge.
+	NumShortcuts() int
+}
+
+// Arc is one directed edge of a hierarchy runtime: either an original road
+// edge or a shortcut replacing two lower arcs. Exported so external
+// preprocessors (package cch) can assemble runtimes; consumers never see
+// it through the Hierarchy seam.
+type Arc struct {
+	To     graph.NodeID
+	Weight float64
+	// Orig is the original edge ID when the arc is (resolved by) a single
+	// road edge, -1 otherwise.
+	Orig graph.EdgeID
+	// Skip1, Skip2 are the two constituent arcs (indices into the runtime
+	// arc array, in path order) when the arc is a shortcut, -1 otherwise.
+	// Constituents always precede the arc referencing them.
+	Skip1, Skip2 int32
+}
+
+// Runtime is the packed representation both hierarchy flavors compile to:
+// the contraction order, the arc array with its unpacking table
+// (Orig/Skip1/Skip2), and the upward forward/backward adjacency the
+// queries and the tree builder walk. It is immutable after construction
+// and implements Hierarchy; flavors differ only in who built the arcs and
+// in the customize hook a metric swap dispatches to.
+type Runtime struct {
+	g    *graph.Graph
+	kind string
+	rank []int32 // contraction order; higher rank = more important
+	arcs []Arc
+	// upFwd[v] lists arcs v->w with rank[w] > rank[v];
+	// upBwd[v] lists arcs u->v (stored at v) with rank[u] > rank[v].
+	upFwd [][]int32
+	upBwd [][]int32
+	// arcFrom[i] is the tail node of arcs[i].
+	arcFrom []graph.NodeID
+	// customize, when non-nil, handles Customize calls (the CCH triangle
+	// relaxation); nil dispatches to the witness-flavor Recustomize.
+	customize func([]float64) Hierarchy
+}
+
+// NewRuntime assembles a hierarchy runtime from externally built arcs:
+// rank is the contraction order (a permutation), from[i] the tail of
+// arcs[i], and customize the flavor's metric-swap hook (nil selects the
+// witness-style constituent-sum Recustomize). The adjacency split is
+// derived here; the input slices are owned by the runtime afterwards.
+func NewRuntime(g *graph.Graph, kind string, rank []int32, from []graph.NodeID, arcs []Arc, customize func([]float64) Hierarchy) *Runtime {
+	n := g.NumNodes()
+	h := &Runtime{
+		g:         g,
+		kind:      kind,
+		rank:      rank,
+		arcs:      arcs,
+		upFwd:     make([][]int32, n),
+		upBwd:     make([][]int32, n),
+		arcFrom:   from,
+		customize: customize,
+	}
+	for ai := range arcs {
+		u := from[ai]
+		w := arcs[ai].To
+		if rank[u] < rank[w] {
+			h.upFwd[u] = append(h.upFwd[u], int32(ai))
+		} else if rank[u] > rank[w] {
+			h.upBwd[w] = append(h.upBwd[w], int32(ai))
+		}
+	}
+	return h
+}
+
+// WithArcs returns a runtime sharing this runtime's graph, order,
+// adjacency, tails and customize hook, with the arc array replaced — the
+// zero-re-indexing path a customization pass uses to publish new weights
+// on a frozen topology. The new arcs must be index-compatible with the
+// old (same tails and heads).
+func (h *Runtime) WithArcs(arcs []Arc) *Runtime {
+	return &Runtime{
+		g:         h.g,
+		kind:      h.kind,
+		rank:      h.rank,
+		arcs:      arcs,
+		upFwd:     h.upFwd,
+		upBwd:     h.upBwd,
+		arcFrom:   h.arcFrom,
+		customize: h.customize,
+	}
+}
+
+// Graph implements Hierarchy.
+func (h *Runtime) Graph() *graph.Graph { return h.g }
+
+// Kind implements Hierarchy.
+func (h *Runtime) Kind() string { return h.kind }
+
+// Rank implements Hierarchy.
+func (h *Runtime) Rank() []int32 { return h.rank }
+
+// Customize implements Hierarchy: the CCH flavor dispatches to its
+// triangle relaxation, the witness flavor to Recustomize.
+func (h *Runtime) Customize(weights []float64) Hierarchy {
+	if h.customize != nil {
+		return h.customize(weights)
+	}
+	return h.Recustomize(weights)
+}

@@ -21,9 +21,11 @@ type cacheKey struct {
 
 // resultCache is the engine's fastest-path/result cache: a bounded map
 // with FIFO eviction. Hot (version, s, t) pairs — the fastest route and
-// its alternatives — are served without touching a planner; a publish
-// clears the whole cache (superseded versions are never looked up again,
-// so keeping them would only hold memory).
+// its alternatives — are served without touching a planner. Eviction on
+// publish is per store generation (evictStale), not wholesale: a
+// double-buffered CH planner keeps serving — and therefore keeps hitting
+// on — the previous version's entries until its background customization
+// swaps, so only versions no planner can look up again are dropped.
 //
 // Cached route slices are shared between all readers; callers must treat
 // Result.Routes as immutable (every consumer in this repository does).
@@ -76,10 +78,28 @@ func (c *resultCache) put(k cacheKey, routes []path.Path) {
 	}
 }
 
-// clear drops every entry; the engine calls it on every weight publish.
+// clear drops every entry (InvalidateCache, the blunt instrument).
 func (c *resultCache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	clear(c.entries)
 	c.next, c.filled = 0, false
+}
+
+// evictStale drops, in one sweep, every entry older than its planner's
+// serving-version floor — the per-generation publish eviction. Entries at
+// the floor itself survive: that is the version a double-buffered
+// planner's view is still serving (and will keep answering cache lookups
+// with) until its background refresh completes. Planners absent from
+// floors keep all their entries. Evicted keys may linger in the FIFO
+// ring; put() tolerates deleting an already-gone key, so they merely age
+// out.
+func (c *resultCache) evictStale(floors map[Planner]weights.Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if min, ok := floors[k.planner]; ok && k.version < min {
+			delete(c.entries, k)
+		}
+	}
 }

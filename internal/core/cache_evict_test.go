@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/path"
+	"repro/internal/weights"
+)
+
+// stubVersionedPlanner simulates a double-buffered planner for the cache
+// generation tests: its serving version is set explicitly, standing in
+// for "background customization has (not yet) completed".
+type stubVersionedPlanner struct {
+	serving atomic.Uint64
+	calls   atomic.Int64
+}
+
+func (s *stubVersionedPlanner) Name() string { return "stub" }
+
+func (s *stubVersionedPlanner) Alternatives(a, b graph.NodeID) ([]path.Path, error) {
+	routes, _, err := s.AlternativesVersioned(a, b)
+	return routes, err
+}
+
+func (s *stubVersionedPlanner) AlternativesVersioned(a, b graph.NodeID) ([]path.Path, weights.Version, error) {
+	s.calls.Add(1)
+	return []path.Path{{}}, weights.Version(s.serving.Load()), nil
+}
+
+func (s *stubVersionedPlanner) WeightsVersion() weights.Version {
+	return weights.Version(s.serving.Load())
+}
+
+func (s *stubVersionedPlanner) servingVersion() weights.Version {
+	return weights.Version(s.serving.Load())
+}
+
+// TestCachePerGenerationEviction pins the publish-time cache policy: a
+// publish evicts only generations older than what each planner still
+// serves, so a double-buffered planner keeps hitting its previous-version
+// entries until its swap completes — and loses them on the publish after.
+func TestCachePerGenerationEviction(t *testing.T) {
+	g := testCity(t)
+	store := weights.NewStore(g.BaseWeights())
+	stub := &stubVersionedPlanner{}
+	stub.serving.Store(1)
+
+	engine := NewEngine(1)
+	engine.SetCache(32)
+	router := NewRouter(engine, []Planner{stub}, store)
+	_ = router
+
+	query := func() {
+		engine.AlternativesBatch([]Job{{Planner: stub, S: 0, T: 1}})
+	}
+	query() // miss: seeds the version-1 entry
+	if calls := stub.calls.Load(); calls != 1 {
+		t.Fatalf("priming calls = %d, want 1", calls)
+	}
+
+	// Publish v2 while the stub still serves v1 (swap pending): the v1
+	// entry must survive and keep answering without a planner call.
+	store.Publish(g.BaseWeights())
+	query()
+	if calls := stub.calls.Load(); calls != 1 {
+		t.Fatalf("post-publish calls = %d, want 1 (v1 entry must survive while v1 still serves)", calls)
+	}
+	if hits, _ := engine.CacheStats(); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+
+	// The swap completes (stub now serves v2): the next publish evicts the
+	// v1 generation, and a v2 lookup misses into a fresh planner call.
+	stub.serving.Store(2)
+	store.Publish(g.BaseWeights())
+	query()
+	if calls := stub.calls.Load(); calls != 2 {
+		t.Fatalf("post-swap calls = %d, want 2 (v1 generation must be gone, v2 is a miss)", calls)
+	}
+	// And the v2 entry serves repeats.
+	query()
+	if calls := stub.calls.Load(); calls != 2 {
+		t.Fatalf("repeat calls = %d, want 2", calls)
+	}
+}
+
+// TestEvictStaleScopesToPlanner: eviction must not touch planners outside
+// the floors map.
+func TestEvictStaleScopesToPlanner(t *testing.T) {
+	a, b := &stubVersionedPlanner{}, &stubVersionedPlanner{}
+	a.serving.Store(1)
+	b.serving.Store(1)
+	c := newResultCache(8)
+	c.put(cacheKey{planner: a, version: 1, s: 0, t: 1}, []path.Path{{}})
+	c.put(cacheKey{planner: b, version: 1, s: 0, t: 1}, []path.Path{{}})
+	c.evictStale(map[Planner]weights.Version{a: 2})
+	if _, ok := c.get(cacheKey{planner: a, version: 1, s: 0, t: 1}); ok {
+		t.Fatal("a's stale entry survived eviction")
+	}
+	if _, ok := c.get(cacheKey{planner: b, version: 1, s: 0, t: 1}); !ok {
+		t.Fatal("b's entry was evicted by a's sweep")
+	}
+}
+
+// --- prunedTrees scan sharing ------------------------------------------------
+
+func minRatioEdge(g *graph.Graph, w []float64) (graph.EdgeID, float64) {
+	best, bestR := graph.EdgeID(-1), math.Inf(1)
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.LengthM <= 0 {
+			continue
+		}
+		if r := w[e] / ed.LengthM; r < bestR {
+			best, bestR = graph.EdgeID(e), r
+		}
+	}
+	return best, bestR
+}
+
+func TestRescaleFromDelta(t *testing.T) {
+	g := testCity(t)
+	base := g.CopyWeights()
+	argmin, scale := minRatioEdge(g, base)
+
+	// Raising a non-minimum edge keeps the old scale.
+	other := graph.EdgeID(0)
+	if other == argmin {
+		other = 1
+	}
+	next := append([]float64(nil), base...)
+	next[other] = math.Inf(1)
+	got, ok := rescaleFromDelta(g, base, next, []graph.EdgeID{other}, scale)
+	if !ok || got != scale {
+		t.Fatalf("ban of non-min edge: got (%g, %v), want (%g, true)", got, ok, scale)
+	}
+
+	// Lowering an edge below the minimum lowers the scale to it.
+	next = append([]float64(nil), base...)
+	next[other] = base[other] / 100
+	lowered := next[other] / g.Edge(other).LengthM
+	got, ok = rescaleFromDelta(g, base, next, []graph.EdgeID{other}, scale)
+	if !ok || math.Abs(got-math.Min(scale, lowered)) > 1e-15 {
+		t.Fatalf("lowering: got (%g, %v), want (%g, true)", got, ok, math.Min(scale, lowered))
+	}
+
+	// Touching the argmin edge forces a rescan.
+	next = append([]float64(nil), base...)
+	next[argmin] = math.Inf(1)
+	if _, ok = rescaleFromDelta(g, base, next, []graph.EdgeID{argmin}, scale); ok {
+		t.Fatal("touching the argmin edge must force a rescan")
+	}
+}
+
+// TestPrunedScaleSharedAcrossBanPublish drives the whole chain: a Ban on
+// the live store carries a delta, the provider's next pruned view derives
+// its scale incrementally, and the result equals (and prunes exactly
+// like) a from-scratch planner at the new snapshot.
+func TestPrunedScaleSharedAcrossBanPublish(t *testing.T) {
+	g := testCity(t)
+	store := weights.NewStore(g.BaseWeights())
+	com := NewCommercial(g, nil, Options{Weights: store})
+
+	argmin, _ := minRatioEdge(g, store.Latest().Weights())
+	banned := graph.EdgeID(0)
+	if banned == argmin {
+		banned = 1
+	}
+	store.Ban(banned)
+	com.refreshSync()
+
+	cur := com.prov.cur.Load()
+	if cur.pruned == nil {
+		t.Fatal("commercial provider lost its pruned source")
+	}
+	fresh := newPrunedTrees(g, store.Latest().Weights(), DefaultUpperBound)
+	if cur.pruned.scale != fresh.scale {
+		t.Fatalf("delta-derived scale %g != full-scan scale %g", cur.pruned.scale, fresh.scale)
+	}
+	// Route sets must be unaffected by the sharing.
+	pinned := NewCommercial(g, store.Latest().Weights(), Options{})
+	comparePlannersExact(t, pinned, com, g, 8, 21)
+}

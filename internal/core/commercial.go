@@ -78,7 +78,7 @@ func NewCommercial(g *graph.Graph, private []float64, opts Options) *Commercial 
 		poolSize:      16,
 	}
 	pruned := opts.TreeBackend != TreeCH && !opts.DisablePrunedTrees
-	c.prov = newProvider(g, src, true, opts.TreeBackend, pruned, opts.UpperBound, nil)
+	c.prov = newProvider(g, src, true, opts.TreeBackend, opts.Hierarchy, pruned, opts.UpperBound, nil)
 	return c
 }
 
@@ -91,6 +91,12 @@ func (c *Commercial) WeightsVersion() weights.Version { return c.prov.weightsVer
 
 func (c *Commercial) refreshAsync() { c.prov.refreshAsync() }
 func (c *Commercial) refreshSync()  { c.prov.refreshSync() }
+
+func (c *Commercial) servingVersion() weights.Version { return c.prov.servingVersion() }
+
+// HierarchyStatus reports the hierarchy flavor serving this planner and
+// its last customization latency (zero off the TreeCH backend).
+func (c *Commercial) HierarchyStatus() HierarchyStatus { return c.prov.hierarchyStatus() }
 
 // Alternatives implements Planner.
 func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {

@@ -93,6 +93,14 @@ type Options struct {
 	// one-off preprocessing at planner construction for much cheaper
 	// queries.
 	TreeBackend TreeBackend
+	// Hierarchy selects the contraction-hierarchy flavor behind TreeCH:
+	// HierarchyWitness (the default) contracts with witness pruning —
+	// smallest hierarchy, weights-only customization exact only under
+	// witness-preserving metrics — while HierarchyCCH contracts
+	// metric-independently on a nested-dissection order and customizes by
+	// triangle relaxation, staying exact for every published snapshot
+	// including +Inf closures. Ignored unless TreeBackend is TreeCH.
+	Hierarchy HierarchyKind
 	// DisablePrunedTrees makes the Commercial planner build full trees
 	// instead of the elliptically pruned trees (sp.BuildPrunedTree) it
 	// uses by default. Pruned and full trees yield the same routes (the

@@ -62,11 +62,25 @@ func (e *Engine) SetCache(capacity int) {
 	e.cache.Store(newResultCache(capacity))
 }
 
-// InvalidateCache drops every cached answer. The Router calls it on each
-// weight publish; it is harmless (and a no-op) without a cache.
+// InvalidateCache drops every cached answer — the blunt full-reset hook
+// (harmless and a no-op without a cache). The Router's publish path uses
+// the finer EvictCacheStale instead.
 func (e *Engine) InvalidateCache() {
 	if c := e.cache.Load(); c != nil {
 		c.clear()
+	}
+}
+
+// EvictCacheStale drops, in one sweep, the cached answers computed under
+// versions older than each planner's floor (its currently *serving*
+// version), keeping the generation a double-buffered planner still
+// serves alive across a publish. The Router calls it once per publish.
+func (e *Engine) EvictCacheStale(floors map[Planner]weights.Version) {
+	if len(floors) == 0 {
+		return
+	}
+	if c := e.cache.Load(); c != nil {
+		c.evictStale(floors)
 	}
 }
 

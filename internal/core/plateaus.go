@@ -51,7 +51,7 @@ func newPlateaus(g *graph.Graph, opts Options, pruned bool, wrap func(TreeSource
 	return &Plateaus{
 		g:    g,
 		opts: opts,
-		prov: newProvider(g, opts.Weights, true, opts.TreeBackend, pruned, opts.UpperBound, wrap),
+		prov: newProvider(g, opts.Weights, true, opts.TreeBackend, opts.Hierarchy, pruned, opts.UpperBound, wrap),
 	}
 }
 
@@ -63,6 +63,12 @@ func (p *Plateaus) WeightsVersion() weights.Version { return p.prov.weightsVersi
 
 func (p *Plateaus) refreshAsync() { p.prov.refreshAsync() }
 func (p *Plateaus) refreshSync()  { p.prov.refreshSync() }
+
+func (p *Plateaus) servingVersion() weights.Version { return p.prov.servingVersion() }
+
+// HierarchyStatus reports the hierarchy flavor serving this planner and
+// its last customization latency (zero off the TreeCH backend).
+func (p *Plateaus) HierarchyStatus() HierarchyStatus { return p.prov.hierarchyStatus() }
 
 // Plateau is a maximal chain of edges that appears in both the forward and
 // the backward shortest-path tree. Exposed for visualization (Fig. 1 of

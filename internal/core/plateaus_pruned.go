@@ -47,6 +47,12 @@ func (p *PrunedPlateaus) WeightsVersion() weights.Version { return p.inner.Weigh
 func (p *PrunedPlateaus) refreshAsync() { p.inner.refreshAsync() }
 func (p *PrunedPlateaus) refreshSync()  { p.inner.refreshSync() }
 
+func (p *PrunedPlateaus) servingVersion() weights.Version { return p.inner.servingVersion() }
+
+// HierarchyStatus reports the hierarchy flavor serving this planner and
+// its last customization latency (zero off the TreeCH backend).
+func (p *PrunedPlateaus) HierarchyStatus() HierarchyStatus { return p.inner.HierarchyStatus() }
+
 // Alternatives implements Planner.
 func (p *PrunedPlateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	return p.inner.Alternatives(s, t)

@@ -17,7 +17,8 @@ const DefaultCacheSize = 4096
 // weight stores they plan on, and the engine that answers queries. It
 // subscribes to every store, so a publish
 //
-//  1. invalidates the engine's versioned result cache, and
+//  1. evicts the stale generations of the engine's versioned result
+//     cache (keeping what double-buffered planners still serve), and
 //  2. kicks background re-customization in every planner that derives
 //     per-version state (the CH hierarchies of TreeCH planners),
 //
@@ -91,15 +92,42 @@ func (r *Router) AlternativesBatch(jobs []Job) []Result {
 }
 
 // onPublish is the store subscription hook. It must not block the
-// publisher: cache invalidation is O(entries) map clearing, and planner
+// publisher: cache eviction is one O(entries) map sweep, and planner
 // refreshes only CAS a flag and spawn (at most one) rebuild goroutine.
+//
+// Eviction is per store generation, not a wholesale clear: each planner
+// drops only the cache entries older than the version it is *currently
+// serving* (read passively — never nudging a rebuild from the publish
+// path). A double-buffered CH planner therefore keeps its
+// previous-version entries hot until its background customization swaps;
+// planners that resolve the store directly swing to the new version
+// immediately, so their floor is the fresh latest and their stale
+// generations go at once. Entries of a superseded generation linger at
+// most until the next publish and are bounded by the cache capacity.
 func (r *Router) onPublish() {
-	r.Engine().InvalidateCache()
+	floors := make(map[Planner]weights.Version, len(r.planners))
+	for _, p := range r.planners {
+		if vp, ok := p.(VersionedPlanner); ok {
+			floors[p] = servingVersionOf(vp)
+		}
+	}
+	r.Engine().EvictCacheStale(floors)
 	for _, p := range r.planners {
 		if rf, ok := p.(refresher); ok {
 			rf.refreshAsync()
 		}
 	}
+}
+
+// servingVersionOf reads the version a planner currently serves without
+// triggering rebuilds: the passive servingVersioned hook when available,
+// else WeightsVersion (which for direct store resolvers is a cheap atomic
+// load of the latest snapshot).
+func servingVersionOf(vp VersionedPlanner) weights.Version {
+	if sv, ok := vp.(servingVersioned); ok {
+		return sv.servingVersion()
+	}
+	return vp.WeightsVersion()
 }
 
 // Sync blocks until every planner serves its source's latest snapshot —
@@ -121,6 +149,26 @@ func (r *Router) Versions() []weights.Version {
 	for i, p := range r.planners {
 		if vp, ok := p.(VersionedPlanner); ok {
 			out[i] = vp.WeightsVersion()
+		}
+	}
+	return out
+}
+
+// hierarchyReporter is implemented by planners backed by a hierarchy
+// provider (the choice-routing planners on TreeCH).
+type hierarchyReporter interface {
+	HierarchyStatus() HierarchyStatus
+}
+
+// HierarchyStatuses reports, per planner, the hierarchy flavor currently
+// answering and its most recent customization latency (zero-value entries
+// for planners without a hierarchy backend) — the second observability
+// hook behind the demo server's per-query log line.
+func (r *Router) HierarchyStatuses() []HierarchyStatus {
+	out := make([]HierarchyStatus, len(r.planners))
+	for i, p := range r.planners {
+		if hr, ok := p.(hierarchyReporter); ok {
+			out[i] = hr.HierarchyStatus()
 		}
 	}
 	return out

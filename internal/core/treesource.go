@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/ch"
 	"repro/internal/graph"
 	"repro/internal/sp"
+	"repro/internal/weights"
 )
 
 // TreeBackend selects how the choice-routing planners (Plateaus,
@@ -35,6 +37,54 @@ func ParseTreeBackend(s string) (TreeBackend, error) {
 		return TreeCH, nil
 	}
 	return 0, fmt.Errorf("core: invalid tree backend %q (want dijkstra or ch)", s)
+}
+
+// HierarchyKind selects which contraction-hierarchy flavor backs the
+// TreeCH tree backend — both implement the ch.Hierarchy seam, so every
+// consumer downstream of preprocessing is identical.
+type HierarchyKind uint8
+
+const (
+	// HierarchyWitness is the classic witness-pruned contraction
+	// (ch.Build): smallest hierarchy, but its cheap weights-only
+	// customization is exact only under metrics that preserve the
+	// build-time witness structure — heavy closures can degrade it to
+	// upper bounds.
+	HierarchyWitness HierarchyKind = iota
+	// HierarchyCCH is the customizable flavor (cch.Build):
+	// metric-independent contraction on a nested-dissection order with no
+	// witness pruning, customized by triangle relaxation — exact for any
+	// published snapshot, including +Inf closures.
+	HierarchyCCH
+)
+
+// ParseHierarchyKind maps the shared command-line flag spelling
+// ("witness" or "cch") onto a HierarchyKind.
+func ParseHierarchyKind(s string) (HierarchyKind, error) {
+	switch s {
+	case "witness":
+		return HierarchyWitness, nil
+	case "cch":
+		return HierarchyCCH, nil
+	}
+	return 0, fmt.Errorf("core: invalid hierarchy kind %q (want witness or cch)", s)
+}
+
+// String implements fmt.Stringer.
+func (k HierarchyKind) String() string {
+	if k == HierarchyCCH {
+		return "cch"
+	}
+	return "witness"
+}
+
+// HierarchyStatus is the serving-layer observability record of one
+// planner's hierarchy backend: which flavor answers queries right now and
+// how long the most recent (re)customization took. Zero for planners not
+// running on a hierarchy.
+type HierarchyStatus struct {
+	Kind          string
+	LastCustomize time.Duration
 }
 
 // TreeSource abstracts the tree factory behind the choice-routing
@@ -101,6 +151,49 @@ func newPrunedTrees(g *graph.Graph, weights []float64, upperBound float64) *prun
 		scale:      sp.MinSecondsPerMeter(g, weights),
 		upperBound: upperBound,
 	}
+}
+
+// newPrunedTreesFrom is newPrunedTrees with cross-version scan sharing:
+// when the snapshot carries a changed-edge delta relative to exactly the
+// previous view's snapshot (closures, spot republishes), the admissible
+// scale is updated from the previous one in O(|delta|) instead of
+// rescanning every edge — the minimum-speed scan survives any publish
+// that leaves the minima untouched. Bulk publishes (full traffic steps)
+// carry no delta and fall back to the full scan.
+func newPrunedTreesFrom(g *graph.Graph, snap *weights.Snapshot, upperBound float64, prev *prunedTrees, prevSnap *weights.Snapshot) *prunedTrees {
+	w := snap.Weights()
+	if prev != nil && prevSnap != nil {
+		if since, changed, ok := snap.Delta(); ok && since == prevSnap.Version() {
+			if scale, ok := rescaleFromDelta(g, prevSnap.Weights(), w, changed, prev.scale); ok {
+				return &prunedTrees{g: g, weights: w, scale: scale, upperBound: upperBound}
+			}
+		}
+	}
+	return newPrunedTrees(g, w, upperBound)
+}
+
+// rescaleFromDelta derives the new minimum seconds-per-meter from the
+// previous one given that only the changed edges differ. It is sound
+// exactly when the previous minimum was achieved on an *unchanged* edge:
+// then the old scale is still attained and only the changed edges can
+// lower it. If any changed edge sat at the old minimum (it may have been
+// the sole argmin, and raising it would raise the true minimum), ok is
+// false and the caller must rescan.
+func rescaleFromDelta(g *graph.Graph, prevW, w []float64, changed []graph.EdgeID, prevScale float64) (float64, bool) {
+	scale := prevScale
+	for _, e := range changed {
+		ed := g.Edge(e)
+		if ed.LengthM <= 0 {
+			continue
+		}
+		if prevW[e]/ed.LengthM <= prevScale {
+			return 0, false
+		}
+		if r := w[e] / ed.LengthM; r < scale {
+			scale = r
+		}
+	}
+	return scale, true
 }
 
 func (p *prunedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {

@@ -3,7 +3,9 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/cch"
 	"repro/internal/ch"
 	"repro/internal/graph"
 	"repro/internal/path"
@@ -36,6 +38,15 @@ type refresher interface {
 	refreshSync()
 }
 
+// servingVersioned is the passive counterpart of WeightsVersion: the
+// version currently *installed*, read without nudging any rebuild. The
+// Router's publish path uses it to decide which cache generations are
+// still live — it must never trigger the synchronous rebuild a
+// WeightsVersion call can imply for cheap backends.
+type servingVersioned interface {
+	servingVersion() weights.Version
+}
+
 // view is one fully resolved weight version: the snapshot itself plus
 // whatever per-version state the planner's tree backend needs. Views are
 // immutable once installed; a query resolves exactly one view and uses it
@@ -45,9 +56,13 @@ type view struct {
 	snap  *weights.Snapshot
 	trees TreeSource
 	// hier is kept for the TreeCH backend so the next version can be
-	// re-customized (weights-only rebuild) instead of contracted from
-	// scratch.
-	hier *ch.Hierarchy
+	// customized — a weights-only rebuild through the ch.Hierarchy seam
+	// (witness constituent sums or CCH triangle relaxation, whichever
+	// flavor is installed) — instead of contracted from scratch.
+	hier ch.Hierarchy
+	// pruned is the undecorated elliptic source (when the backend uses
+	// one), kept so the next version can share its minimum-speed scan.
+	pruned *prunedTrees
 }
 
 // provider resolves a weights.Source into views, caching the current one
@@ -60,9 +75,10 @@ type provider struct {
 	g          *graph.Graph
 	src        weights.Source
 	backend    TreeBackend
-	pruned     bool    // elliptic pruning (ignored when backend == TreeCH)
-	upperBound float64 // pruning budget
-	needTrees  bool    // planners without a tree seam skip tree state
+	hkind      HierarchyKind // which hierarchy flavor backs TreeCH
+	pruned     bool          // elliptic pruning (ignored when backend == TreeCH)
+	upperBound float64       // pruning budget
+	needTrees  bool          // planners without a tree seam skip tree state
 	// wrap optionally decorates each version's tree source (the counting
 	// instrumentation of PrunedPlateaus).
 	wrap func(TreeSource) TreeSource
@@ -70,13 +86,16 @@ type provider struct {
 	cur      atomic.Pointer[view]
 	mu       sync.Mutex  // serializes rebuilds
 	inflight atomic.Bool // coalesces concurrent async refreshes
+	// lastCustomize is the wall time (ns) of the most recent hierarchy
+	// build or customization — the per-swap latency the server logs.
+	lastCustomize atomic.Int64
 }
 
 // newProvider builds the resolver and synchronously installs the view of
 // the source's current snapshot, so construction keeps its pre-refactor
 // meaning: a TreeCH planner leaves its constructor with a ready hierarchy.
 // A nil src pins the graph's own base weights.
-func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, pruned bool, upperBound float64, wrap func(TreeSource) TreeSource) *provider {
+func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, hkind HierarchyKind, pruned bool, upperBound float64, wrap func(TreeSource) TreeSource) *provider {
 	if src == nil {
 		src = weights.Pin(g.BaseWeights())
 	}
@@ -84,6 +103,7 @@ func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend Tre
 		g:          g,
 		src:        src,
 		backend:    backend,
+		hkind:      hkind,
 		pruned:     pruned,
 		upperBound: upperBound,
 		needTrees:  needTrees,
@@ -96,7 +116,7 @@ func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend Tre
 // view resolves the view a query should run on. When the source has moved
 // past the installed view, Dijkstra-style backends rebuild inline (their
 // per-version state is a few cheap scans); the CH backend kicks a
-// background re-customization and keeps serving the installed view — the
+// background customization and keeps serving the installed view — the
 // double-buffer half of the live-swap design.
 func (p *provider) view() *view {
 	cur := p.cur.Load()
@@ -115,6 +135,30 @@ func (p *provider) view() *view {
 // rebuild (but nudging one along if the source has moved).
 func (p *provider) weightsVersion() weights.Version {
 	return p.view().snap.Version()
+}
+
+// servingVersion reports the installed view's version without touching
+// the source at all — the publish-path read behind per-generation cache
+// eviction.
+func (p *provider) servingVersion() weights.Version {
+	if v := p.cur.Load(); v != nil {
+		return v.snap.Version()
+	}
+	return 0
+}
+
+// hierarchyStatus reports the serving hierarchy flavor and the latency of
+// the most recent (re)customization; zero when the backend runs no
+// hierarchy.
+func (p *provider) hierarchyStatus() HierarchyStatus {
+	if p.backend != TreeCH || !p.needTrees {
+		return HierarchyStatus{}
+	}
+	st := HierarchyStatus{LastCustomize: time.Duration(p.lastCustomize.Load())}
+	if v := p.cur.Load(); v != nil && v.hier != nil {
+		st.Kind = v.hier.Kind()
+	}
+	return st
 }
 
 // rebuildTo synchronously installs a view for at least the given
@@ -153,8 +197,12 @@ func (p *provider) refreshSync() {
 }
 
 // buildView constructs the per-version state. For TreeCH, prev's
-// hierarchy (when available) is re-customized — a linear weights-only
-// pass — instead of contracting from scratch.
+// hierarchy (when available) is customized through the ch.Hierarchy seam
+// — a weights-only pass on the frozen contraction, constituent sums for
+// the witness flavor, the always-exact triangle relaxation for CCH —
+// instead of contracting from scratch. For the elliptic backend, prev's
+// minimum-speed scan is shared when the snapshot's delta proves it still
+// valid.
 func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 	v := &view{snap: snap}
 	if !p.needTrees {
@@ -163,14 +211,25 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 	w := snap.Weights()
 	switch {
 	case p.backend == TreeCH:
-		if prev != nil && prev.hier != nil {
-			v.hier = prev.hier.Recustomize(w)
-		} else {
+		start := time.Now()
+		switch {
+		case prev != nil && prev.hier != nil:
+			v.hier = prev.hier.Customize(w)
+		case p.hkind == HierarchyCCH:
+			v.hier = cch.Build(p.g, w)
+		default:
 			v.hier = ch.Build(p.g, w)
 		}
 		v.trees = chTrees{tb: v.hier.NewTreeBuilder()}
+		p.lastCustomize.Store(int64(time.Since(start)))
 	case p.pruned:
-		v.trees = newPrunedTrees(p.g, w, p.upperBound)
+		var prevPruned *prunedTrees
+		var prevSnap *weights.Snapshot
+		if prev != nil {
+			prevPruned, prevSnap = prev.pruned, prev.snap
+		}
+		v.pruned = newPrunedTreesFrom(p.g, snap, p.upperBound, prevPruned, prevSnap)
+		v.trees = v.pruned
 	default:
 		v.trees = dijkstraTrees{g: p.g, weights: w}
 	}

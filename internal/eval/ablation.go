@@ -55,12 +55,18 @@ func DefaultAblationConfigs(c *City) []AblationConfig {
 		{"Plateaus CH trees (PHAST)", func() core.Planner {
 			return core.NewPlateaus(g, core.Options{TreeBackend: core.TreeCH})
 		}},
+		{"Plateaus CCH trees (customizable)", func() core.Planner {
+			return core.NewPlateaus(g, core.Options{TreeBackend: core.TreeCH, Hierarchy: core.HierarchyCCH})
+		}},
 		{"GMaps (pruned trees, default)", func() core.Planner { return core.NewCommercial(g, c.Traffic, core.Options{}) }},
 		{"GMaps full trees", func() core.Planner {
 			return core.NewCommercial(g, c.Traffic, core.Options{DisablePrunedTrees: true})
 		}},
 		{"GMaps CH trees (PHAST)", func() core.Planner {
 			return core.NewCommercial(g, c.Traffic, core.Options{TreeBackend: core.TreeCH})
+		}},
+		{"GMaps CCH trees (customizable)", func() core.Planner {
+			return core.NewCommercial(g, c.Traffic, core.Options{TreeBackend: core.TreeCH, Hierarchy: core.HierarchyCCH})
 		}},
 		{"Dissimilarity (paper, θ 0.5)", func() core.Planner { return core.NewDissimilarity(g, core.Options{}) }},
 		{"Dissimilarity θ 0.3", func() core.Planner { return core.NewDissimilarity(g, core.Options{Theta: 0.3}) }},

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/geo"
 	"repro/internal/graph"
@@ -213,11 +214,13 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 		out.Approaches = append(out.Approaches, aj)
 	}
 	// Live-swap observability: which snapshot each approach answered
-	// under, plus the serving cache's cumulative hit rate.
+	// under, which hierarchy flavor served it (and how long its last
+	// customization took), plus the serving cache's cumulative hit rate.
 	if c.Router != nil {
 		hits, misses := c.Router.Engine().CacheStats()
-		log.Printf("server: %s %d->%d answered at weight versions A=%d B=%d C=%d D=%d (cache %d hits / %d misses)",
-			q.Get("city"), sv, tv, rs.Versions[0], rs.Versions[1], rs.Versions[2], rs.Versions[3], hits, misses)
+		log.Printf("server: %s %d->%d answered at weight versions A=%d B=%d C=%d D=%d%s (cache %d hits / %d misses)",
+			q.Get("city"), sv, tv, rs.Versions[0], rs.Versions[1], rs.Versions[2], rs.Versions[3],
+			formatHierarchies(c.Router.HierarchyStatuses()), hits, misses)
 	}
 	writeJSON(w, out)
 }
@@ -302,6 +305,24 @@ func (s *Server) writeTrafficStatus(w http.ResponseWriter, name string, c *eval.
 		}
 	}
 	writeJSON(w, out)
+}
+
+// formatHierarchies renders the hierarchy observability suffix of the
+// per-query log line: flavor and last customization latency per approach
+// running on a hierarchy backend, e.g. " hier A=cch(2.1ms) B=cch(2.3ms)";
+// empty when no approach does.
+func formatHierarchies(statuses []core.HierarchyStatus) string {
+	var sb strings.Builder
+	for i, st := range statuses {
+		if st.Kind == "" || i >= len(displayLabels) {
+			continue
+		}
+		if sb.Len() == 0 {
+			sb.WriteString(" hier")
+		}
+		fmt.Fprintf(&sb, " %s=%s(%s)", displayLabels[i], st.Kind, st.LastCustomize.Round(100*time.Microsecond))
+	}
+	return sb.String()
 }
 
 func toRouteJSON(c *eval.City, p path.Path) routeJSON {
