@@ -399,6 +399,158 @@ func TestPlateausTreeSweepZeroAlloc(t *testing.T) {
 	}
 }
 
+// --- Restricted sweeps (RPHAST) -----------------------------------------------
+//
+// The PR 5 tentpole: full PHAST sweeps pay for every rank even when the
+// query's ellipse covers a corner of the city. These benchmarks compare a
+// full tree pair against the RPHAST restricted pair on *short* queries
+// (elliptic target set ≤ 25% of the nodes), with the selection built once
+// and reused — the RPHAST amortization. Run with -benchmem: restricted
+// builds allocate nothing warm.
+
+// rphastTargets replicates the serving layer's elliptic selection: every
+// node whose geometric lower-bound detour fits within UpperBound × the
+// fastest time.
+func rphastTargets(b *testing.B, g *graph.Graph, w []float64, h *ch.Runtime, s, t graph.NodeID) []graph.NodeID {
+	b.Helper()
+	fastest := h.Dist(s, t)
+	scale := sp.MinSecondsPerMeter(g, w)
+	if scale <= 0 {
+		b.Fatal("degenerate metric: no admissible geometric bound")
+	}
+	budget := core.DefaultUpperBound * fastest / scale
+	lb := geo.NewLowerBounder(g.BBox())
+	sPt, tPt := g.Point(s), g.Point(t)
+	targets := []graph.NodeID{s, t}
+	for v := 0; v < g.NumNodes(); v++ {
+		p := g.Point(graph.NodeID(v))
+		if lb.MetersLB(sPt, p)+lb.MetersLB(p, tPt) <= budget {
+			targets = append(targets, graph.NodeID(v))
+		}
+	}
+	frac := float64(len(targets)) / float64(g.NumNodes())
+	b.ReportMetric(frac, "ellipse-frac")
+	if frac > 0.25 {
+		b.Logf("warning: ellipse covers %.0f%% of the graph; not a short query", frac*100)
+	}
+	return targets
+}
+
+// benchShortGridPair returns a short query on the 50×50 grid: ~10 cells
+// apart near the center, an ellipse well under a quarter of the town.
+func benchShortGridPair(cols int) (s, t graph.NodeID) {
+	r, c := 20, 20
+	return graph.NodeID(r*cols + c), graph.NodeID((r+6)*cols + c + 8)
+}
+
+func BenchmarkPHASTFullGrid50(b *testing.B) {
+	g := benchGrid(50, 50)
+	w := g.CopyWeights()
+	tb := ch.Build(g, w).NewTreeBuilder()
+	ws := sp.NewWorkspace()
+	s, t := benchShortGridPair(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.BuildTreeInto(ws, s, sp.Forward)
+		tb.BuildTreeInto(ws, t, sp.Backward)
+	}
+}
+
+func BenchmarkRPHASTGrid50(b *testing.B) {
+	g := benchGrid(50, 50)
+	w := g.CopyWeights()
+	h := ch.Build(g, w)
+	tb := h.NewTreeBuilder()
+	ws := sp.NewWorkspace()
+	s, t := benchShortGridPair(50)
+	sel := tb.Select(rphastTargets(b, g, w, h, s, t), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.BuildTreeRestrictedInto(ws, s, sp.Forward, sel)
+		tb.BuildTreeRestrictedInto(ws, t, sp.Backward, sel)
+	}
+}
+
+// BenchmarkRPHASTSelectGrid50 is the amortized half: re-selecting the
+// target subgraph onto warm Selection storage — the per-ellipse price a
+// serving process pays once per (s,t) pair per weight version.
+func BenchmarkRPHASTSelectGrid50(b *testing.B) {
+	g := benchGrid(50, 50)
+	w := g.CopyWeights()
+	h := ch.Build(g, w)
+	tb := h.NewTreeBuilder()
+	s, t := benchShortGridPair(50)
+	targets := rphastTargets(b, g, w, h, s, t)
+	sel := tb.Select(targets, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = tb.Select(targets, sel)
+	}
+}
+
+// benchMelbourneShortPair picks two intersections ~1.2km apart in
+// Melbourne — the short-band urban query the restricted sweep targets.
+func benchMelbourneShortPair(b *testing.B, city *eval.City) (s, t graph.NodeID) {
+	b.Helper()
+	c := city.Graph.BBox().Center()
+	s, _ = city.Index.Nearest(c)
+	t, _ = city.Index.Nearest(geo.Offset(c, 900, 800))
+	if s == t {
+		b.Fatal("short pair collapsed to one intersection")
+	}
+	return s, t
+}
+
+func BenchmarkPHASTFullMelbourne(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	tb := ch.Build(city.Graph, city.Public).NewTreeBuilder()
+	ws := sp.NewWorkspace()
+	s, t := benchMelbourneShortPair(b, city)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.BuildTreeInto(ws, s, sp.Forward)
+		tb.BuildTreeInto(ws, t, sp.Backward)
+	}
+}
+
+func BenchmarkRPHASTMelbourne(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	h := ch.Build(city.Graph, city.Public)
+	tb := h.NewTreeBuilder()
+	ws := sp.NewWorkspace()
+	s, t := benchMelbourneShortPair(b, city)
+	sel := tb.Select(rphastTargets(b, city.Graph, city.Public, h, s, t), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.BuildTreeRestrictedInto(ws, s, sp.Forward, sel)
+		tb.BuildTreeRestrictedInto(ws, t, sp.Backward, sel)
+	}
+}
+
+// BenchmarkPlateausCHShort / BenchmarkPlateausRPHASTShort compare the
+// full planner pipeline (trees + join + assembly, selection cache hot) on
+// one short grid query across the full-sweep and restricted backends.
+func benchPlateausShort(b *testing.B, backend core.TreeBackend) {
+	g := benchGrid(50, 50)
+	planner := core.NewPlateaus(g, core.Options{TreeBackend: backend})
+	s, t := benchShortGridPair(50)
+	if _, err := planner.Alternatives(s, t); err != nil { // warm the selection cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Alternatives(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlateausCHShort(b *testing.B) { benchPlateausShort(b, core.TreeCH) }
+
+func BenchmarkPlateausRPHASTShort(b *testing.B) { benchPlateausShort(b, core.TreeCHRestricted) }
+
 func BenchmarkMicroCHDist(b *testing.B) {
 	g, w := benchCityGraph(b)
 	h := ch.Build(g, w)

@@ -38,7 +38,7 @@ func main() {
 	k := flag.Int("k", core.DefaultK, "routes per approach")
 	withYen := flag.Bool("yen", false, "also run Yen's k-shortest paths baseline")
 	geojsonOut := flag.String("geojson", "", "write all routes as GeoJSON to this file")
-	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra or ch (PHAST)")
+	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
 	trafficStep := flag.Int("traffic-step", 0, "rush-hour step of the commercial provider's private weights (0 = the study's base congestion field)")
 	flag.Parse()

@@ -14,8 +14,8 @@
 // Usage:
 //
 //	demoserver [-addr :8080] [-seed N] [-ratings ratings.json] [-workers N]
-//	           [-trees dijkstra|ch] [-hierarchy witness|cch] [-traffic-step 30s]
-//	           [-cache 4096]
+//	           [-trees dijkstra|ch|ch-restricted|ch-auto] [-hierarchy witness|cch]
+//	           [-traffic-step 30s] [-cache 4096]
 package main
 
 import (
@@ -36,7 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 2022, "city generation seed")
 	ratingsPath := flag.String("ratings", "ratings.json", "file the submitted ratings are stored in (empty disables)")
 	workers := flag.Int("workers", 0, "concurrent planner calls per city (0 = number of CPUs)")
-	trees := flag.String("trees", "ch", "tree backend for the choice-routing planners: dijkstra or ch (PHAST; default, the serving-optimised path)")
+	trees := flag.String("trees", "ch-auto", "tree backend for the choice-routing planners: dijkstra, ch (PHAST full sweeps), ch-restricted (RPHAST) or ch-auto (default: RPHAST restricted sweeps for short queries, full sweeps otherwise)")
 	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind -trees ch: witness (smallest, exact only under witness-preserving metrics) or cch (customizable; default, exact for every published snapshot incl. closures)")
 	trafficStep := flag.Duration("traffic-step", 0, "auto-advance the rush-hour traffic sequence at this interval (0 disables; publishes also arrive via POST /api/publish)")
 	cacheSize := flag.Int("cache", core.DefaultCacheSize, "versioned result-cache capacity of the serving engine (0 disables)")

@@ -28,7 +28,7 @@ func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2 or all")
 	ablation := flag.Bool("ablation", false, "also print the parameter/refinement ablation table")
 	csvOut := flag.String("csv", "", "also write the raw study records to this CSV file")
-	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra or ch (PHAST)")
+	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
 	flag.Parse()
 

@@ -64,6 +64,10 @@ type TreeBuilder struct {
 	// scratch pools the rank-space dist/parent arrays, so concurrent
 	// queries stay allocation-free after warm-up.
 	scratch sync.Pool
+	// selScratch pools the position-space mark arrays of RPHAST target
+	// selections (rphast.go), so concurrent Select calls stay
+	// allocation-free after warm-up too.
+	selScratch sync.Pool
 }
 
 // downArc is one packed CSR record: the position of the arc's
@@ -82,6 +86,47 @@ type arcEnds struct {
 type sweepScratch struct {
 	dist   []float64
 	parent []graph.EdgeID
+}
+
+// initFor resets the scratch for a build over n positions rooted at
+// position rootPos and returns the working views.
+func (sc *sweepScratch) initFor(n int, rootPos int32) ([]float64, []graph.EdgeID) {
+	distR, parentR := sc.dist[:n], sc.parent[:n]
+	inf := math.Inf(1)
+	for i := range distR {
+		distR[i] = inf
+		parentR[i] = -1
+	}
+	distR[rootPos] = 0
+	return distR, parentR
+}
+
+// upwardPass is phase 1 of a PHAST build, shared by the full and the
+// restricted (RPHAST) sweeps: positions in ascending rank. The upward arc
+// set is a DAG ordered by rank, so by the time a node is scanned every
+// upward path into it has been relaxed — no heap needed. Nodes outside
+// the root's upward cone sit at +Inf and are skipped.
+func upwardPass(distR []float64, parentR []graph.EdgeID, upOff []int32, upArcs []downArc, upEnds []arcEnds, useLast bool) {
+	for i := len(distR) - 1; i >= 0; i-- {
+		d := distR[i]
+		if math.IsInf(d, 1) {
+			continue
+		}
+		lo, hi := upOff[i], upOff[i+1]
+		arcs := upArcs[lo:hi]
+		for k := range arcs {
+			a := arcs[k]
+			if cand := d + a.w; cand < distR[a.up] {
+				distR[a.up] = cand
+				e := upEnds[lo+int32(k)]
+				if useLast {
+					parentR[a.up] = e.last
+				} else {
+					parentR[a.up] = e.first
+				}
+			}
+		}
+	}
 }
 
 // NewTreeBuilder derives the one-shot PHAST ordering and packed
@@ -155,6 +200,7 @@ func (h *Runtime) NewTreeBuilder() *TreeBuilder {
 	tb.scratch.New = func() any {
 		return &sweepScratch{dist: make([]float64, n), parent: make([]graph.EdgeID, n)}
 	}
+	tb.selScratch.New = func() any { return &selectScratch{mark: make([]bool, n)} }
 	return tb
 }
 
@@ -185,38 +231,10 @@ func (tb *TreeBuilder) BuildTreeInto(ws *sp.Workspace, root graph.NodeID, dir sp
 	useLast := dir == sp.Forward
 
 	sc := tb.scratch.Get().(*sweepScratch)
-	distR, parentR := sc.dist[:n], sc.parent[:n]
-	inf := math.Inf(1)
-	for i := range distR {
-		distR[i] = inf
-		parentR[i] = -1
-	}
-	distR[tb.pos[root]] = 0
+	distR, parentR := sc.initFor(n, tb.pos[root])
 
-	// Phase 1, the upward search: positions in ascending rank. The upward
-	// arc set is a DAG ordered by rank, so by the time a node is scanned
-	// every upward path into it has been relaxed — no heap needed. Nodes
-	// outside the root's upward cone sit at +Inf and are skipped.
-	for i := n - 1; i >= 0; i-- {
-		d := distR[i]
-		if math.IsInf(d, 1) {
-			continue
-		}
-		lo, hi := upOff[i], upOff[i+1]
-		arcs := upArcs[lo:hi]
-		for k := range arcs {
-			a := arcs[k]
-			if cand := d + a.w; cand < distR[a.up] {
-				distR[a.up] = cand
-				e := upEnds[lo+int32(k)]
-				if useLast {
-					parentR[a.up] = e.last
-				} else {
-					parentR[a.up] = e.first
-				}
-			}
-		}
-	}
+	// Phase 1, the upward search.
+	upwardPass(distR, parentR, upOff, upArcs, upEnds, useLast)
 
 	// Phase 2, the downward sweep: positions in descending rank, one pull
 	// min-fold per node. Every downward arc's upper endpoint is final when

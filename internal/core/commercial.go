@@ -77,7 +77,7 @@ func NewCommercial(g *graph.Graph, private []float64, opts Options) *Commercial 
 		diversityBias: 0.45,
 		poolSize:      16,
 	}
-	pruned := opts.TreeBackend != TreeCH && !opts.DisablePrunedTrees
+	pruned := !opts.TreeBackend.usesHierarchy() && !opts.DisablePrunedTrees
 	c.prov = newProvider(g, src, true, opts.TreeBackend, opts.Hierarchy, pruned, opts.UpperBound, nil)
 	return c
 }
@@ -93,6 +93,8 @@ func (c *Commercial) refreshAsync() { c.prov.refreshAsync() }
 func (c *Commercial) refreshSync()  { c.prov.refreshSync() }
 
 func (c *Commercial) servingVersion() weights.Version { return c.prov.servingVersion() }
+
+func (c *Commercial) weightsSource() weights.Source { return c.prov.src }
 
 // HierarchyStatus reports the hierarchy flavor serving this planner and
 // its last customization latency (zero off the TreeCH backend).

@@ -87,25 +87,28 @@ type Options struct {
 	// TreeBackend selects how the choice-routing planners (Plateaus,
 	// Commercial, PrunedPlateaus) build their shortest-path trees: full
 	// Dijkstra searches (TreeDijkstra, the default, matching the paper's
-	// description) or PHAST downward sweeps over a contraction hierarchy
-	// (TreeCH, the §II-B optimisation commercial engines apply). The
-	// backends produce equivalent trees and route sets; TreeCH trades a
-	// one-off preprocessing at planner construction for much cheaper
-	// queries.
+	// description), PHAST downward sweeps over a contraction hierarchy
+	// (TreeCH, the §II-B optimisation commercial engines apply), RPHAST
+	// restricted sweeps over the query's elliptic target set
+	// (TreeCHRestricted — sublinear tree builds for short queries), or
+	// the auto mode that restricts only while the ellipse stays small
+	// (TreeCHAuto). All backends produce equivalent route sets; the CH
+	// family trades a one-off preprocessing at planner construction for
+	// much cheaper queries.
 	TreeBackend TreeBackend
-	// Hierarchy selects the contraction-hierarchy flavor behind TreeCH:
-	// HierarchyWitness (the default) contracts with witness pruning —
-	// smallest hierarchy, weights-only customization exact only under
-	// witness-preserving metrics — while HierarchyCCH contracts
+	// Hierarchy selects the contraction-hierarchy flavor behind the CH
+	// backends: HierarchyWitness (the default) contracts with witness
+	// pruning — smallest hierarchy, weights-only customization exact only
+	// under witness-preserving metrics — while HierarchyCCH contracts
 	// metric-independently on a nested-dissection order and customizes by
 	// triangle relaxation, staying exact for every published snapshot
-	// including +Inf closures. Ignored unless TreeBackend is TreeCH.
+	// including +Inf closures. Ignored on TreeDijkstra.
 	Hierarchy HierarchyKind
 	// DisablePrunedTrees makes the Commercial planner build full trees
 	// instead of the elliptically pruned trees (sp.BuildPrunedTree) it
 	// uses by default. Pruned and full trees yield the same routes (the
 	// §II-B claim, verified by the test suite); the toggle exists for
-	// ablations. Ignored when TreeBackend is TreeCH.
+	// ablations. Ignored on the hierarchy backends.
 	DisablePrunedTrees bool
 	// ApplyUpperBoundToPenalty additionally filters Penalty routes by the
 	// upper bound — one of the "easily included" refinements of §IV-C.

@@ -42,6 +42,8 @@ func (d *Dissimilarity) Name() string { return "Dissimilarity" }
 // WeightsVersion implements VersionedPlanner.
 func (d *Dissimilarity) WeightsVersion() weights.Version { return d.src.Snapshot().Version() }
 
+func (d *Dissimilarity) weightsSource() weights.Source { return d.src }
+
 // Alternatives implements Planner.
 func (d *Dissimilarity) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	routes, _, err := d.AlternativesVersioned(s, t)

@@ -45,6 +45,8 @@ func (x *ESX) Name() string { return "ESX" }
 // WeightsVersion implements VersionedPlanner.
 func (x *ESX) WeightsVersion() weights.Version { return x.src.Snapshot().Version() }
 
+func (x *ESX) weightsSource() weights.Source { return x.src }
+
 // AlternativesVersioned implements VersionedPlanner: the snapshot is
 // resolved exactly once, so the reported version always matches the
 // weights the routes were computed under, even when a publish races.

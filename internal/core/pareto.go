@@ -43,6 +43,8 @@ func (p *Pareto) Name() string { return "Pareto" }
 // WeightsVersion implements VersionedPlanner.
 func (p *Pareto) WeightsVersion() weights.Version { return p.src.Snapshot().Version() }
 
+func (p *Pareto) weightsSource() weights.Source { return p.src }
+
 // AlternativesVersioned implements VersionedPlanner: the snapshot is
 // resolved exactly once, so the reported version always matches the
 // weights the routes were computed under, even when a publish races.

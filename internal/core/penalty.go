@@ -47,6 +47,8 @@ func (p *Penalty) Name() string { return "Penalty" }
 // WeightsVersion implements VersionedPlanner.
 func (p *Penalty) WeightsVersion() weights.Version { return p.src.Snapshot().Version() }
 
+func (p *Penalty) weightsSource() weights.Source { return p.src }
+
 // Alternatives implements Planner.
 func (p *Penalty) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	routes, _, err := p.AlternativesVersioned(s, t)

@@ -66,6 +66,8 @@ func (p *Plateaus) refreshSync()  { p.prov.refreshSync() }
 
 func (p *Plateaus) servingVersion() weights.Version { return p.prov.servingVersion() }
 
+func (p *Plateaus) weightsSource() weights.Source { return p.prov.src }
+
 // HierarchyStatus reports the hierarchy flavor serving this planner and
 // its last customization latency (zero off the TreeCH backend).
 func (p *Plateaus) HierarchyStatus() HierarchyStatus { return p.prov.hierarchyStatus() }

@@ -31,7 +31,7 @@ type PrunedPlateaus struct {
 func NewPrunedPlateaus(g *graph.Graph, opts Options) *PrunedPlateaus {
 	counts := &treeCounts{}
 	wrap := func(src TreeSource) TreeSource { return &countingTrees{src: src, counts: counts} }
-	pruned := opts.withDefaults().TreeBackend != TreeCH
+	pruned := !opts.withDefaults().TreeBackend.usesHierarchy()
 	return &PrunedPlateaus{
 		inner:  newPlateaus(g, opts, pruned, wrap),
 		counts: counts,
@@ -48,6 +48,8 @@ func (p *PrunedPlateaus) refreshAsync() { p.inner.refreshAsync() }
 func (p *PrunedPlateaus) refreshSync()  { p.inner.refreshSync() }
 
 func (p *PrunedPlateaus) servingVersion() weights.Version { return p.inner.servingVersion() }
+
+func (p *PrunedPlateaus) weightsSource() weights.Source { return p.inner.weightsSource() }
 
 // HierarchyStatus reports the hierarchy flavor serving this planner and
 // its last customization latency (zero off the TreeCH backend).

@@ -24,18 +24,35 @@ const DefaultCacheSize = 4096
 //
 // after which each planner's view swings to the new version by an atomic
 // pointer swap — old state keeps serving until its replacement is ready,
-// and no query ever blocks on a rebuild.
+// so an *individual planner query* never blocks on a rebuild.
 //
-// Swap granularity is per planner: during a rebuild window different
-// planners (or the same planner across two queries) may serve adjacent
-// versions. Every individual answer is computed under exactly one
-// snapshot and carries its version in Result.Version; Sync provides a
-// barrier for callers that need the whole set at the latest version.
+// Swap granularity is per planner, but *responses* are version-
+// consistent: Alternatives and AlternativesBatch check that every planner
+// resolving the same weight store answered under the same snapshot
+// version, and when a publish lands mid-response (a double-buffered
+// planner still serving version N while a direct resolver already swung
+// to N+1), the router syncs the planner set and re-runs the batch — the
+// versioned result cache makes the repeated jobs nearly free. A response
+// therefore never mixes adjacent versions between approaches. The price
+// is deliberate: a fanned-out response arriving inside a publish window
+// waits out the in-flight customization (Sync) instead of returning a
+// mixed set — bounded by versionRetries, after which the final round's
+// answers are returned as-is under adversarial publish churn, each still
+// internally single-version with its version in Result.Version. Sync
+// remains the explicit barrier for callers that additionally need the
+// *latest* version.
 type Router struct {
 	engine   atomic.Pointer[Engine]
 	planners []Planner
 	stores   []*weights.Store
 }
+
+// versionRetries bounds the response-consistency loop: how many times a
+// mixed-version batch is re-run (after a Sync barrier) before the last
+// round is returned as-is. One retry suffices whenever publishes pause
+// long enough for a Sync to complete — the steady state of any real
+// traffic feed.
+const versionRetries = 3
 
 // NewRouter wires the serving layer together. A nil engine gets a fresh
 // default-sized one; an engine whose owner never called SetCache gets a
@@ -81,14 +98,61 @@ func (r *Router) Planners() []Planner { return r.planners }
 // Stores returns the weight stores the router is subscribed to.
 func (r *Router) Stores() []*weights.Store { return r.stores }
 
-// Alternatives answers one query with every planner concurrently.
+// Alternatives answers one query with every planner concurrently. The
+// response is version-consistent across planners sharing a weight store
+// (see the type comment).
 func (r *Router) Alternatives(s, t graph.NodeID) []Result {
-	return r.Engine().Alternatives(r.planners, s, t)
+	jobs := make([]Job, len(r.planners))
+	for i, pl := range r.planners {
+		jobs[i] = Job{Planner: pl, S: s, T: t}
+	}
+	return r.AlternativesBatch(jobs)
 }
 
-// AlternativesBatch fans an arbitrary job batch out over the engine.
+// AlternativesBatch fans an arbitrary job batch out over the engine,
+// re-running it behind a Sync barrier while planners on a shared store
+// disagree on the version they answered under (bounded by
+// versionRetries).
 func (r *Router) AlternativesBatch(jobs []Job) []Result {
-	return r.Engine().AlternativesBatch(jobs)
+	results := r.Engine().AlternativesBatch(jobs)
+	for attempt := 0; attempt < versionRetries && mixedVersions(jobs, results); attempt++ {
+		r.Sync()
+		results = r.Engine().AlternativesBatch(jobs)
+	}
+	return results
+}
+
+// mixedVersions reports whether two answers of one batch were computed
+// under different snapshot versions of the *same* weight source. Planners
+// on distinct sources (the Commercial provider's private traffic metric
+// vs the public metric) legitimately report different versions; answers
+// without a version (unversioned planners, panicked jobs) are exempt.
+func mixedVersions(jobs []Job, results []Result) bool {
+	var seen map[weights.Source]weights.Version
+	for i := range jobs {
+		if results[i].Version == 0 {
+			continue
+		}
+		sp, ok := jobs[i].Planner.(sourced)
+		if !ok {
+			continue
+		}
+		src := sp.weightsSource()
+		if src == nil {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[weights.Source]weights.Version, len(jobs))
+		}
+		if v, dup := seen[src]; dup {
+			if v != results[i].Version {
+				return true
+			}
+		} else {
+			seen[src] = results[i].Version
+		}
+	}
+	return false
 }
 
 // onPublish is the store subscription hook. It must not block the

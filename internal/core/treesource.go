@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ch"
+	"repro/internal/geo"
 	"repro/internal/graph"
 	"repro/internal/sp"
 	"repro/internal/weights"
@@ -25,18 +27,61 @@ const (
 	// engines apply. Trees are bit-compatible drop-ins for Dijkstra trees;
 	// the hierarchy is preprocessed once at planner construction.
 	TreeCH
+	// TreeCHRestricted is TreeCH with RPHAST restricted sweeps: per query
+	// an elliptic target set (the nodes able to lie on a route within
+	// UpperBound × the fastest time, by the admissible geometric bound) is
+	// selected once, and both downward sweeps run only over its upward
+	// closure. Route sets are identical to TreeCH; tree builds are
+	// sublinear for short queries. The selection is cached per (s,t) pair
+	// and rebuilt — never reused — across weight versions.
+	TreeCHRestricted
+	// TreeCHAuto is TreeCHRestricted with a fallback: when the elliptic
+	// target set exceeds RestrictedAutoFraction of the graph (long queries,
+	// where selection overhead eats the sweep savings), the query runs
+	// full PHAST sweeps instead.
+	TreeCHAuto
 )
 
-// ParseTreeBackend maps the shared command-line flag spelling ("dijkstra"
-// or "ch") onto a TreeBackend.
+// RestrictedAutoFraction is the TreeCHAuto cutover: restricted sweeps are
+// used while the elliptic target set stays at or below this fraction of
+// the graph's nodes.
+const RestrictedAutoFraction = 0.25
+
+// ParseTreeBackend maps the shared command-line flag spelling onto a
+// TreeBackend: "dijkstra", "ch", "ch-restricted" (alias "rphast") or
+// "ch-auto" (alias "auto").
 func ParseTreeBackend(s string) (TreeBackend, error) {
 	switch s {
 	case "dijkstra":
 		return TreeDijkstra, nil
 	case "ch":
 		return TreeCH, nil
+	case "ch-restricted", "rphast":
+		return TreeCHRestricted, nil
+	case "ch-auto", "auto":
+		return TreeCHAuto, nil
 	}
-	return 0, fmt.Errorf("core: invalid tree backend %q (want dijkstra or ch)", s)
+	return 0, fmt.Errorf("core: invalid tree backend %q (want dijkstra, ch, ch-restricted or ch-auto)", s)
+}
+
+// String implements fmt.Stringer.
+func (b TreeBackend) String() string {
+	switch b {
+	case TreeCH:
+		return "ch"
+	case TreeCHRestricted:
+		return "ch-restricted"
+	case TreeCHAuto:
+		return "ch-auto"
+	}
+	return "dijkstra"
+}
+
+// usesHierarchy reports whether the backend preprocesses a contraction
+// hierarchy (and therefore double-buffers weight swaps instead of
+// resolving snapshots inline).
+func (b TreeBackend) usesHierarchy() bool {
+	return b == TreeCH || b == TreeCHRestricted || b == TreeCHAuto
 }
 
 // HierarchyKind selects which contraction-hierarchy flavor backs the
@@ -79,12 +124,21 @@ func (k HierarchyKind) String() string {
 }
 
 // HierarchyStatus is the serving-layer observability record of one
-// planner's hierarchy backend: which flavor answers queries right now and
-// how long the most recent (re)customization took. Zero for planners not
-// running on a hierarchy.
+// planner's hierarchy backend: which flavor answers queries right now,
+// how long the most recent (re)customization took, and — for restricted-
+// sweep backends — the most recent query's selection size and tree-pair
+// sweep time. Zero for planners not running on a hierarchy.
 type HierarchyStatus struct {
 	Kind          string
 	LastCustomize time.Duration
+	// LastSelection is the elliptic target-set size of the most recent
+	// query on a restricted backend (0 off such backends); LastRestricted
+	// reports whether that query actually ran restricted sweeps (false:
+	// the auto mode fell back to full sweeps); LastSweep is the query's
+	// tree-pair build time, selection included when one was built.
+	LastSelection  int
+	LastRestricted bool
+	LastSweep      time.Duration
 }
 
 // TreeSource abstracts the tree factory behind the choice-routing
@@ -128,6 +182,133 @@ func (c chTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.T
 	}
 	bwd = c.tb.BuildTreeInto(ws, t, sp.Backward)
 	return fwd, bwd, true
+}
+
+// selectionStats is the concurrency-safe observability shared by every
+// weight version of one planner's restricted source (plain atomics, last
+// writer wins — the same discipline as treeCounts).
+type selectionStats struct {
+	lastSelection  atomic.Int64
+	lastRestricted atomic.Bool
+	lastSweepNS    atomic.Int64
+}
+
+// restrictedTrees is the RPHAST source: the point-to-point hierarchy
+// query yields the fastest time, the admissible geometric bound
+// (geo.LowerBounder × the metric's minimum seconds-per-meter, the same
+// pair prunedTrees searches with) selects every node able to lie on a
+// route within UpperBound × fastest, and both trees are built with
+// downward sweeps restricted to that target set's upward closure
+// (ch.Selection). Distances on the ellipse equal the full sweep's, so the
+// plateau join yields byte-identical route sets; outside it the trees are
+// simply unreached, like an elliptically pruned Dijkstra tree.
+//
+// The selection is cached per (s,t) pair behind an atomic pointer —
+// repeated hot queries (and the auto-refresh recomputations after a cache
+// eviction) pay the selection once. The source, and with it every cached
+// selection, lives and dies with one weight version: the provider builds
+// a fresh restrictedTrees per customization, and ch.Selection's own
+// builder guard panics if a stale selection ever crossed over.
+type restrictedTrees struct {
+	g          *graph.Graph
+	hier       ch.Hierarchy
+	tb         *ch.TreeBuilder
+	lb         geo.LowerBounder
+	scale      float64 // admissible seconds-per-meter lower bound; 0 disables selection
+	upperBound float64
+	auto       bool // fall back to full sweeps for large ellipses (TreeCHAuto)
+	stats      *selectionStats
+	sel        atomic.Pointer[restrictedSelection]
+}
+
+// restrictedSelection is one cached query pair's selection state.
+type restrictedSelection struct {
+	s, t    graph.NodeID
+	targets int
+	full    bool          // sweep everything: auto fallback or no usable bound
+	sel     *ch.Selection // nil when full
+}
+
+func newRestrictedTrees(g *graph.Graph, hier ch.Hierarchy, tb *ch.TreeBuilder, weights []float64, upperBound float64, auto bool, stats *selectionStats) *restrictedTrees {
+	return &restrictedTrees{
+		g:          g,
+		hier:       hier,
+		tb:         tb,
+		lb:         geo.NewLowerBounder(g.BBox()),
+		scale:      sp.MinSecondsPerMeter(g, weights),
+		upperBound: upperBound,
+		auto:       auto,
+		stats:      stats,
+	}
+}
+
+func (r *restrictedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
+	fastest := r.hier.Dist(s, t)
+	if math.IsInf(fastest, 1) {
+		return nil, nil, false
+	}
+	start := time.Now()
+	cs := r.sel.Load()
+	if cs == nil || cs.s != s || cs.t != t {
+		cs = r.selectFor(s, t, fastest)
+		r.sel.Store(cs)
+	}
+	if cs.full {
+		fwd = r.tb.BuildTreeInto(ws, s, sp.Forward)
+		if !fwd.Reached(t) {
+			return fwd, nil, false
+		}
+		bwd = r.tb.BuildTreeInto(ws, t, sp.Backward)
+	} else {
+		fwd = r.tb.BuildTreeRestrictedInto(ws, s, sp.Forward, cs.sel)
+		if !fwd.Reached(t) {
+			return fwd, nil, false
+		}
+		bwd = r.tb.BuildTreeRestrictedInto(ws, t, sp.Backward, cs.sel)
+	}
+	if r.stats != nil {
+		r.stats.lastSelection.Store(int64(cs.targets))
+		r.stats.lastRestricted.Store(!cs.full)
+		r.stats.lastSweepNS.Store(int64(time.Since(start)))
+	}
+	return fwd, bwd, true
+}
+
+// selectFor builds the selection state for one query pair. The target set
+// is every node v with LB(s,v) + LB(v,t) within the ellipse budget
+// (UpperBound × fastest) / scale: since scale·LB admissibly understates
+// true travel times, any node on any route within the budget — plateau
+// chains and the tree paths leading to them included — is selected, which
+// is exactly the §II-B covering argument for pruned trees.
+func (r *restrictedTrees) selectFor(s, t graph.NodeID, fastest float64) *restrictedSelection {
+	n := r.g.NumNodes()
+	cs := &restrictedSelection{s: s, t: t, targets: n}
+	if r.scale <= 0 {
+		// No admissible geometric bound (zero-length edges exist): every
+		// node may lie on a feasible route; sweep everything.
+		cs.full = true
+		return cs
+	}
+	budget := r.upperBound * fastest / r.scale
+	sPt, tPt := r.g.Point(s), r.g.Point(t)
+	targets := make([]graph.NodeID, 0, n/4+2)
+	for v := 0; v < n; v++ {
+		p := r.g.Point(graph.NodeID(v))
+		if r.lb.MetersLB(sPt, p)+r.lb.MetersLB(p, tPt) <= budget {
+			targets = append(targets, graph.NodeID(v))
+		}
+	}
+	// The endpoints satisfy the bound analytically; keep them selected
+	// even under adversarial float rounding. Select deduplicates.
+	targets = append(targets, s, t)
+	if r.auto && len(targets)-2 > int(RestrictedAutoFraction*float64(n)) {
+		cs.full = true
+		cs.targets = len(targets) - 2
+		return cs
+	}
+	cs.sel = r.tb.Select(targets, nil)
+	cs.targets = cs.sel.Targets()
+	return cs
 }
 
 // prunedTrees is the §II-B elliptic source: a bidirectional probe finds

@@ -38,6 +38,15 @@ type refresher interface {
 	refreshSync()
 }
 
+// sourced exposes the weight source a planner resolves its queries from.
+// The Router's response-consistency pass groups a batch's answers by
+// source: two planners on the same source must answer one fanned-out
+// response under the same snapshot version. Every versioned planner in
+// this package implements it.
+type sourced interface {
+	weightsSource() weights.Source
+}
+
 // servingVersioned is the passive counterpart of WeightsVersion: the
 // version currently *installed*, read without nudging any rebuild. The
 // Router's publish path uses it to decide which cache generations are
@@ -75,8 +84,8 @@ type provider struct {
 	g          *graph.Graph
 	src        weights.Source
 	backend    TreeBackend
-	hkind      HierarchyKind // which hierarchy flavor backs TreeCH
-	pruned     bool          // elliptic pruning (ignored when backend == TreeCH)
+	hkind      HierarchyKind // which hierarchy flavor backs the CH backends
+	pruned     bool          // elliptic pruning (ignored on hierarchy backends)
 	upperBound float64       // pruning budget
 	needTrees  bool          // planners without a tree seam skip tree state
 	// wrap optionally decorates each version's tree source (the counting
@@ -89,6 +98,9 @@ type provider struct {
 	// lastCustomize is the wall time (ns) of the most recent hierarchy
 	// build or customization — the per-swap latency the server logs.
 	lastCustomize atomic.Int64
+	// selStats is the restricted-sweep observability shared across weight
+	// versions (nil off the restricted backends).
+	selStats *selectionStats
 }
 
 // newProvider builds the resolver and synchronously installs the view of
@@ -109,6 +121,9 @@ func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend Tre
 		needTrees:  needTrees,
 		wrap:       wrap,
 	}
+	if needTrees && (backend == TreeCHRestricted || backend == TreeCHAuto) {
+		p.selStats = &selectionStats{}
+	}
 	p.refreshSync()
 	return p
 }
@@ -124,7 +139,7 @@ func (p *provider) view() *view {
 	if cur != nil && cur.snap.Version() >= snap.Version() {
 		return cur
 	}
-	if cur == nil || p.backend != TreeCH || !p.needTrees {
+	if cur == nil || !p.backend.usesHierarchy() || !p.needTrees {
 		return p.rebuildTo(snap)
 	}
 	p.refreshAsync()
@@ -151,12 +166,17 @@ func (p *provider) servingVersion() weights.Version {
 // the most recent (re)customization; zero when the backend runs no
 // hierarchy.
 func (p *provider) hierarchyStatus() HierarchyStatus {
-	if p.backend != TreeCH || !p.needTrees {
+	if !p.backend.usesHierarchy() || !p.needTrees {
 		return HierarchyStatus{}
 	}
 	st := HierarchyStatus{LastCustomize: time.Duration(p.lastCustomize.Load())}
 	if v := p.cur.Load(); v != nil && v.hier != nil {
 		st.Kind = v.hier.Kind()
+	}
+	if p.selStats != nil {
+		st.LastSelection = int(p.selStats.lastSelection.Load())
+		st.LastRestricted = p.selStats.lastRestricted.Load()
+		st.LastSweep = time.Duration(p.selStats.lastSweepNS.Load())
 	}
 	return st
 }
@@ -210,7 +230,7 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 	}
 	w := snap.Weights()
 	switch {
-	case p.backend == TreeCH:
+	case p.backend.usesHierarchy():
 		start := time.Now()
 		switch {
 		case prev != nil && prev.hier != nil:
@@ -220,7 +240,15 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 		default:
 			v.hier = ch.Build(p.g, w)
 		}
-		v.trees = chTrees{tb: v.hier.NewTreeBuilder()}
+		tb := v.hier.NewTreeBuilder()
+		if p.backend == TreeCH {
+			v.trees = chTrees{tb: tb}
+		} else {
+			// A fresh restricted source per version: its per-pair selection
+			// cache must never survive a weight swap (the selections index
+			// the old tree builder's arcs).
+			v.trees = newRestrictedTrees(p.g, v.hier, tb, w, p.upperBound, p.backend == TreeCHAuto, p.selStats)
+		}
 		p.lastCustomize.Store(int64(time.Since(start)))
 	case p.pruned:
 		var prevPruned *prunedTrees

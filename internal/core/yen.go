@@ -36,6 +36,8 @@ func (y *Yen) Name() string { return "Yen" }
 // WeightsVersion implements VersionedPlanner.
 func (y *Yen) WeightsVersion() weights.Version { return y.src.Snapshot().Version() }
 
+func (y *Yen) weightsSource() weights.Source { return y.src }
+
 // AlternativesVersioned implements VersionedPlanner: the snapshot is
 // resolved exactly once, so the reported version always matches the
 // weights the routes were computed under, even when a publish races.

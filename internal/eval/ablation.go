@@ -58,6 +58,12 @@ func DefaultAblationConfigs(c *City) []AblationConfig {
 		{"Plateaus CCH trees (customizable)", func() core.Planner {
 			return core.NewPlateaus(g, core.Options{TreeBackend: core.TreeCH, Hierarchy: core.HierarchyCCH})
 		}},
+		{"Plateaus RPHAST trees (§II-B)", func() core.Planner {
+			return core.NewPlateaus(g, core.Options{TreeBackend: core.TreeCHRestricted})
+		}},
+		{"Plateaus RPHAST auto cutover", func() core.Planner {
+			return core.NewPlateaus(g, core.Options{TreeBackend: core.TreeCHAuto})
+		}},
 		{"GMaps (pruned trees, default)", func() core.Planner { return core.NewCommercial(g, c.Traffic, core.Options{}) }},
 		{"GMaps full trees", func() core.Planner {
 			return core.NewCommercial(g, c.Traffic, core.Options{DisablePrunedTrees: true})
@@ -67,6 +73,9 @@ func DefaultAblationConfigs(c *City) []AblationConfig {
 		}},
 		{"GMaps CCH trees (customizable)", func() core.Planner {
 			return core.NewCommercial(g, c.Traffic, core.Options{TreeBackend: core.TreeCH, Hierarchy: core.HierarchyCCH})
+		}},
+		{"GMaps RPHAST trees (restricted)", func() core.Planner {
+			return core.NewCommercial(g, c.Traffic, core.Options{TreeBackend: core.TreeCHRestricted})
 		}},
 		{"Dissimilarity (paper, θ 0.5)", func() core.Planner { return core.NewDissimilarity(g, core.Options{}) }},
 		{"Dissimilarity θ 0.3", func() core.Planner { return core.NewDissimilarity(g, core.Options{Theta: 0.3}) }},

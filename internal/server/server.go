@@ -309,8 +309,10 @@ func (s *Server) writeTrafficStatus(w http.ResponseWriter, name string, c *eval.
 
 // formatHierarchies renders the hierarchy observability suffix of the
 // per-query log line: flavor and last customization latency per approach
-// running on a hierarchy backend, e.g. " hier A=cch(2.1ms) B=cch(2.3ms)";
-// empty when no approach does.
+// running on a hierarchy backend, plus — on restricted-sweep backends —
+// the last query's RPHAST selection size and tree-pair sweep time, e.g.
+// " hier A=cch(2.1ms)[sel 214, sweep 80µs] B=cch(2.3ms)[full sweep 310µs]";
+// empty when no approach runs a hierarchy.
 func formatHierarchies(statuses []core.HierarchyStatus) string {
 	var sb strings.Builder
 	for i, st := range statuses {
@@ -321,6 +323,13 @@ func formatHierarchies(statuses []core.HierarchyStatus) string {
 			sb.WriteString(" hier")
 		}
 		fmt.Fprintf(&sb, " %s=%s(%s)", displayLabels[i], st.Kind, st.LastCustomize.Round(100*time.Microsecond))
+		if st.LastSweep > 0 {
+			if st.LastRestricted {
+				fmt.Fprintf(&sb, "[sel %d, sweep %s]", st.LastSelection, st.LastSweep.Round(10*time.Microsecond))
+			} else {
+				fmt.Fprintf(&sb, "[full sweep %s]", st.LastSweep.Round(10*time.Microsecond))
+			}
+		}
 	}
 	return sb.String()
 }
