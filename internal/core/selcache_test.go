@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// findConnectedPairs samples distinct connected query pairs on g using a
+// Dijkstra-backed probe planner, so tests exercising the restricted
+// backends can pick their hot pairs without touching the selection stats
+// under test.
+func findConnectedPairs(t *testing.T, g *graph.Graph, want int, seed int64) [][2]graph.NodeID {
+	t.Helper()
+	probe := NewPlateaus(g, Options{})
+	rng := rand.New(rand.NewSource(seed))
+	var pairs [][2]graph.NodeID
+	for attempts := 0; len(pairs) < want; attempts++ {
+		if attempts > want*100 {
+			t.Fatalf("could not sample %d connected pairs", want)
+		}
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		if s == d {
+			continue
+		}
+		dup := false
+		for _, p := range pairs {
+			if p == [2]graph.NodeID{s, d} {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if _, err := probe.Alternatives(s, d); err != nil {
+			continue
+		}
+		pairs = append(pairs, [2]graph.NodeID{s, d})
+	}
+	return pairs
+}
+
+// TestSelectionCacheAlternatingHotPairs pins the selection-cache thrash
+// bug: with a single-slot cache keyed by the exact (s,t) pair, two
+// alternating hot pairs evict each other forever and every query pays a
+// full Select. The hit/miss counters on HierarchyStatus make the thrash
+// observable; this test documents the current (buggy) behavior and is
+// flipped to assert a >90% hit rate when the multi-entry cache lands.
+func TestSelectionCacheAlternatingHotPairs(t *testing.T) {
+	g := randomRoadNetwork(42, 150)
+	pairs := findConnectedPairs(t, g, 2, 1)
+	p := NewPlateaus(g, Options{TreeBackend: TreeCHRestricted})
+
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		for _, q := range pairs {
+			if _, err := p.Alternatives(q[0], q[1]); err != nil {
+				t.Fatalf("query %d->%d: %v", q[0], q[1], err)
+			}
+		}
+	}
+	st := p.HierarchyStatus()
+	total := st.SelectionHits + st.SelectionMisses
+	if total != 2*rounds {
+		t.Fatalf("selection lookups = %d, want %d", total, 2*rounds)
+	}
+	if st.SelectionHits != 0 {
+		t.Fatalf("single-slot cache reported %d hits on alternating pairs; the thrash this test pins is gone — flip it to assert the hit rate instead", st.SelectionHits)
+	}
+	if st.SelectionMisses != 2*rounds {
+		t.Fatalf("alternating hot pairs: misses = %d, want every query (%d) to rebuild its selection", st.SelectionMisses, 2*rounds)
+	}
+}

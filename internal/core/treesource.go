@@ -139,6 +139,12 @@ type HierarchyStatus struct {
 	LastSelection  int
 	LastRestricted bool
 	LastSweep      time.Duration
+	// SelectionHits / SelectionMisses count, cumulatively across weight
+	// versions, how many restricted queries reused a cached selection vs
+	// had to build one (a Select pass). The hit rate is the headline
+	// amortization metric of the selection cache.
+	SelectionHits   uint64
+	SelectionMisses uint64
 }
 
 // TreeSource abstracts the tree factory behind the choice-routing
@@ -191,6 +197,10 @@ type selectionStats struct {
 	lastSelection  atomic.Int64
 	lastRestricted atomic.Bool
 	lastSweepNS    atomic.Int64
+	// Cumulative selection-cache counters (never reset on weight swaps, so
+	// serving dashboards see monotone rates).
+	selHits   atomic.Uint64
+	selMisses atomic.Uint64
 }
 
 // restrictedTrees is the RPHAST source: the point-to-point hierarchy
@@ -250,8 +260,13 @@ func (r *restrictedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, 
 	start := time.Now()
 	cs := r.sel.Load()
 	if cs == nil || cs.s != s || cs.t != t {
+		if r.stats != nil {
+			r.stats.selMisses.Add(1)
+		}
 		cs = r.selectFor(s, t, fastest)
 		r.sel.Store(cs)
+	} else if r.stats != nil {
+		r.stats.selHits.Add(1)
 	}
 	if cs.full {
 		fwd = r.tb.BuildTreeInto(ws, s, sp.Forward)

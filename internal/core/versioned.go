@@ -177,6 +177,8 @@ func (p *provider) hierarchyStatus() HierarchyStatus {
 		st.LastSelection = int(p.selStats.lastSelection.Load())
 		st.LastRestricted = p.selStats.lastRestricted.Load()
 		st.LastSweep = time.Duration(p.selStats.lastSweepNS.Load())
+		st.SelectionHits = p.selStats.selHits.Load()
+		st.SelectionMisses = p.selStats.selMisses.Load()
 	}
 	return st
 }
