@@ -2,6 +2,7 @@ package ch
 
 import (
 	"math"
+	"unsafe"
 
 	"repro/internal/graph"
 	"repro/internal/sp"
@@ -40,6 +41,11 @@ import (
 type Selection struct {
 	tb      *TreeBuilder
 	targets int // distinct target nodes requested
+	// covered is the position-space bitset of the *requested* targets
+	// (before upward closure) — the coverage query behind selection
+	// sharing: trees built through the selection are guaranteed exact on
+	// exactly these nodes, in both directions, from any root.
+	covered []uint64
 	fwd     restrictedCSR
 	bwd     restrictedCSR
 }
@@ -70,6 +76,52 @@ func (sel *Selection) SweptNodes() (fwd, bwd int) {
 	return len(sel.fwd.nodes), len(sel.bwd.nodes)
 }
 
+// Covers reports whether every given node was a requested target of this
+// selection: a query or batch sweep whose relevant node set passes Covers
+// can reuse the selection and still read exact distances and parents at
+// those nodes — the invariant selection-sharing caches rely on. It never
+// allocates.
+func (sel *Selection) Covers(targets []graph.NodeID) bool {
+	pos, covered := sel.tb.pos, sel.covered
+	for _, v := range targets {
+		p := uint32(pos[v])
+		if covered[p>>6]&(1<<(p&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoryBytes reports the approximate retained size of the selection's
+// backing arrays — what a byte-budgeted selection cache charges per
+// entry. Capacities (not lengths) are counted, since a reused Selection
+// keeps its grown backing.
+func (sel *Selection) MemoryBytes() int {
+	const (
+		arcBytes  = int(unsafe.Sizeof(downArc{}))
+		endBytes  = int(unsafe.Sizeof(arcEnds{}))
+		int32Size = 4
+	)
+	csr := func(r *restrictedCSR) int {
+		return int32Size*(cap(r.nodes)+cap(r.off)) + (arcBytes+endBytes)*cap(r.arcs)
+	}
+	return 8*cap(sel.covered) + csr(&sel.fwd) + csr(&sel.bwd)
+}
+
+// resetCovered sizes and clears the coverage bitset for n positions,
+// reusing the backing on a warm Selection.
+func (sel *Selection) resetCovered(n int) {
+	words := (n + 63) >> 6
+	if cap(sel.covered) >= words {
+		sel.covered = sel.covered[:words]
+		for i := range sel.covered {
+			sel.covered[i] = 0
+		}
+	} else {
+		sel.covered = make([]uint64, words)
+	}
+}
+
 // Select builds the restricted sweep state for the given target set:
 // distances and parent edges of every target are exact in trees built
 // through the selection (from any root, in either direction); all other
@@ -78,35 +130,78 @@ func (sel *Selection) SweptNodes() (fwd, bwd int) {
 // on growth. The target slice is not retained; duplicate entries are
 // deduplicated.
 func (tb *TreeBuilder) Select(targets []graph.NodeID, reuse *Selection) *Selection {
+	sel := selectionFor(tb, reuse)
+	sc := tb.selScratch.Get().(*selectScratch)
+	sel.targets = tb.markTargets(targets, sc.mark, sel.covered)
+	sel.fwd.closeAndEmit(tb, tb.fwdOff, tb.fwdArcs, tb.fwdEnds, sc.mark)
+	tb.markTargets(targets, sc.mark, sel.covered)
+	sel.bwd.closeAndEmit(tb, tb.bwdOff, tb.bwdArcs, tb.bwdEnds, sc.mark)
+	tb.selScratch.Put(sc)
+	return sel
+}
+
+// SelectUnion is Select over the union of several target groups — the
+// many-to-many entry point: one selection over a *cell union* (each group
+// typically being one spatial cell's vertices) provably serves every
+// query whose elliptic target set lies inside the union, which is what
+// lets a selection cache share one Select across nearby query pairs and
+// whole source batches. Groups may overlap; the union is deduplicated
+// like Select's target slice, and reuse semantics are identical.
+func (tb *TreeBuilder) SelectUnion(groups [][]graph.NodeID, reuse *Selection) *Selection {
+	sel := selectionFor(tb, reuse)
+	sc := tb.selScratch.Get().(*selectScratch)
+	distinct := 0
+	for _, g := range groups {
+		distinct += tb.markTargets(g, sc.mark, sel.covered)
+	}
+	sel.targets = distinct
+	sel.fwd.closeAndEmit(tb, tb.fwdOff, tb.fwdArcs, tb.fwdEnds, sc.mark)
+	for _, g := range groups {
+		tb.markTargets(g, sc.mark, sel.covered)
+	}
+	sel.bwd.closeAndEmit(tb, tb.bwdOff, tb.bwdArcs, tb.bwdEnds, sc.mark)
+	tb.selScratch.Put(sc)
+	return sel
+}
+
+// selectionFor readies a Selection (fresh or reused) for tb.
+func selectionFor(tb *TreeBuilder, reuse *Selection) *Selection {
 	sel := reuse
 	if sel == nil {
 		sel = &Selection{}
 	}
 	sel.tb = tb
-	sc := tb.selScratch.Get().(*selectScratch)
-	sel.targets = sel.fwd.build(tb, targets, tb.fwdOff, tb.fwdArcs, tb.fwdEnds, sc.mark)
-	sel.bwd.build(tb, targets, tb.bwdOff, tb.bwdArcs, tb.bwdEnds, sc.mark)
-	tb.selScratch.Put(sc)
+	sel.resetCovered(tb.n)
 	return sel
 }
 
-// build computes one direction's restricted CSR: mark the targets, close
-// the marks upward along the pull arcs (an up endpoint has a smaller
-// position, so one descending scan reaches a fixed point), then emit the
-// marked positions and their pull lists in sweep order. +Inf arcs (bans,
-// inert CCH pairs) can never win a pull, so they are dropped from both
-// the closure and the copy — under heavy closures the restricted
-// subgraph shrinks further. Returns the distinct-target count and leaves
-// mark fully cleared.
-func (r *restrictedCSR) build(tb *TreeBuilder, targets []graph.NodeID, off []int32, arcs []downArc, ends []arcEnds, mark []bool) int {
-	n := tb.n
+// markTargets marks the targets' positions in mark and records them in
+// the covered bitset, returning how many were newly marked. It runs once
+// per direction (the emit pass clears mark), so covered writes are
+// idempotent by design.
+func (tb *TreeBuilder) markTargets(targets []graph.NodeID, mark []bool, covered []uint64) int {
 	distinct := 0
 	for _, v := range targets {
-		if p := tb.pos[v]; !mark[p] {
+		p := uint32(tb.pos[v])
+		covered[p>>6] |= 1 << (p & 63)
+		if !mark[p] {
 			mark[p] = true
 			distinct++
 		}
 	}
+	return distinct
+}
+
+// closeAndEmit computes one direction's restricted CSR from the marked
+// target positions: close the marks upward along the pull arcs (an up
+// endpoint has a smaller position, so one descending scan reaches a
+// fixed point), then emit the marked positions and their pull lists in
+// sweep order. +Inf arcs (bans, inert CCH pairs) can never win a pull,
+// so they are dropped from both the closure and the copy — under heavy
+// closures the restricted subgraph shrinks further. Leaves mark fully
+// cleared.
+func (r *restrictedCSR) closeAndEmit(tb *TreeBuilder, off []int32, arcs []downArc, ends []arcEnds, mark []bool) {
+	n := tb.n
 	for p := n - 1; p >= 0; p-- {
 		if !mark[p] {
 			continue
@@ -138,7 +233,6 @@ func (r *restrictedCSR) build(tb *TreeBuilder, targets []graph.NodeID, off []int
 		}
 		r.off = append(r.off, int32(len(r.arcs)))
 	}
-	return distinct
 }
 
 // BuildTreeRestrictedInto is BuildTreeInto with the downward sweep

@@ -191,6 +191,98 @@ func TestRestrictedZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSelectionCoverage pins the Covers contract: exactly the requested
+// targets are covered — swept closure nodes are not, since only requested
+// targets carry the both-directions exactness guarantee.
+func TestSelectionCoverage(t *testing.T) {
+	g := gridCity(10, 10)
+	w := g.CopyWeights()
+	tb := Build(g, w).NewTreeBuilder()
+	targets := []graph.NodeID{3, 17, 42, 99}
+	sel := tb.Select(targets, nil)
+	if !sel.Covers(targets) {
+		t.Fatal("selection does not cover its own targets")
+	}
+	if !sel.Covers(targets[1:3]) {
+		t.Fatal("selection does not cover a subset of its targets")
+	}
+	requested := map[graph.NodeID]bool{3: true, 17: true, 42: true, 99: true}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if !requested[v] && sel.Covers([]graph.NodeID{v}) {
+			t.Fatalf("selection covers node %d that was never requested", v)
+		}
+	}
+	// Coverage resets on reuse: the old targets must not leak through.
+	sel = tb.Select([]graph.NodeID{7}, sel)
+	if sel.Covers([]graph.NodeID{3}) {
+		t.Fatal("reused selection still covers a previous target")
+	}
+	if !sel.Covers([]graph.NodeID{7}) {
+		t.Fatal("reused selection does not cover its new target")
+	}
+}
+
+// TestSelectUnionMatchesFlattenedSelect: a union selection is exactly the
+// selection of the flattened, deduplicated target set — same target
+// count, same sweep sets, byte-identical restricted trees.
+func TestSelectUnionMatchesFlattenedSelect(t *testing.T) {
+	g := randomCity(77, 150)
+	w := g.CopyWeights()
+	tb := Build(g, w).NewTreeBuilder()
+	groups := [][]graph.NodeID{{1, 2, 3}, {3, 4, 5, 60}, {90, 91, 2}}
+	var flat []graph.NodeID
+	for _, gr := range groups {
+		flat = append(flat, gr...)
+	}
+	flatSel := tb.Select(flat, nil)
+	unionSel := tb.SelectUnion(groups, nil)
+	if flatSel.Targets() != unionSel.Targets() {
+		t.Fatalf("union targets %d, flat targets %d", unionSel.Targets(), flatSel.Targets())
+	}
+	ff, fb := flatSel.SweptNodes()
+	uf, ub := unionSel.SweptNodes()
+	if ff != uf || fb != ub {
+		t.Fatalf("union sweeps (%d,%d), flat sweeps (%d,%d)", uf, ub, ff, fb)
+	}
+	if !unionSel.Covers(flat) {
+		t.Fatal("union selection does not cover the flattened target set")
+	}
+	wsA, wsB := sp.NewWorkspace(), sp.NewWorkspace()
+	for _, root := range []graph.NodeID{0, 60, 120} {
+		for _, dir := range []sp.Direction{sp.Forward, sp.Backward} {
+			a := tb.BuildTreeRestrictedInto(wsA, root, dir, flatSel)
+			b := tb.BuildTreeRestrictedInto(wsB, root, dir, unionSel)
+			for v := 0; v < g.NumNodes(); v++ {
+				if !distEqual(a.Dist[v], b.Dist[v]) || a.Parent[v] != b.Parent[v] {
+					t.Fatalf("root %d dir %d node %d: flat (%v,%d) union (%v,%d)",
+						root, dir, v, a.Dist[v], a.Parent[v], b.Dist[v], b.Parent[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSelectionMemoryBytes sanity-checks the cache charging measure: a
+// bigger target set retains at least as many bytes, and nothing is free.
+func TestSelectionMemoryBytes(t *testing.T) {
+	g := gridCity(12, 12)
+	w := g.CopyWeights()
+	tb := Build(g, w).NewTreeBuilder()
+	small := tb.Select([]graph.NodeID{0, 1}, nil)
+	all := make([]graph.NodeID, g.NumNodes())
+	for v := range all {
+		all[v] = graph.NodeID(v)
+	}
+	big := tb.Select(all, nil)
+	if small.MemoryBytes() <= 0 {
+		t.Fatalf("small selection reports %d bytes", small.MemoryBytes())
+	}
+	if big.MemoryBytes() < small.MemoryBytes() {
+		t.Fatalf("full-graph selection (%d B) smaller than 2-target selection (%d B)",
+			big.MemoryBytes(), small.MemoryBytes())
+	}
+}
+
 // TestRestrictedConcurrent shares one selection across goroutines (as the
 // engine's workers share a cached selection); run under -race.
 func TestRestrictedConcurrent(t *testing.T) {

@@ -104,6 +104,13 @@ type Options struct {
 	// triangle relaxation, staying exact for every published snapshot
 	// including +Inf closures. Ignored on TreeDijkstra.
 	Hierarchy HierarchyKind
+	// SelectionCacheBytes is the total byte budget of the restricted
+	// backends' selection cache (per planner, per weight version): cached
+	// RPHAST selections keyed by spatial cell signature, clock-evicted
+	// once the budget is exceeded. 0 selects DefaultSelectionCacheBytes;
+	// negative degenerates to holding a single entry per shard. Ignored
+	// off TreeCHRestricted/TreeCHAuto.
+	SelectionCacheBytes int
 	// DisablePrunedTrees makes the Commercial planner build full trees
 	// instead of the elliptically pruned trees (sp.BuildPrunedTree) it
 	// uses by default. Pruned and full trees yield the same routes (the

@@ -140,6 +140,73 @@ func (e *Engine) AlternativesBatch(jobs []Job) []Result {
 	return results
 }
 
+// Run executes fn(0) .. fn(n-1) under the engine's worker bound — the
+// generic fan-out behind batched tree sweeps (core.MatrixEngine). With a
+// single worker or a single item the calls run inline on the caller's
+// goroutine (still acquiring the semaphore per call, so the bound holds
+// against concurrent callers) — no goroutine handoff, which is what lets
+// a warm matrix sweep run allocation-free on a one-worker engine. A panic
+// in fn is recovered and returned as an error (first one wins) rather
+// than crashing a worker goroutine; the remaining calls still run.
+func (e *Engine) Run(n int, fn func(int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 || cap(e.sem) == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			e.sem <- struct{}{}
+			err := protectCall(fn, i)
+			<-e.sem
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		e.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-e.sem
+				wg.Done()
+			}()
+			if err := protectCall(fn, i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// protectCall runs fn(i), converting a panic into an error.
+func protectCall(fn func(int), i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: engine task %d panicked: %v", i, r)
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// acquire/release expose the worker semaphore to same-package batch
+// drivers that loop inline instead of handing fn to Run (avoiding the
+// closure allocation on their zero-alloc paths).
+func (e *Engine) acquire() { e.sem <- struct{}{} }
+func (e *Engine) release() { <-e.sem }
+
 // runJob executes one planner call, converting a panic into the job's
 // error: a worker goroutine must never take the whole process down (the
 // HTTP handler's own recover cannot reach it).

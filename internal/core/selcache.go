@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/ch"
+)
+
+// DefaultSelectionCacheBytes is the total byte budget of one restricted
+// planner's selection cache when Options.SelectionCacheBytes is zero. A
+// city-scale selection retains tens to hundreds of kilobytes, so the
+// default holds on the order of a hundred warm cell unions.
+const DefaultSelectionCacheBytes = 32 << 20
+
+// selCacheShards is the shard count of the selection cache; must be a
+// power of two (the shard is picked by masking the signature hash).
+const selCacheShards = 8
+
+// selEntryOverhead approximates the fixed per-entry bookkeeping bytes
+// charged against the budget on top of the selection's own arrays.
+const selEntryOverhead = 96
+
+// selEntry is one cached selection keyed by the spatial cell signature it
+// was built from. Entries are immutable after insertion except for the
+// clock reference bit, which is only touched under the owning shard's
+// mutex; the ch.Selection itself is safe for concurrent restricted
+// builds, so readers use entries without any lock.
+type selEntry struct {
+	sig     []int32 // ascending cell ids, owned by the entry
+	hash    uint64
+	full    bool          // sweep everything: auto cutover or no usable bound
+	targets int           // distinct requested target nodes
+	sel     *ch.Selection // nil when full
+	bytes   int
+	ref     bool // clock reference bit (shard-mutex guarded)
+}
+
+// selShard is one mutex-guarded slice of entries with its own byte
+// accounting and clock hand.
+type selShard struct {
+	mu      sync.Mutex
+	entries []*selEntry
+	bytes   int
+	hand    int
+}
+
+// selectionCache is the size-bounded, sharded multi-entry selection cache
+// behind restrictedTrees: entries are keyed by cell signature (so every
+// query pair quantizing to the same cell union shares one Select), found
+// by exact signature match or by a covering probe (any entry whose cell
+// union contains the probe's cells serves it exactly — selections built
+// on supersets stay exact on the subset), and evicted clock-wise under a
+// per-shard byte budget. A cache instance lives and dies with one weight
+// version, preserving the stale-selection guarantees of the single-slot
+// design it replaces.
+type selectionCache struct {
+	perShard int // byte budget per shard; <= 0 degenerates to one entry per shard
+	stats    *selectionStats
+	shards   [selCacheShards]selShard
+}
+
+func newSelectionCache(totalBytes int, stats *selectionStats) *selectionCache {
+	if totalBytes == 0 {
+		totalBytes = DefaultSelectionCacheBytes
+	}
+	if totalBytes < 0 {
+		totalBytes = 0
+	}
+	return &selectionCache{perShard: totalBytes / selCacheShards, stats: stats}
+}
+
+// sigHash is FNV-1a over the signature's cell ids.
+func sigHash(cells []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range cells {
+		v := uint32(c)
+		for i := 0; i < 4; i++ {
+			h ^= uint64(v & 0xff)
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}
+
+func sigEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sigSuperset reports whether sup contains every cell of sub; both must
+// be sorted ascending.
+func sigSuperset(sup, sub []int32) bool {
+	i := 0
+	for _, c := range sub {
+		for i < len(sup) && sup[i] < c {
+			i++
+		}
+		if i >= len(sup) || sup[i] != c {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// lookup returns a usable entry for the signature, or nil on a miss: the
+// exact entry in the signature's home shard first, then — across all
+// shards — any non-full entry whose cell union covers the probe's cells.
+// Full entries match only exactly (a long query's everything-marker must
+// not hijack short queries into full sweeps).
+func (c *selectionCache) lookup(sig []int32, hash uint64) *selEntry {
+	home := &c.shards[hash&(selCacheShards-1)]
+	home.mu.Lock()
+	for _, e := range home.entries {
+		if e.hash == hash && sigEqual(e.sig, sig) {
+			e.ref = true
+			home.mu.Unlock()
+			return e
+		}
+	}
+	home.mu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if !e.full && len(e.sig) >= len(sig) && sigSuperset(e.sig, sig) {
+				e.ref = true
+				sh.mu.Unlock()
+				return e
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// insert adds e to its home shard and returns the canonical entry: when a
+// racing query inserted the same signature first, the existing entry wins
+// and e is discarded. The newcomer is never evicted by its own insertion;
+// older entries are clock-evicted until the shard fits its budget (or
+// only the newcomer remains).
+func (c *selectionCache) insert(e *selEntry) *selEntry {
+	sh := &c.shards[e.hash&(selCacheShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, old := range sh.entries {
+		if old.hash == e.hash && sigEqual(old.sig, e.sig) {
+			old.ref = true
+			return old
+		}
+	}
+	e.ref = true
+	sh.entries = append(sh.entries, e)
+	sh.bytes += e.bytes
+	for len(sh.entries) > 1 && sh.bytes > c.perShard {
+		if sh.hand >= len(sh.entries) {
+			sh.hand = 0
+		}
+		victim := sh.entries[sh.hand]
+		if victim == e {
+			sh.hand++
+			continue
+		}
+		if victim.ref {
+			victim.ref = false
+			sh.hand++
+			continue
+		}
+		sh.bytes -= victim.bytes
+		sh.entries = append(sh.entries[:sh.hand], sh.entries[sh.hand+1:]...)
+		if c.stats != nil {
+			c.stats.selEvictions.Add(1)
+		}
+	}
+	return e
+}
+
+// entryCount reports how many entries the cache currently holds (test and
+// diagnostics hook).
+func (c *selectionCache) entryCount() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/graph"
 	"repro/internal/sp"
+	"repro/internal/spatial"
 	"repro/internal/weights"
 )
 
@@ -28,12 +30,14 @@ const (
 	// the hierarchy is preprocessed once at planner construction.
 	TreeCH
 	// TreeCHRestricted is TreeCH with RPHAST restricted sweeps: per query
-	// an elliptic target set (the nodes able to lie on a route within
+	// an elliptic target region (the nodes able to lie on a route within
 	// UpperBound × the fastest time, by the admissible geometric bound) is
-	// selected once, and both downward sweeps run only over its upward
+	// quantized to a spatial cell union, the union's vertices are selected
+	// once, and both downward sweeps run only over the selection's upward
 	// closure. Route sets are identical to TreeCH; tree builds are
-	// sublinear for short queries. The selection is cached per (s,t) pair
-	// and rebuilt — never reused — across weight versions.
+	// sublinear for short queries. Selections are cached per cell
+	// signature in a size-bounded multi-entry cache (nearby pairs share
+	// one Select) and rebuilt — never reused — across weight versions.
 	TreeCHRestricted
 	// TreeCHAuto is TreeCHRestricted with a fallback: when the elliptic
 	// target set exceeds RestrictedAutoFraction of the graph (long queries,
@@ -141,10 +145,17 @@ type HierarchyStatus struct {
 	LastSweep      time.Duration
 	// SelectionHits / SelectionMisses count, cumulatively across weight
 	// versions, how many restricted queries reused a cached selection vs
-	// had to build one (a Select pass). The hit rate is the headline
+	// had to build one (a Select pass); SelectionEvictions counts entries
+	// dropped under the cache's byte budget. The hit rate is the headline
 	// amortization metric of the selection cache.
-	SelectionHits   uint64
-	SelectionMisses uint64
+	SelectionHits      uint64
+	SelectionMisses    uint64
+	SelectionEvictions uint64
+	// LastUnionCells is the spatial cell-union size (number of grid cells)
+	// of the most recent query's selection signature; LastHit reports
+	// whether that query's selection came out of the cache.
+	LastUnionCells int
+	LastHit        bool
 }
 
 // TreeSource abstracts the tree factory behind the choice-routing
@@ -197,28 +208,37 @@ type selectionStats struct {
 	lastSelection  atomic.Int64
 	lastRestricted atomic.Bool
 	lastSweepNS    atomic.Int64
+	lastUnion      atomic.Int64
+	lastHit        atomic.Bool
 	// Cumulative selection-cache counters (never reset on weight swaps, so
 	// serving dashboards see monotone rates).
-	selHits   atomic.Uint64
-	selMisses atomic.Uint64
+	selHits      atomic.Uint64
+	selMisses    atomic.Uint64
+	selEvictions atomic.Uint64
 }
 
 // restrictedTrees is the RPHAST source: the point-to-point hierarchy
 // query yields the fastest time, the admissible geometric bound
 // (geo.LowerBounder × the metric's minimum seconds-per-meter, the same
-// pair prunedTrees searches with) selects every node able to lie on a
-// route within UpperBound × fastest, and both trees are built with
-// downward sweeps restricted to that target set's upward closure
-// (ch.Selection). Distances on the ellipse equal the full sweep's, so the
-// plateau join yields byte-identical route sets; outside it the trees are
-// simply unreached, like an elliptically pruned Dijkstra tree.
+// pair prunedTrees searches with) bounds the elliptic region of nodes
+// able to lie on a route within UpperBound × fastest, and both trees are
+// built with downward sweeps restricted to a selection covering that
+// region (ch.Selection). Distances on the ellipse equal the full sweep's,
+// so the plateau join yields byte-identical route sets; outside it the
+// trees are simply unreached, like an elliptically pruned Dijkstra tree.
 //
-// The selection is cached per (s,t) pair behind an atomic pointer —
-// repeated hot queries (and the auto-refresh recomputations after a cache
-// eviction) pay the selection once. The source, and with it every cached
-// selection, lives and dies with one weight version: the provider builds
-// a fresh restrictedTrees per customization, and ch.Selection's own
-// builder guard panics if a stale selection ever crossed over.
+// Selections are shared through a spatial quantization: the ellipse is
+// covered by a union of grid cells (spatial.Index.EllipseCells), the
+// union's vertices — a superset of the ellipse, so exactness is
+// preserved — are selected with ch.SelectUnion, and the result is cached
+// in a size-bounded multi-entry cache keyed by the cell signature. Every
+// pair quantizing to the same cell union (alternating hot pairs, nearby
+// endpoints) shares one Select; a covering cache probe additionally
+// reuses any selection whose union contains the query's cells. The
+// source, and with it every cached selection, lives and dies with one
+// weight version: the provider builds a fresh restrictedTrees per
+// customization, and ch.Selection's own builder guard panics if a stale
+// selection ever crossed over.
 type restrictedTrees struct {
 	g          *graph.Graph
 	hier       ch.Hierarchy
@@ -228,19 +248,31 @@ type restrictedTrees struct {
 	upperBound float64
 	auto       bool // fall back to full sweeps for large ellipses (TreeCHAuto)
 	stats      *selectionStats
-	sel        atomic.Pointer[restrictedSelection]
+	grid       *spatial.Index
+	cache      *selectionCache
+	// fullAll is the shared everything-marker used when no admissible
+	// geometric bound exists (zero-length edges): every query sweeps the
+	// whole graph, no per-query state.
+	fullAll *selEntry
+	// scratch pools the per-query cell/target buffers (*selBuf), keeping
+	// the warm lookup path allocation-free.
+	scratch sync.Pool
 }
 
-// restrictedSelection is one cached query pair's selection state.
-type restrictedSelection struct {
-	s, t    graph.NodeID
-	targets int
-	full    bool          // sweep everything: auto fallback or no usable bound
-	sel     *ch.Selection // nil when full
+// selBuf is the pooled per-query scratch of the selection-cache path.
+type selBuf struct {
+	cells   []int32
+	targets []graph.NodeID
 }
 
-func newRestrictedTrees(g *graph.Graph, hier ch.Hierarchy, tb *ch.TreeBuilder, weights []float64, upperBound float64, auto bool, stats *selectionStats) *restrictedTrees {
-	return &restrictedTrees{
+func newRestrictedTrees(g *graph.Graph, hier ch.Hierarchy, tb *ch.TreeBuilder, weights []float64, upperBound float64, auto bool, stats *selectionStats, grid *spatial.Index, cacheBytes int) *restrictedTrees {
+	if stats == nil {
+		stats = &selectionStats{}
+	}
+	if grid == nil {
+		grid = spatial.NewIndex(g, 0)
+	}
+	r := &restrictedTrees{
 		g:          g,
 		hier:       hier,
 		tb:         tb,
@@ -249,7 +281,12 @@ func newRestrictedTrees(g *graph.Graph, hier ch.Hierarchy, tb *ch.TreeBuilder, w
 		upperBound: upperBound,
 		auto:       auto,
 		stats:      stats,
+		grid:       grid,
+		cache:      newSelectionCache(cacheBytes, stats),
+		fullAll:    &selEntry{full: true, targets: g.NumNodes()},
 	}
+	r.scratch.New = func() any { return new(selBuf) }
+	return r
 }
 
 func (r *restrictedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
@@ -258,16 +295,7 @@ func (r *restrictedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, 
 		return nil, nil, false
 	}
 	start := time.Now()
-	cs := r.sel.Load()
-	if cs == nil || cs.s != s || cs.t != t {
-		if r.stats != nil {
-			r.stats.selMisses.Add(1)
-		}
-		cs = r.selectFor(s, t, fastest)
-		r.sel.Store(cs)
-	} else if r.stats != nil {
-		r.stats.selHits.Add(1)
-	}
+	cs := r.entryForPair(s, t, fastest)
 	if cs.full {
 		fwd = r.tb.BuildTreeInto(ws, s, sp.Forward)
 		if !fwd.Reached(t) {
@@ -281,49 +309,111 @@ func (r *restrictedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, 
 		}
 		bwd = r.tb.BuildTreeRestrictedInto(ws, t, sp.Backward, cs.sel)
 	}
-	if r.stats != nil {
-		r.stats.lastSelection.Store(int64(cs.targets))
-		r.stats.lastRestricted.Store(!cs.full)
-		r.stats.lastSweepNS.Store(int64(time.Since(start)))
-	}
+	r.stats.lastSelection.Store(int64(cs.targets))
+	r.stats.lastRestricted.Store(!cs.full)
+	r.stats.lastSweepNS.Store(int64(time.Since(start)))
 	return fwd, bwd, true
 }
 
-// selectFor builds the selection state for one query pair. The target set
-// is every node v with LB(s,v) + LB(v,t) within the ellipse budget
-// (UpperBound × fastest) / scale: since scale·LB admissibly understates
-// true travel times, any node on any route within the budget — plateau
-// chains and the tree paths leading to them included — is selected, which
-// is exactly the §II-B covering argument for pruned trees.
-func (r *restrictedTrees) selectFor(s, t graph.NodeID, fastest float64) *restrictedSelection {
-	n := r.g.NumNodes()
-	cs := &restrictedSelection{s: s, t: t, targets: n}
+// entryForPair resolves the selection entry of one query pair: quantize
+// the pair's elliptic region — every node v with LB(s,v) + LB(v,t) within
+// (UpperBound × fastest) / scale; since scale·LB admissibly understates
+// true travel times, any node on any route within the budget, plateau
+// chains and tree paths included, lies inside it (the §II-B covering
+// argument) — to its covering cell union and look that signature up in
+// the cache, building the union's selection on a miss.
+func (r *restrictedTrees) entryForPair(s, t graph.NodeID, fastest float64) *selEntry {
 	if r.scale <= 0 {
 		// No admissible geometric bound (zero-length edges exist): every
 		// node may lie on a feasible route; sweep everything.
-		cs.full = true
-		return cs
+		return r.fullAll
 	}
 	budget := r.upperBound * fastest / r.scale
 	sPt, tPt := r.g.Point(s), r.g.Point(t)
-	targets := make([]graph.NodeID, 0, n/4+2)
-	for v := 0; v < n; v++ {
-		p := r.g.Point(graph.NodeID(v))
-		if r.lb.MetersLB(sPt, p)+r.lb.MetersLB(p, tPt) <= budget {
-			targets = append(targets, graph.NodeID(v))
+	sb := r.scratch.Get().(*selBuf)
+	cells := r.grid.EllipseCells(sPt, tPt, budget, r.lb, sb.cells)
+	// The endpoints' cells satisfy the bound analytically; keep them in
+	// the signature even under adversarial float rounding.
+	cells = insertCellSorted(cells, int32(r.grid.CellOf(sPt)))
+	cells = insertCellSorted(cells, int32(r.grid.CellOf(tPt)))
+	sb.cells = cells
+	e, _ := r.entryForCells(sb, s, t)
+	r.scratch.Put(sb)
+	return e
+}
+
+// selectTargets resolves the selection entry covering an explicit target
+// set — the many-to-many entry point: the signature is the union of the
+// targets' cells, so one selection serves every source sweep of a matrix
+// batch and every batch hitting the same cells. hit reports whether the
+// entry came out of the cache.
+func (r *restrictedTrees) selectTargets(targets []graph.NodeID) (e *selEntry, hit bool) {
+	sb := r.scratch.Get().(*selBuf)
+	cells := sb.cells[:0]
+	for _, t := range targets {
+		cells = insertCellSorted(cells, int32(r.grid.CellOf(r.g.Point(t))))
+	}
+	sb.cells = cells
+	e, hit = r.entryForCells(sb, targets...)
+	r.scratch.Put(sb)
+	return e, hit
+}
+
+// entryForCells is the shared cache transaction: look up sb.cells'
+// signature, and on a miss select the cell union's vertices (plus the
+// must nodes, defensively — they are cell members already) and insert.
+// Hit/miss/union observability is recorded here.
+func (r *restrictedTrees) entryForCells(sb *selBuf, must ...graph.NodeID) (*selEntry, bool) {
+	cells := sb.cells
+	hash := sigHash(cells)
+	if e := r.cache.lookup(cells, hash); e != nil {
+		r.stats.selHits.Add(1)
+		r.stats.lastHit.Store(true)
+		r.stats.lastUnion.Store(int64(len(cells)))
+		return e, true
+	}
+	r.stats.selMisses.Add(1)
+	r.stats.lastHit.Store(false)
+	r.stats.lastUnion.Store(int64(len(cells)))
+	tgts := sb.targets[:0]
+	for _, c := range cells {
+		tgts = append(tgts, r.grid.CellNodes(int(c))...)
+	}
+	distinct := len(tgts)
+	tgts = append(tgts, must...)
+	sb.targets = tgts
+	e := &selEntry{sig: append([]int32(nil), cells...), hash: hash}
+	if r.auto && distinct > int(RestrictedAutoFraction*float64(r.g.NumNodes())) {
+		e.full = true
+		e.targets = distinct
+		e.bytes = 4*len(e.sig) + selEntryOverhead
+	} else {
+		e.sel = r.tb.Select(tgts, nil)
+		e.targets = e.sel.Targets()
+		e.bytes = e.sel.MemoryBytes() + 4*len(e.sig) + selEntryOverhead
+	}
+	return r.cache.insert(e), false
+}
+
+// insertCellSorted inserts c into the ascending slice cells unless
+// already present, in place (cells must have spare capacity or grow).
+func insertCellSorted(cells []int32, c int32) []int32 {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cells[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	// The endpoints satisfy the bound analytically; keep them selected
-	// even under adversarial float rounding. Select deduplicates.
-	targets = append(targets, s, t)
-	if r.auto && len(targets)-2 > int(RestrictedAutoFraction*float64(n)) {
-		cs.full = true
-		cs.targets = len(targets) - 2
-		return cs
+	if lo < len(cells) && cells[lo] == c {
+		return cells
 	}
-	cs.sel = r.tb.Select(targets, nil)
-	cs.targets = cs.sel.Targets()
-	return cs
+	cells = append(cells, 0)
+	copy(cells[lo+1:], cells[lo:])
+	cells[lo] = c
+	return cells
 }
 
 // prunedTrees is the §II-B elliptic source: a bidirectional probe finds

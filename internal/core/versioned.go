@@ -9,6 +9,7 @@ import (
 	"repro/internal/ch"
 	"repro/internal/graph"
 	"repro/internal/path"
+	"repro/internal/spatial"
 	"repro/internal/weights"
 )
 
@@ -91,6 +92,13 @@ type provider struct {
 	// wrap optionally decorates each version's tree source (the counting
 	// instrumentation of PrunedPlateaus).
 	wrap func(TreeSource) TreeSource
+	// selCacheBytes is the per-version selection-cache byte budget of the
+	// restricted backends (0: DefaultSelectionCacheBytes).
+	selCacheBytes int
+	// grid is the spatial quantization shared by every weight version's
+	// restricted source — geometry only, so it never goes stale. Nil off
+	// the restricted backends.
+	grid *spatial.Index
 
 	cur      atomic.Pointer[view]
 	mu       sync.Mutex  // serializes rebuilds
@@ -107,22 +115,24 @@ type provider struct {
 // the source's current snapshot, so construction keeps its pre-refactor
 // meaning: a TreeCH planner leaves its constructor with a ready hierarchy.
 // A nil src pins the graph's own base weights.
-func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, hkind HierarchyKind, pruned bool, upperBound float64, wrap func(TreeSource) TreeSource) *provider {
+func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, hkind HierarchyKind, pruned bool, upperBound float64, selCacheBytes int, wrap func(TreeSource) TreeSource) *provider {
 	if src == nil {
 		src = weights.Pin(g.BaseWeights())
 	}
 	p := &provider{
-		g:          g,
-		src:        src,
-		backend:    backend,
-		hkind:      hkind,
-		pruned:     pruned,
-		upperBound: upperBound,
-		needTrees:  needTrees,
-		wrap:       wrap,
+		g:             g,
+		src:           src,
+		backend:       backend,
+		hkind:         hkind,
+		pruned:        pruned,
+		upperBound:    upperBound,
+		needTrees:     needTrees,
+		wrap:          wrap,
+		selCacheBytes: selCacheBytes,
 	}
 	if needTrees && (backend == TreeCHRestricted || backend == TreeCHAuto) {
 		p.selStats = &selectionStats{}
+		p.grid = spatial.NewIndex(g, 0)
 	}
 	p.refreshSync()
 	return p
@@ -179,6 +189,9 @@ func (p *provider) hierarchyStatus() HierarchyStatus {
 		st.LastSweep = time.Duration(p.selStats.lastSweepNS.Load())
 		st.SelectionHits = p.selStats.selHits.Load()
 		st.SelectionMisses = p.selStats.selMisses.Load()
+		st.SelectionEvictions = p.selStats.selEvictions.Load()
+		st.LastUnionCells = int(p.selStats.lastUnion.Load())
+		st.LastHit = p.selStats.lastHit.Load()
 	}
 	return st
 }
@@ -246,10 +259,11 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 		if p.backend == TreeCH {
 			v.trees = chTrees{tb: tb}
 		} else {
-			// A fresh restricted source per version: its per-pair selection
-			// cache must never survive a weight swap (the selections index
-			// the old tree builder's arcs).
-			v.trees = newRestrictedTrees(p.g, v.hier, tb, w, p.upperBound, p.backend == TreeCHAuto, p.selStats)
+			// A fresh restricted source per version: its selection cache
+			// must never survive a weight swap (the selections index the
+			// old tree builder's arcs). The spatial grid is geometry-only
+			// and shared across versions.
+			v.trees = newRestrictedTrees(p.g, v.hier, tb, w, p.upperBound, p.backend == TreeCHAuto, p.selStats, p.grid, p.selCacheBytes)
 		}
 		p.lastCustomize.Store(int64(time.Since(start)))
 	case p.pruned:
