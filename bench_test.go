@@ -23,6 +23,7 @@ import (
 	"repro/internal/path"
 	"repro/internal/simstudy"
 	"repro/internal/sp"
+	"repro/internal/spatial"
 )
 
 var (
@@ -732,5 +733,164 @@ func BenchmarkPlannerYen(b *testing.B) {
 		if _, err := pl.Alternatives(q.S, q.T); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Many-to-many matrix engine (PR 6) --------------------------------------
+
+// benchClusteredNodes samples count distinct nodes within radiusM meters
+// of a center offset, so matrix benchmarks get endpoint sets whose cell
+// union stays a restricted fraction of the network.
+func benchClusteredNodes(b *testing.B, city *eval.City, count int, dEast, dNorth, radiusM float64, seed int64) []graph.NodeID {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	center := geo.Offset(city.Graph.BBox().Center(), dEast, dNorth)
+	seen := make(map[graph.NodeID]bool, count)
+	out := make([]graph.NodeID, 0, count)
+	for attempts := 0; len(out) < count; attempts++ {
+		if attempts > count*200 {
+			b.Fatalf("cannot sample %d distinct nodes within %.0fm", count, radiusM)
+		}
+		p := geo.Offset(center, (rng.Float64()*2-1)*radiusM, (rng.Float64()*2-1)*radiusM)
+		v, _ := city.Index.Nearest(p)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// benchMatrix times one warm k×k MatrixInto per op: the shared selection
+// is cache-hot, each op runs k restricted forward sweeps. A one-worker
+// engine keeps the rows inline — the zero-allocation path.
+func benchMatrix(b *testing.B, m *core.MatrixEngine, sources, targets []graph.NodeID) {
+	b.Helper()
+	var tab core.Table
+	if err := m.MatrixInto(&tab, sources, targets); err != nil {
+		b.Fatal(err)
+	}
+	if !tab.Restricted {
+		b.Logf("warning: sweeps not restricted (selection %d targets)", tab.SelectionTargets)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MatrixInto(&tab, sources, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tab.SelectionTargets), "sel-targets")
+}
+
+// benchMatrixPairwise is the k² baseline: the same table via independent
+// point-to-point tree-pair queries through the same backend.
+func benchMatrixPairwise(b *testing.B, m *core.MatrixEngine, sources, targets []graph.NodeID) {
+	b.Helper()
+	var tab core.Table
+	if err := m.MatrixPairwise(&tab, sources, targets); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MatrixPairwise(&tab, sources, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGridCity wraps the synthetic benchmark grid in an eval.City shell
+// (graph + spatial index only) so the clustered samplers work on it.
+func benchGridCity(rows, cols int) *eval.City {
+	g := benchGrid(rows, cols)
+	return &eval.City{Graph: g, Index: spatial.NewIndex(g, 16)}
+}
+
+func benchMatrixGrid50(b *testing.B, k int, pairwise bool) {
+	city := benchGridCity(50, 50)
+	m := core.NewMatrixEngine(city.Graph, core.Options{TreeBackend: core.TreeCHRestricted}, core.NewEngine(1))
+	sources := benchClusteredNodes(b, city, k, -800, -600, 1200, 101)
+	targets := benchClusteredNodes(b, city, k, 700, 500, 1200, 102)
+	if pairwise {
+		benchMatrixPairwise(b, m, sources, targets)
+	} else {
+		benchMatrix(b, m, sources, targets)
+	}
+}
+
+func BenchmarkMatrixGrid50K4(b *testing.B)  { benchMatrixGrid50(b, 4, false) }
+func BenchmarkMatrixGrid50K16(b *testing.B) { benchMatrixGrid50(b, 16, false) }
+func BenchmarkMatrixGrid50K64(b *testing.B) { benchMatrixGrid50(b, 64, false) }
+
+func BenchmarkMatrixPairwiseGrid50K16(b *testing.B) { benchMatrixGrid50(b, 16, true) }
+
+func benchMatrixMelbourne(b *testing.B, k int, pairwise bool) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	m := core.NewMatrixEngine(city.Graph, core.Options{TreeBackend: core.TreeCHRestricted, Hierarchy: core.HierarchyCCH}, core.NewEngine(1))
+	sources := benchClusteredNodes(b, city, k, -1500, -1000, 2000, 103)
+	targets := benchClusteredNodes(b, city, k, 1200, 900, 2000, 104)
+	if pairwise {
+		benchMatrixPairwise(b, m, sources, targets)
+	} else {
+		benchMatrix(b, m, sources, targets)
+	}
+}
+
+// BenchmarkMatrixMelbourne is the acceptance benchmark: a warm 16×16
+// table on the Melbourne study network, one shared cached selection plus
+// 16 restricted sweeps per op, zero allocations. Compare against
+// BenchmarkMatrixPairwiseMelbourne (the same 16² cells as independent
+// point-to-point restricted queries).
+func BenchmarkMatrixMelbourne(b *testing.B) { benchMatrixMelbourne(b, 16, false) }
+
+func BenchmarkMatrixMelbourneK4(b *testing.B)  { benchMatrixMelbourne(b, 4, false) }
+func BenchmarkMatrixMelbourneK64(b *testing.B) { benchMatrixMelbourne(b, 64, false) }
+
+func BenchmarkMatrixPairwiseMelbourne(b *testing.B) { benchMatrixMelbourne(b, 16, true) }
+
+// BenchmarkSelectionCacheAlternatingPairs measures the fixed hot path of
+// the thrash bug: two alternating hot query pairs, both selections
+// resident, every query a cache hit (the old single-slot cache rebuilt
+// the selection on every single one of these queries).
+func BenchmarkSelectionCacheAlternatingPairs(b *testing.B) {
+	g := benchGrid(50, 50)
+	planner := core.NewPlateaus(g, core.Options{TreeBackend: core.TreeCHRestricted})
+	s1, t1 := benchShortGridPair(50)
+	s2, t2 := graph.NodeID(35*50+8), graph.NodeID(42*50+14)
+	queries := [2][2]graph.NodeID{{s1, t1}, {s2, t2}}
+	for _, q := range queries { // both selections resident
+		if _, err := planner.Alternatives(q[0], q[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%2]
+		if _, err := planner.Alternatives(q[0], q[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := planner.HierarchyStatus()
+	if total := st.SelectionHits + st.SelectionMisses; total > 0 {
+		b.ReportMetric(float64(st.SelectionHits)/float64(total), "hit-rate")
+	}
+}
+
+// BenchmarkSelectionCacheSelectUnion is the miss-path cost: building the
+// shared selection for a 16-target union from scratch onto warm reuse
+// storage — the price amortized across every later hit.
+func BenchmarkSelectionCacheSelectUnion(b *testing.B) {
+	city := benchGridCity(50, 50)
+	w := city.Graph.CopyWeights()
+	tb := ch.Build(city.Graph, w).NewTreeBuilder()
+	targets := benchClusteredNodes(b, city, 16, 700, 500, 1200, 102)
+	sel := tb.Select(targets, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = tb.Select(targets, sel)
 	}
 }

@@ -27,18 +27,19 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "fraction of the paper's 520-response schedule to run")
 	table := flag.String("table", "all", "which table to print: 1, 2 or all")
 	ablation := flag.Bool("ablation", false, "also print the parameter/refinement ablation table")
+	matrix := flag.Bool("matrix", false, "also print the many-to-many matrix ablation (shared-selection tables vs k\u00b2 point-to-point)")
 	csvOut := flag.String("csv", "", "also write the raw study records to this CSV file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *table, *ablation, *csvOut, *trees, *hierarchy); err != nil {
+	if err := run(*seed, *scale, *table, *ablation, *matrix, *csvOut, *trees, *hierarchy); err != nil {
 		fmt.Fprintln(os.Stderr, "userstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, scale float64, table string, ablation bool, csvOut, trees, hierarchy string) error {
+func run(seed int64, scale float64, table string, ablation, matrix bool, csvOut, trees, hierarchy string) error {
 	if table != "1" && table != "2" && table != "all" {
 		return fmt.Errorf("invalid -table %q (want 1, 2 or all)", table)
 	}
@@ -102,6 +103,14 @@ func run(seed int64, scale float64, table string, ablation bool, csvOut, trees, 
 			return err
 		}
 		fmt.Println(eval.FormatAblation("Melbourne", rows, numQueries))
+	}
+	if matrix {
+		city := study.Cities["Melbourne"]
+		rows, err := city.RunMatrixAblation([]int{4, 16, 64}, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatMatrixAblation("Melbourne", rows, city.Matrix.HierarchyStatus()))
 	}
 	return nil
 }

@@ -55,6 +55,12 @@ type City struct {
 	// versions atomically on publish. A nil Router falls back to a shared
 	// process-wide engine, so hand-assembled Cities keep working.
 	Router *core.Router
+	// Matrix is the many-to-many engine behind POST /api/matrix and the
+	// matrix ablations. It shares the Plateaus planner's weight provider
+	// (same hierarchy, same versions, same selection cache), so matrix
+	// responses and point-to-point answers can never disagree on the
+	// serving snapshot. Nil on hand-assembled Cities.
+	Matrix *core.MatrixEngine
 }
 
 // defaultEngine serves Cities assembled without NewCity.
@@ -69,9 +75,16 @@ func (c *City) engine() *core.Engine {
 
 // SetEngine installs a shared engine (a multi-city deployment pools its
 // workers this way) while keeping the Router's publish subscriptions.
+// The matrix engine follows, so its sweep fan-out draws from the same
+// worker pool as the planners.
 func (c *City) SetEngine(e *core.Engine) {
 	if c.Router != nil {
 		c.Router.SetEngine(e)
+	}
+	if c.Matrix != nil {
+		if pl, ok := c.Planners[1].(*core.Plateaus); ok {
+			c.Matrix = core.NewMatrixEngineFor(pl, e)
+		}
 	}
 }
 
@@ -108,13 +121,15 @@ func NewCityOpts(profile citygen.Profile, seed int64, opts core.Options) (*City,
 	popts.Weights = c.PublicStore
 	topts := opts
 	topts.Weights = c.TrafficStore
+	plateaus := core.NewPlateaus(g, popts)
 	c.Planners = [NumApproaches]core.Planner{
 		core.NewCommercial(g, nil, topts),
-		core.NewPlateaus(g, popts),
+		plateaus,
 		core.NewDissimilarity(g, popts),
 		core.NewPenalty(g, popts),
 	}
 	c.Router = core.NewRouter(core.NewEngine(0), c.Planners[:], c.PublicStore, c.TrafficStore)
+	c.Matrix = core.NewMatrixEngineFor(plateaus, c.Router.Engine())
 	return c, nil
 }
 

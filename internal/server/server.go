@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -65,6 +66,7 @@ func New(cities map[string]*eval.City, storePath string) *Server {
 	s.mux.HandleFunc("GET /api/cities", s.handleCities)
 	s.mux.HandleFunc("GET /api/network", s.handleNetwork)
 	s.mux.HandleFunc("GET /api/routes", s.handleRoutes)
+	s.mux.HandleFunc("POST /api/matrix", s.handleMatrix)
 	s.mux.HandleFunc("POST /api/rating", s.handleRating)
 	s.mux.HandleFunc("POST /api/publish", s.handlePublish)
 	s.mux.HandleFunc("GET /api/traffic", s.handleTraffic)
@@ -225,6 +227,109 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// matrixLimit caps the endpoint set sizes of one /api/matrix request: a
+// 128×128 table is ~2800 restricted sweeps' worth of work on the largest
+// city, about the most a synchronous HTTP response should carry.
+const matrixLimit = 128
+
+// handleMatrix is the many-to-many endpoint: it snaps every source and
+// target coordinate to the nearest vertex and computes the full
+// travel-time table through the city's matrix engine — one shared RPHAST
+// selection over the target set, one restricted sweep per source —
+// under a single weight snapshot (the reported weightVersion).
+// Unreachable cells are null (JSON has no +Inf).
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		City    string       `json:"city"`
+		Sources [][2]float64 `json:"sources"` // [lat,lon] each
+		Targets [][2]float64 `json:"targets"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	c, ok := s.cities[req.City]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown city")
+		return
+	}
+	if c.Matrix == nil {
+		httpError(w, http.StatusConflict, "city has no matrix engine")
+		return
+	}
+	if len(req.Sources) == 0 || len(req.Targets) == 0 {
+		httpError(w, http.StatusBadRequest, "need at least one source and one target")
+		return
+	}
+	if len(req.Sources) > matrixLimit || len(req.Targets) > matrixLimit {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("at most %d sources and %d targets per request", matrixLimit, matrixLimit))
+		return
+	}
+	snap := func(pts [][2]float64, what string) ([]graph.NodeID, [][2]float64, bool) {
+		ids := make([]graph.NodeID, len(pts))
+		snapped := make([][2]float64, len(pts))
+		for i, pt := range pts {
+			p := geo.Point{Lat: pt[0], Lon: pt[1]}
+			if !p.Valid() {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("%s %d out of range", what, i))
+				return nil, nil, false
+			}
+			v, _ := c.Index.Nearest(p)
+			ids[i] = v
+			snapped[i] = [2]float64{c.Graph.Point(v).Lat, c.Graph.Point(v).Lon}
+		}
+		return ids, snapped, true
+	}
+	sources, sNodes, ok := snap(req.Sources, "source")
+	if !ok {
+		return
+	}
+	targets, tNodes, ok := snap(req.Targets, "target")
+	if !ok {
+		return
+	}
+	start := time.Now()
+	tab, err := c.Matrix.Matrix(sources, targets)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "matrix computation failed")
+		log.Printf("server: matrix on %s %dx%d: %v", req.City, len(sources), len(targets), err)
+		return
+	}
+	// Seconds as pointers so unreachable cells serialize as null.
+	seconds := make([][]*float64, len(sources))
+	for i := range sources {
+		row := make([]*float64, len(targets))
+		for j := range targets {
+			if v := tab.At(i, j); !math.IsInf(v, 1) {
+				row[j] = &tab.Seconds[i*len(targets)+j]
+			}
+		}
+		seconds[i] = row
+	}
+	sel := "full sweeps"
+	if tab.Restricted {
+		sel = fmt.Sprintf("sel %d (%s)", tab.SelectionTargets, hitMiss(tab.SelectionHit))
+	}
+	log.Printf("server: %s matrix %dx%d v%d %s in %s",
+		req.City, len(sources), len(targets), tab.Version, sel, time.Since(start).Round(10*time.Microsecond))
+	writeJSON(w, struct {
+		Sources       [][2]float64 `json:"sources"` // snapped coordinates
+		Targets       [][2]float64 `json:"targets"`
+		Seconds       [][]*float64 `json:"seconds"` // null = unreachable
+		WeightVersion uint64       `json:"weightVersion"`
+		Selection     int          `json:"selectionTargets,omitempty"`
+		SelectionHit  bool         `json:"selectionHit"`
+		Restricted    bool         `json:"restricted"`
+	}{sNodes, tNodes, seconds, uint64(tab.Version), tab.SelectionTargets, tab.SelectionHit, tab.Restricted})
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
 // handlePublish is the live-traffic maintenance endpoint: it advances the
 // city's rush-hour sequence one step and/or bans edges (road closures) on
 // both metrics, then reports the resulting store versions. Bans are
@@ -310,9 +415,12 @@ func (s *Server) writeTrafficStatus(w http.ResponseWriter, name string, c *eval.
 // formatHierarchies renders the hierarchy observability suffix of the
 // per-query log line: flavor and last customization latency per approach
 // running on a hierarchy backend, plus — on restricted-sweep backends —
-// the last query's RPHAST selection size and tree-pair sweep time, e.g.
-// " hier A=cch(2.1ms)[sel 214, sweep 80µs] B=cch(2.3ms)[full sweep 310µs]";
-// empty when no approach runs a hierarchy.
+// the last query's RPHAST selection size, whether it came out of the
+// selection cache, and the tree-pair sweep time, with the cache's
+// cumulative hit/miss/eviction counters, e.g.
+// " hier A=cch(2.1ms)[sel 214 (hit), sweep 80µs, cache 31/2/0]
+// B=cch(2.3ms)[full sweep 310µs]"; empty when no approach runs a
+// hierarchy.
 func formatHierarchies(statuses []core.HierarchyStatus) string {
 	var sb strings.Builder
 	for i, st := range statuses {
@@ -325,7 +433,9 @@ func formatHierarchies(statuses []core.HierarchyStatus) string {
 		fmt.Fprintf(&sb, " %s=%s(%s)", displayLabels[i], st.Kind, st.LastCustomize.Round(100*time.Microsecond))
 		if st.LastSweep > 0 {
 			if st.LastRestricted {
-				fmt.Fprintf(&sb, "[sel %d, sweep %s]", st.LastSelection, st.LastSweep.Round(10*time.Microsecond))
+				fmt.Fprintf(&sb, "[sel %d (%s), sweep %s, cache %d/%d/%d]",
+					st.LastSelection, hitMiss(st.LastHit), st.LastSweep.Round(10*time.Microsecond),
+					st.SelectionHits, st.SelectionMisses, st.SelectionEvictions)
 			} else {
 				fmt.Fprintf(&sb, "[full sweep %s]", st.LastSweep.Round(10*time.Microsecond))
 			}

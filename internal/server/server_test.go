@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/citygen"
+	"repro/internal/core"
 	"repro/internal/eval"
 )
 
@@ -235,5 +236,145 @@ func TestRatingsAccessor(t *testing.T) {
 	got[0].Ratings[0] = 99
 	if s.Ratings()[0].Ratings[0] == 99 {
 		t.Error("Ratings() must return a copy")
+	}
+}
+
+// restrictedTestCities builds the test city on the restricted-sweep
+// backend, so the matrix endpoint exercises the shared-selection path.
+func restrictedTestCities(t testing.TB) map[string]*eval.City {
+	t.Helper()
+	p := citygen.Copenhagen()
+	p.Rows, p.Cols = 20, 20
+	p.Motorway.Present = false
+	c, err := eval.NewCityOpts(p, 7, core.Options{TreeBackend: core.TreeCHRestricted, Hierarchy: core.HierarchyCCH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*eval.City{"Copenhagen": c}
+}
+
+func postBodyJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return res
+}
+
+type matrixRequest struct {
+	City    string       `json:"city"`
+	Sources [][2]float64 `json:"sources"`
+	Targets [][2]float64 `json:"targets"`
+}
+
+type matrixResponse struct {
+	Sources       [][2]float64 `json:"sources"`
+	Targets       [][2]float64 `json:"targets"`
+	Seconds       [][]*float64 `json:"seconds"`
+	WeightVersion uint64       `json:"weightVersion"`
+	Selection     int          `json:"selectionTargets"`
+	SelectionHit  bool         `json:"selectionHit"`
+	Restricted    bool         `json:"restricted"`
+}
+
+func TestMatrixEndpoint(t *testing.T) {
+	cities := restrictedTestCities(t)
+	ts := httptest.NewServer(New(cities, ""))
+	t.Cleanup(ts.Close)
+
+	bb := cities["Copenhagen"].Graph.BBox()
+	at := func(fLat, fLon float64) [2]float64 {
+		return [2]float64{
+			bb.MinLat + fLat*(bb.MaxLat-bb.MinLat),
+			bb.MinLon + fLon*(bb.MaxLon-bb.MinLon),
+		}
+	}
+	req := matrixRequest{
+		City:    "Copenhagen",
+		Sources: [][2]float64{at(0.2, 0.2), at(0.8, 0.3)},
+		Targets: [][2]float64{at(0.7, 0.7), at(0.3, 0.8), at(0.5, 0.5)},
+	}
+	var out matrixResponse
+	if res := postBodyJSON(t, ts.URL+"/api/matrix", req, &out); res.StatusCode != http.StatusOK {
+		t.Fatalf("matrix status = %d", res.StatusCode)
+	}
+	if len(out.Seconds) != 2 || len(out.Seconds[0]) != 3 {
+		t.Fatalf("seconds dims = %dx%d, want 2x3", len(out.Seconds), len(out.Seconds[0]))
+	}
+	if len(out.Sources) != 2 || len(out.Targets) != 3 {
+		t.Fatalf("snapped endpoint counts = %d/%d", len(out.Sources), len(out.Targets))
+	}
+	reachable := 0
+	for _, row := range out.Seconds {
+		for _, cell := range row {
+			if cell != nil {
+				if *cell < 0 {
+					t.Fatalf("negative travel time %v", *cell)
+				}
+				reachable++
+			}
+		}
+	}
+	if reachable == 0 {
+		t.Fatal("no reachable cells on a connected test city")
+	}
+	if !out.Restricted || out.Selection == 0 {
+		t.Fatalf("restricted backend served restricted=%v selectionTargets=%d", out.Restricted, out.Selection)
+	}
+
+	// The same request again must hit the selection cache and return the
+	// same table.
+	var out2 matrixResponse
+	postBodyJSON(t, ts.URL+"/api/matrix", req, &out2)
+	if !out2.SelectionHit {
+		t.Error("repeat request missed the selection cache")
+	}
+	for i := range out.Seconds {
+		for j := range out.Seconds[i] {
+			a, b := out.Seconds[i][j], out2.Seconds[i][j]
+			if (a == nil) != (b == nil) || (a != nil && *a != *b) {
+				t.Fatalf("repeat request changed cell %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, "")
+	ok := [][2]float64{{55.68, 12.55}}
+	cases := []struct {
+		name string
+		req  matrixRequest
+		want int
+	}{
+		{"unknown-city", matrixRequest{City: "Atlantis", Sources: ok, Targets: ok}, http.StatusNotFound},
+		{"no-sources", matrixRequest{City: "Copenhagen", Targets: ok}, http.StatusBadRequest},
+		{"no-targets", matrixRequest{City: "Copenhagen", Sources: ok}, http.StatusBadRequest},
+		{"bad-coord", matrixRequest{City: "Copenhagen", Sources: [][2]float64{{360, 12}}, Targets: ok}, http.StatusBadRequest},
+		{"oversize", matrixRequest{City: "Copenhagen", Sources: make([][2]float64, matrixLimit+1), Targets: ok}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if res := postBodyJSON(t, ts.URL+"/api/matrix", c.req, nil); res.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, res.StatusCode, c.want)
+		}
+	}
+	res, err := http.Post(ts.URL+"/api/matrix", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", res.StatusCode)
 	}
 }
