@@ -11,6 +11,7 @@ package repro
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -626,7 +627,46 @@ func BenchmarkCCHCustomize(b *testing.B) {
 	snap := city.Seq.WeightsAt(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h := pre.Customize(snap)
+		// Workers pinned to 1: this benchmark tracks the serial sweep
+		// across history; the default (parallel) publish path is
+		// BenchmarkCCHCustomizeParallel.
+		h := pre.CustomizeWith(snap, cch.Config{Workers: 1})
+		if h.NewTreeBuilder() == nil {
+			b.Fatal("no tree builder")
+		}
+	}
+}
+
+// BenchmarkCCHCustomizeParallel is BenchmarkCCHCustomize with the
+// level-parallel fan-out enabled (GOMAXPROCS workers, the Customize
+// default): the publish latency a serving deployment actually pays. The
+// arcs are bit-identical to the serial sweep, so the delta to
+// BenchmarkCCHCustomize is pure wall-clock.
+func BenchmarkCCHCustomizeParallel(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	pre := cch.Preprocess(city.Graph)
+	snap := city.Seq.WeightsAt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := pre.CustomizeWith(snap, cch.Config{Workers: runtime.GOMAXPROCS(0)})
+		if h.NewTreeBuilder() == nil {
+			b.Fatal("no tree builder")
+		}
+	}
+}
+
+// BenchmarkCCHCustomizePerfect adds the perfect post-pass: the extra
+// per-publish cost of proving dominated arcs inert (read against the
+// sweep savings every subsequent tree build pockets).
+func BenchmarkCCHCustomizePerfect(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	pre := cch.Preprocess(city.Graph)
+	snap := city.Seq.WeightsAt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := pre.CustomizeWith(snap, cch.Config{Perfect: true})
 		if h.NewTreeBuilder() == nil {
 			b.Fatal("no tree builder")
 		}

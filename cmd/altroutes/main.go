@@ -39,7 +39,7 @@ func main() {
 	withYen := flag.Bool("yen", false, "also run Yen's k-shortest paths baseline")
 	geojsonOut := flag.String("geojson", "", "write all routes as GeoJSON to this file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
-	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
+	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness, cch or cch-perfect")
 	trafficStep := flag.Int("traffic-step", 0, "rush-hour step of the commercial provider's private weights (0 = the study's base congestion field)")
 	flag.Parse()
 

@@ -3,22 +3,41 @@
 // deviation (overall, residents, non-residents, per city) and the one-way
 // ANOVA testing whether the four approaches differ.
 //
+// With -orders it instead reports CCH order quality — the size of the
+// metric-independent contraction (pairs, triangles, arcs), the dependency-
+// level profile that bounds customization parallelism, and the inert
+// fraction a perfect customization retires from the sweeps — for the
+// Melbourne profile and a 50×50 grid reference network.
+//
 // Usage:
 //
 //	analyze -in ratings.json
+//	analyze -orders
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"repro/internal/cch"
+	"repro/internal/ch"
+	"repro/internal/citygen"
+	"repro/internal/geo"
+	"repro/internal/graph"
 	"repro/internal/server"
 )
 
 func main() {
 	in := flag.String("in", "ratings.json", "ratings file written by demoserver")
+	orders := flag.Bool("orders", false, "report CCH order quality instead of ratings")
 	flag.Parse()
+
+	if *orders {
+		reportOrders()
+		return
+	}
 
 	subs, err := server.LoadRatings(*in)
 	if err != nil {
@@ -26,4 +45,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(server.AnalyzeRatings(subs))
+}
+
+func reportOrders() {
+	mel, err := citygen.Melbourne().Generate(2022)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	for _, net := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Melbourne", mel},
+		{"grid50", grid(50, 50)},
+	} {
+		orderReport(net.name, net.g)
+	}
+}
+
+// orderReport prints one network's contraction-quality numbers: the
+// chordal fill-in the nested-dissection order produced (pairs and the
+// triangles every customization enumerates), the dependency-level shape
+// (depth is the serial critical path; width is available parallelism),
+// and how many arcs a perfect customization of the base metric proves
+// strictly dominated.
+func orderReport(name string, g *graph.Graph) {
+	pre := cch.Preprocess(g)
+	widths := pre.LevelWidths()
+	maxW, wide := 0, 0
+	for _, w := range widths {
+		if w > maxW {
+			maxW = w
+		}
+		if w >= 512 {
+			wide += w
+		}
+	}
+	med := append([]int(nil), widths...)
+	sort.Ints(med)
+
+	fmt.Printf("%s: %d nodes, %d edges\n", name, g.NumNodes(), g.NumEdges())
+	fmt.Printf("  pairs      %d (arcs %d)\n", pre.NumPairs(), 2*pre.NumPairs())
+	fmt.Printf("  triangles  %d\n", pre.NumTriangles())
+	fmt.Printf("  levels     %d (max width %d, median %d, %.1f%% of pairs in levels >= 512 wide)\n",
+		pre.NumLevels(), maxW, med[len(med)/2],
+		100*float64(wide)/float64(pre.NumPairs()))
+
+	h := pre.CustomizeWith(g.CopyWeights(), cch.Config{Perfect: true})
+	rt, ok := h.(*ch.Runtime)
+	if !ok {
+		fmt.Printf("  inert      n/a\n\n")
+		return
+	}
+	inert := rt.InertCount()
+	fmt.Printf("  inert      %d of %d arcs (%.1f%%) on the base metric\n\n",
+		inert, 2*pre.NumPairs(), 100*float64(inert)/float64(2*pre.NumPairs()))
+}
+
+// grid builds the reference rows×cols two-way grid (every fifth row a
+// primary arterial), mirroring the package tests' reference network.
+func grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows*cols, rows*cols*4)
+	o := geo.Point{Lat: -37.81, Lon: 144.96}
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddNode(geo.Offset(o, float64(r)*150, float64(c)*150))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			class := graph.Residential
+			if r%5 == 0 {
+				class = graph.Primary
+			}
+			if c+1 < cols {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r, c+1), Class: class, TwoWay: true})
+			}
+			if r+1 < rows {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r+1, c), Class: graph.Residential, TwoWay: true})
+			}
+		}
+	}
+	return b.Build()
 }

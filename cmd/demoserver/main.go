@@ -14,7 +14,7 @@
 // Usage:
 //
 //	demoserver [-addr :8080] [-seed N] [-ratings ratings.json] [-workers N]
-//	           [-trees dijkstra|ch|ch-restricted|ch-auto] [-hierarchy witness|cch]
+//	           [-trees dijkstra|ch|ch-restricted|ch-auto] [-hierarchy witness|cch|cch-perfect]
 //	           [-traffic-step 30s] [-cache 4096]
 package main
 
@@ -37,7 +37,7 @@ func main() {
 	ratingsPath := flag.String("ratings", "ratings.json", "file the submitted ratings are stored in (empty disables)")
 	workers := flag.Int("workers", 0, "concurrent planner calls per city (0 = number of CPUs)")
 	trees := flag.String("trees", "ch-auto", "tree backend for the choice-routing planners: dijkstra, ch (PHAST full sweeps), ch-restricted (RPHAST) or ch-auto (default: RPHAST restricted sweeps for short queries, full sweeps otherwise)")
-	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind -trees ch: witness (smallest, exact only under witness-preserving metrics) or cch (customizable; default, exact for every published snapshot incl. closures)")
+	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind -trees ch: witness (smallest, exact only under witness-preserving metrics), cch (customizable; default, exact for every published snapshot incl. closures) or cch-perfect (cch plus dominated-arc pruning per publish)")
 	trafficStep := flag.Duration("traffic-step", 0, "auto-advance the rush-hour traffic sequence at this interval (0 disables; publishes also arrive via POST /api/publish)")
 	cacheSize := flag.Int("cache", core.DefaultCacheSize, "versioned result-cache capacity of the serving engine (0 disables)")
 	flag.Parse()

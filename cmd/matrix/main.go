@@ -37,7 +37,7 @@ func main() {
 	sourcesArg := flag.String("sources", "", "explicit sources as semicolon-separated lat,lon pairs")
 	targetsArg := flag.String("targets", "", "explicit targets as semicolon-separated lat,lon pairs")
 	trees := flag.String("trees", "ch-restricted", "tree backend: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
-	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind the ch backends: witness or cch")
+	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind the ch backends: witness, cch or cch-perfect")
 	reps := flag.Int("reps", 5, "warm repetitions timed per configuration")
 	baseline := flag.Bool("baseline", true, "also time the k² point-to-point baseline")
 	printTable := flag.Bool("print", false, "print the full table (minutes; '-' = unreachable)")

@@ -34,7 +34,6 @@ package cch
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"repro/internal/ch"
@@ -71,11 +70,22 @@ type Preprocessed struct {
 	// arcFrom is the runtime tail array (2 arcs per pair: up then down),
 	// shared by every customization.
 	arcFrom []graph.NodeID
+	// Packed dependency-level CSR (levels.go): levelPairs grouped by
+	// ascending level, levelOff bounding each level's group — the wave
+	// structure level-parallel customization runs over.
+	levelOff   []int32
+	levelPairs []int32
 
 	// template caches the first customized runtime so later Customize
 	// calls share its adjacency arrays instead of re-deriving them.
 	mu       sync.Mutex
 	template *ch.Runtime
+	// Double-buffered customization output (customize.go): arc buffers
+	// leased to in-flight runtimes, reclaimed by finalizer.
+	bufMu sync.Mutex
+	bufs  []*arcBuf
+	// soa pools the flat weight vectors of the triangle loops.
+	soa sync.Pool
 }
 
 // Build preprocesses g metric-independently and customizes the result for
@@ -90,22 +100,50 @@ type Preprocessed struct {
 // one city network — therefore contracts each network once, not once per
 // planner.
 func Build(g *graph.Graph, weights []float64) ch.Hierarchy {
-	sharedMu.Lock()
-	defer sharedMu.Unlock()
-	if sharedGraph != g {
-		sharedGraph, sharedPre = g, Preprocess(g)
-	}
-	return sharedPre.Customize(weights)
+	return PreprocessShared(g).Customize(weights)
 }
 
-// shared* memoize the last graph's preprocessing (one entry: consumers
-// build a city's planner set together, and a single slot cannot grow with
-// the number of networks a long test run touches).
+// BuildWith is Build with explicit customization Config — worker fan-out
+// and the perfect (inert-arc marking) post-pass.
+func BuildWith(g *graph.Graph, weights []float64, cfg Config) ch.Hierarchy {
+	return PreprocessShared(g).CustomizeWith(weights, cfg)
+}
+
+// sharedPreCap bounds the process-wide preprocessing memo. Four entries
+// cover the realistic serving shapes (a city per metric profile, a pair
+// of cities in an A/B harness) while keeping a long multi-city test run
+// from pinning every network it ever touched.
+const sharedPreCap = 4
+
+// shared* memoize preprocessings keyed by graph pointer, FIFO-evicted at
+// sharedPreCap. A single slot used to live here; alternating between two
+// cities (the common multi-city test shape) re-preprocessed on every
+// switch.
 var (
 	sharedMu    sync.Mutex
-	sharedGraph *graph.Graph
-	sharedPre   *Preprocessed
+	sharedPre   = map[*graph.Graph]*Preprocessed{}
+	sharedOrder []*graph.Graph
 )
+
+// PreprocessShared returns the memoized preprocessing of g, computing
+// and caching it on first sight. A Preprocessed depends only on the
+// graph (never on weights) and is safe for concurrent Customize calls,
+// so every consumer of one network can share a single contraction.
+func PreprocessShared(g *graph.Graph) *Preprocessed {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if pre, ok := sharedPre[g]; ok {
+		return pre
+	}
+	pre := Preprocess(g)
+	if len(sharedOrder) >= sharedPreCap {
+		delete(sharedPre, sharedOrder[0])
+		sharedOrder = sharedOrder[:copy(sharedOrder, sharedOrder[1:])]
+	}
+	sharedPre[g] = pre
+	sharedOrder = append(sharedOrder, g)
+	return pre
+}
 
 // Preprocess computes the nested-dissection order, the chordal (no
 // witness pruning) arc topology, the per-arc lower-triangle lists and the
@@ -246,6 +284,10 @@ func Preprocess(g *graph.Graph) *Preprocessed {
 		p.arcFrom[2*i] = p.lo[i]
 		p.arcFrom[2*i+1] = p.hi[i]
 	}
+	p.computeLevels()
+	p.soa.New = func() any {
+		return &soaScratch{upW: make([]float64, P), downW: make([]float64, P)}
+	}
 	return p
 }
 
@@ -291,72 +333,3 @@ func (p *Preprocessed) NumTriangles() int { return len(p.triLoSide) }
 // Rank returns the nested-dissection contraction order (higher = more
 // important). The slice aliases internal storage.
 func (p *Preprocessed) Rank() []int32 { return p.rank }
-
-// Customize instantiates the preprocessed topology for one weight vector:
-// every slot starts at its cheapest original edge (+Inf when none), then
-// one ascending sweep applies every lower-triangle relaxation, recording
-// the winning decomposition so shortcut arcs unpack to original edge
-// sequences. The result is exact for arbitrary weights — congestion of
-// any magnitude, +Inf closures — and each call is independent, so a
-// serving layer can customize in the background and swap atomically.
-func (p *Preprocessed) Customize(weights []float64) ch.Hierarchy {
-	P := len(p.lo)
-	arcs := make([]ch.Arc, 2*P)
-	inf := math.Inf(1)
-	for i := 0; i < P; i++ {
-		up := ch.Arc{To: p.hi[i], Weight: inf, Orig: -1, Skip1: -1, Skip2: -1}
-		for _, e := range p.upEdges[p.upOff[i]:p.upOff[i+1]] {
-			if weights[e] < up.Weight {
-				up.Weight = weights[e]
-				up.Orig = e
-			}
-		}
-		down := ch.Arc{To: p.lo[i], Weight: inf, Orig: -1, Skip1: -1, Skip2: -1}
-		for _, e := range p.downEdges[p.downOff[i]:p.downOff[i+1]] {
-			if weights[e] < down.Weight {
-				down.Weight = weights[e]
-				down.Orig = e
-			}
-		}
-		arcs[2*i], arcs[2*i+1] = up, down
-	}
-	// Triangle relaxation in pair order (ascending lower-endpoint rank):
-	// every constituent pair has a strictly lower-ranked lower endpoint,
-	// so its slots are final when read. Skip arcs record the winning
-	// decomposition in path order: up (lo→hi) via z is lo→z then z→hi;
-	// down (hi→lo) via z is hi→z then z→lo. The up arc of pair q is arc
-	// 2q, the down arc 2q+1.
-	for i := 0; i < P; i++ {
-		up, down := &arcs[2*i], &arcs[2*i+1]
-		for k := p.triOff[i]; k < p.triOff[i+1]; k++ {
-			za, zb := p.triLoSide[k], p.triHiSide[k]
-			if c := arcs[2*za+1].Weight + arcs[2*zb].Weight; c < up.Weight {
-				up.Weight = c
-				up.Orig = -1
-				up.Skip1, up.Skip2 = 2*za+1, 2*zb
-			}
-			if c := arcs[2*zb+1].Weight + arcs[2*za].Weight; c < down.Weight {
-				down.Weight = c
-				down.Orig = -1
-				down.Skip1, down.Skip2 = 2*zb+1, 2*za
-			}
-		}
-	}
-
-	p.mu.Lock()
-	tmpl := p.template
-	p.mu.Unlock()
-	if tmpl != nil {
-		return tmpl.WithArcs(arcs)
-	}
-	rt := ch.NewRuntime(p.g, Kind, p.rank, p.arcFrom, arcs, p.Customize)
-	p.mu.Lock()
-	if p.template == nil {
-		// Cache only the shared adjacency (arcs nilled): the template
-		// exists for WithArcs, and pinning the first customization's full
-		// arc array would hold megabytes per city for the process lifetime.
-		p.template = rt.WithArcs(nil)
-	}
-	p.mu.Unlock()
-	return rt
-}

@@ -33,7 +33,7 @@ func Order(g *graph.Graph) []int32 {
 	// setID stamps which current partition a node belongs to, so separator
 	// detection can test "neighbour on the other side" in O(1) without
 	// per-level sets. IDs are issued fresh for every split.
-	d := &dissector{g: g, setID: make([]int32, n), rank: rank}
+	d := &dissector{g: g, setID: make([]int32, n), cover: make([]int32, n), rank: rank}
 	// Scale longitude distances to latitude degrees so the axis choice
 	// reflects metric extent, not raw degree spans.
 	d.lonScale = math.Cos(g.BBox().Center().Lat * math.Pi / 180)
@@ -42,8 +42,13 @@ func Order(g *graph.Graph) []int32 {
 }
 
 type dissector struct {
-	g        *graph.Graph
-	setID    []int32
+	g     *graph.Graph
+	setID []int32
+	// cover stamps cover membership during separator refinement on a
+	// separate array so setID keeps holding side membership (the greedy
+	// drop check needs to tell cut partners from same-side boundary
+	// neighbours).
+	cover    []int32
 	nextID   int32
 	nextRank int32
 	lonScale float64
@@ -100,35 +105,156 @@ func (d *dissector) dissect(set []graph.NodeID) {
 	for _, v := range b {
 		d.setID[v] = bID
 	}
-	// Vertex separator: every A node with an (undirected) neighbour in B.
-	// Removing it disconnects A' = A \ sep from B, which is all nested
-	// dissection needs; taking it from one side keeps it small.
-	var interior, sep []graph.NodeID
-	for _, v := range a {
-		if d.touches(v, bID) {
-			sep = append(sep, v)
-		} else {
-			interior = append(interior, v)
-		}
-	}
-	// Degenerate split (the whole A side is separator): order only the
-	// stuck half directly and keep dissecting B — abandoning recursion for
-	// the full set would hand the chordal fill-in an arbitrary order over
-	// up to n nodes.
-	if len(interior) == 0 {
-		for _, v := range a {
+	// Vertex separator covering every A–B cut edge. The baseline is
+	// one-sided (every A node with an undirected neighbour in B); the
+	// refinement pass (refineSeparator) instead covers the cut from both
+	// boundaries and greedily drops redundant nodes, and the smaller of
+	// the two wins — separator size is what drives chordal fill-in, so a
+	// node shaved here removes a whole clique row of pairs and triangles.
+	sep := d.refineSeparator(set, a, b, aID, bID)
+	// Degenerate split (everything is separator): recursion cannot make
+	// progress, so order the set directly — abandoning recursion for the
+	// full set would hand the chordal fill-in an arbitrary order over up
+	// to n nodes, but this only happens for dense blobs the leaf path
+	// handles acceptably.
+	if len(sep) == len(set) {
+		for _, v := range set {
 			d.rank[v] = d.nextRank
 			d.nextRank++
 		}
-		d.dissect(b)
 		return
 	}
+	// Both interiors recurse first; the separator is ranked last, making
+	// its nodes the most important of this subtree. sepID stamps let the
+	// interior split run in one pass per side.
+	sepID := d.freshID()
+	for _, v := range sep {
+		d.setID[v] = sepID
+	}
+	interior := make([]graph.NodeID, 0, len(a))
+	for _, v := range a {
+		if d.setID[v] != sepID {
+			interior = append(interior, v)
+		}
+	}
+	bInterior := make([]graph.NodeID, 0, len(b))
+	for _, v := range b {
+		if d.setID[v] != sepID {
+			bInterior = append(bInterior, v)
+		}
+	}
 	d.dissect(interior)
-	d.dissect(b)
+	d.dissect(bInterior)
 	for _, v := range sep {
 		d.rank[v] = d.nextRank
 		d.nextRank++
 	}
+}
+
+// refineSeparator returns a vertex separator of the a/b split: a set of
+// nodes covering every cut edge, ranked after both interiors. It builds
+// the two-sided boundary (every endpoint of a cut edge), greedily drops
+// nodes whose cut edges are all still covered from the other side
+// (ascending cut-degree, so chain endpoints and other cheap nodes go
+// first), and falls back to the one-sided A boundary when that greedy
+// cover comes out larger — the refinement is monotone: never worse than
+// the pre-refinement separator.
+func (d *dissector) refineSeparator(set, a, b []graph.NodeID, aID, bID int32) []graph.NodeID {
+	otherOf := func(v graph.NodeID) int32 {
+		if d.setID[v] == bID {
+			return aID
+		}
+		return bID
+	}
+	// Two-sided boundary with cut degrees. Iterating the coordinate-sorted
+	// set keeps everything deterministic.
+	var boundary []graph.NodeID
+	var oneSided int
+	for _, v := range set {
+		if d.cutDegree(v, otherOf(v)) > 0 {
+			boundary = append(boundary, v)
+			if d.setID[v] == aID {
+				oneSided++
+			}
+		}
+	}
+	if len(boundary) == 0 {
+		return nil // disconnected halves: no separator needed
+	}
+	sort.SliceStable(boundary, func(i, j int) bool {
+		vi, vj := boundary[i], boundary[j]
+		return d.cutDegree(vi, otherOf(vi)) < d.cutDegree(vj, otherOf(vj))
+	})
+	// Greedy redundant-node removal over the cover stamps (setID keeps
+	// holding side membership): drop v when every cut edge at v is still
+	// covered by its other endpoint. A drop makes the partners
+	// load-bearing, so each cut edge keeps at least one endpoint — the
+	// result is a minimal (not minimum) vertex cover of the cut, visited
+	// in ascending cut-degree so cheap chain endpoints go first.
+	inCover := d.freshID()
+	for _, v := range boundary {
+		d.cover[v] = inCover
+	}
+	cover := len(boundary)
+	for _, v := range boundary {
+		other := otherOf(v)
+		redundant := true
+		for _, u := range d.g.OutHeads(v) {
+			if d.setID[u] == other && d.cover[u] != inCover {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			for _, u := range d.g.InTails(v) {
+				if d.setID[u] == other && d.cover[u] != inCover {
+					redundant = false
+					break
+				}
+			}
+		}
+		if redundant {
+			d.cover[v] = 0
+			cover--
+		}
+	}
+	if cover < oneSided {
+		sep := make([]graph.NodeID, 0, cover)
+		for _, v := range set { // set order: deterministic
+			if d.cover[v] == inCover {
+				sep = append(sep, v)
+			}
+		}
+		return sep
+	}
+	// One-sided fallback: every A node touching B (the pre-refinement
+	// separator) — the refinement never returns a larger separator than
+	// the geometric split alone produced.
+	sep := make([]graph.NodeID, 0, oneSided)
+	for _, v := range a {
+		if d.touches(v, bID) {
+			sep = append(sep, v)
+		}
+	}
+	return sep
+}
+
+// cutDegree counts v's (out + in) neighbours currently stamped with the
+// given partition id — v's number of cut edge endpoints, counting
+// parallel and two-way edges as they appear in the adjacency.
+func (d *dissector) cutDegree(v graph.NodeID, id int32) int {
+	deg := 0
+	for _, u := range d.g.OutHeads(v) {
+		if d.setID[u] == id {
+			deg++
+		}
+	}
+	for _, u := range d.g.InTails(v) {
+		if d.setID[u] == id {
+			deg++
+		}
+	}
+	return deg
 }
 
 func (d *dissector) freshID() int32 {

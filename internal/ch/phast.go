@@ -170,14 +170,28 @@ func (h *Runtime) NewTreeBuilder() *TreeBuilder {
 		tb.pos[v] = int32(i)
 	}
 
-	// Pack the position-space CSRs. upBwd[v] holds exactly the arcs
-	// entering v from higher-ranked tails, upFwd[v] the arcs leaving v
-	// toward higher-ranked heads.
+	// Pack the position-space CSRs. upBwdAt(v) holds exactly the arcs
+	// entering v from higher-ranked tails, upFwdAt(v) the arcs leaving v
+	// toward higher-ranked heads. Inert arcs (strictly dominated under
+	// the current metric, perfect-customized CCH only) are dropped here,
+	// so both full PHAST sweeps and RPHAST selections skip them without
+	// a per-arc check in the hot loops.
 	tb.fwdOff = make([]int32, n+1)
 	tb.bwdOff = make([]int32, n+1)
 	for i, v := range tb.order {
-		tb.fwdOff[i+1] = tb.fwdOff[i] + int32(len(h.upBwd[v]))
-		tb.bwdOff[i+1] = tb.bwdOff[i] + int32(len(h.upFwd[v]))
+		nf, nb := int32(0), int32(0)
+		for _, ai := range h.upBwdAt(v) {
+			if !h.arcInert(ai) {
+				nf++
+			}
+		}
+		for _, ai := range h.upFwdAt(v) {
+			if !h.arcInert(ai) {
+				nb++
+			}
+		}
+		tb.fwdOff[i+1] = tb.fwdOff[i] + nf
+		tb.bwdOff[i+1] = tb.bwdOff[i] + nb
 	}
 	tb.fwdArcs = make([]downArc, tb.fwdOff[n])
 	tb.fwdEnds = make([]arcEnds, tb.fwdOff[n])
@@ -185,13 +199,19 @@ func (h *Runtime) NewTreeBuilder() *TreeBuilder {
 	tb.bwdEnds = make([]arcEnds, tb.bwdOff[n])
 	for i, v := range tb.order {
 		k := tb.fwdOff[i]
-		for _, ai := range h.upBwd[v] {
+		for _, ai := range h.upBwdAt(v) {
+			if h.arcInert(ai) {
+				continue
+			}
 			tb.fwdArcs[k] = downArc{up: tb.pos[h.arcFrom[ai]], w: h.arcs[ai].Weight}
 			tb.fwdEnds[k] = arcEnds{first: firstEdge[ai], last: lastEdge[ai]}
 			k++
 		}
 		k = tb.bwdOff[i]
-		for _, ai := range h.upFwd[v] {
+		for _, ai := range h.upFwdAt(v) {
+			if h.arcInert(ai) {
+				continue
+			}
 			tb.bwdArcs[k] = downArc{up: tb.pos[h.arcs[ai].To], w: h.arcs[ai].Weight}
 			tb.bwdEnds[k] = arcEnds{first: firstEdge[ai], last: lastEdge[ai]}
 			k++
@@ -202,6 +222,17 @@ func (h *Runtime) NewTreeBuilder() *TreeBuilder {
 	}
 	tb.selScratch.New = func() any { return &selectScratch{mark: make([]bool, n)} }
 	return tb
+}
+
+// arcInert reports whether the runtime's customization marked arc ai
+// inert (strictly dominated; safe for queries and sweeps to skip).
+func (h *Runtime) arcInert(ai int32) bool { return h.inert != nil && h.inert[ai] }
+
+// NumSweepArcs returns how many arcs the full forward and backward
+// downward sweeps relax — the per-tree work a customization's topology
+// implies. Perfect CCH customization shrinks both by dropping inert arcs.
+func (tb *TreeBuilder) NumSweepArcs() (fwd, bwd int) {
+	return len(tb.fwdArcs), len(tb.bwdArcs)
 }
 
 // BuildTree computes the complete shortest-path tree rooted at root and

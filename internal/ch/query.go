@@ -109,7 +109,10 @@ func (h *Runtime) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, grap
 				best = d
 				meet = u
 			}
-			for _, ai := range h.upFwd[u] {
+			for _, ai := range h.upFwdAt(u) {
+				if h.inert != nil && h.inert[ai] {
+					continue
+				}
 				a := h.arcs[ai]
 				nd := du + a.Weight
 				if nd < f.DistOf(a.To) {
@@ -127,7 +130,10 @@ func (h *Runtime) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, grap
 				best = d
 				meet = u
 			}
-			for _, ai := range h.upBwd[u] {
+			for _, ai := range h.upBwdAt(u) {
+				if h.inert != nil && h.inert[ai] {
+					continue
+				}
 				from := h.arcFrom[ai]
 				nd := du + h.arcs[ai].Weight
 				if nd < b.DistOf(from) {

@@ -81,12 +81,26 @@ type Runtime struct {
 	kind string
 	rank []int32 // contraction order; higher rank = more important
 	arcs []Arc
-	// upFwd[v] lists arcs v->w with rank[w] > rank[v];
-	// upBwd[v] lists arcs u->v (stored at v) with rank[u] > rank[v].
-	upFwd [][]int32
-	upBwd [][]int32
+	// Packed upward adjacency, CSR over nodes:
+	// upFwdArcs[upFwdOff[v]:upFwdOff[v+1]] lists arcs v->w with
+	// rank[w] > rank[v]; upBwdArcs[upBwdOff[v]:upBwdOff[v+1]] lists arcs
+	// u->v (stored at v) with rank[u] > rank[v]. CSR instead of per-node
+	// slices keeps NewRuntime at a handful of allocations (it used to pay
+	// two append-grown slices per node, ~2n allocations per city).
+	upFwdOff  []int32
+	upFwdArcs []int32
+	upBwdOff  []int32
+	upBwdArcs []int32
 	// arcFrom[i] is the tail node of arcs[i].
 	arcFrom []graph.NodeID
+	// inert, when non-nil, flags arcs a perfect customization proved
+	// strictly dominated by an up-down path through other arcs: queries
+	// and tree-builder packings skip them without losing exactness (the
+	// dominating path always survives, because every arc on a shortest
+	// up-down path has weight equal to the distance of its endpoints and
+	// is therefore never strictly dominated itself). Indexed like arcs;
+	// nil means no arc is inert.
+	inert []bool
 	// customize, when non-nil, handles Customize calls (the CCH triangle
 	// relaxation); nil dispatches to the witness-flavor Recustomize.
 	customize func([]float64) Hierarchy
@@ -104,21 +118,53 @@ func NewRuntime(g *graph.Graph, kind string, rank []int32, from []graph.NodeID, 
 		kind:      kind,
 		rank:      rank,
 		arcs:      arcs,
-		upFwd:     make([][]int32, n),
-		upBwd:     make([][]int32, n),
+		upFwdOff:  make([]int32, n+1),
+		upBwdOff:  make([]int32, n+1),
 		arcFrom:   from,
 		customize: customize,
 	}
+	// Count, prefix-sum, fill.
 	for ai := range arcs {
 		u := from[ai]
 		w := arcs[ai].To
 		if rank[u] < rank[w] {
-			h.upFwd[u] = append(h.upFwd[u], int32(ai))
+			h.upFwdOff[u+1]++
 		} else if rank[u] > rank[w] {
-			h.upBwd[w] = append(h.upBwd[w], int32(ai))
+			h.upBwdOff[w+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		h.upFwdOff[v+1] += h.upFwdOff[v]
+		h.upBwdOff[v+1] += h.upBwdOff[v]
+	}
+	h.upFwdArcs = make([]int32, h.upFwdOff[n])
+	h.upBwdArcs = make([]int32, h.upBwdOff[n])
+	fwdCur := make([]int32, n)
+	bwdCur := make([]int32, n)
+	for ai := range arcs {
+		u := from[ai]
+		w := arcs[ai].To
+		if rank[u] < rank[w] {
+			h.upFwdArcs[h.upFwdOff[u]+fwdCur[u]] = int32(ai)
+			fwdCur[u]++
+		} else if rank[u] > rank[w] {
+			h.upBwdArcs[h.upBwdOff[w]+bwdCur[w]] = int32(ai)
+			bwdCur[w]++
 		}
 	}
 	return h
+}
+
+// upFwdAt returns the upward forward arc list of v (arc indices v->w with
+// rank[w] > rank[v]).
+func (h *Runtime) upFwdAt(v graph.NodeID) []int32 {
+	return h.upFwdArcs[h.upFwdOff[v]:h.upFwdOff[v+1]]
+}
+
+// upBwdAt returns the upward backward arc list of v (arc indices u->v with
+// rank[u] > rank[v]).
+func (h *Runtime) upBwdAt(v graph.NodeID) []int32 {
+	return h.upBwdArcs[h.upBwdOff[v]:h.upBwdOff[v+1]]
 }
 
 // WithArcs returns a runtime sharing this runtime's graph, order,
@@ -127,16 +173,46 @@ func NewRuntime(g *graph.Graph, kind string, rank []int32, from []graph.NodeID, 
 // on a frozen topology. The new arcs must be index-compatible with the
 // old (same tails and heads).
 func (h *Runtime) WithArcs(arcs []Arc) *Runtime {
-	return &Runtime{
-		g:         h.g,
-		kind:      h.kind,
-		rank:      h.rank,
-		arcs:      arcs,
-		upFwd:     h.upFwd,
-		upBwd:     h.upBwd,
-		arcFrom:   h.arcFrom,
-		customize: h.customize,
+	rt := *h
+	rt.arcs = arcs
+	return &rt
+}
+
+// WithCustomize returns a runtime identical to this one except for the
+// customize hook — how package cch tells a basic-customized runtime apart
+// from a perfect-customized one (each re-customizes through the pass that
+// produced it).
+func (h *Runtime) WithCustomize(fn func([]float64) Hierarchy) *Runtime {
+	rt := *h
+	rt.customize = fn
+	return &rt
+}
+
+// WithArcsInert is WithArcs plus an inert-arc mask (aligned with arcs;
+// nil clears it) — the handoff from a perfect customization pass.
+func (h *Runtime) WithArcsInert(arcs []Arc, inert []bool) *Runtime {
+	rt := *h
+	rt.arcs = arcs
+	rt.inert = inert
+	return &rt
+}
+
+// Arcs exposes the runtime's arc array for bit-identity tests and
+// topology reports. The slice aliases internal storage: callers must not
+// modify it, and it is valid only while they hold the runtime.
+func (h *Runtime) Arcs() []Arc { return h.arcs }
+
+// InertCount returns how many arcs the runtime's customization marked
+// inert (strictly dominated; skipped by queries and sweeps). Zero for
+// basic customizations and the witness flavor.
+func (h *Runtime) InertCount() int {
+	count := 0
+	for _, in := range h.inert {
+		if in {
+			count++
+		}
 	}
+	return count
 }
 
 // Graph implements Hierarchy.

@@ -54,10 +54,13 @@ func TestBackendMatrix(t *testing.T) {
 	configs := []config{
 		{"ch/witness", TreeCH, HierarchyWitness},
 		{"ch/cch", TreeCH, HierarchyCCH},
+		{"ch/cch-perfect", TreeCH, HierarchyCCHPerfect},
 		{"ch-restricted/witness", TreeCHRestricted, HierarchyWitness},
 		{"ch-restricted/cch", TreeCHRestricted, HierarchyCCH},
+		{"ch-restricted/cch-perfect", TreeCHRestricted, HierarchyCCHPerfect},
 		{"ch-auto/witness", TreeCHAuto, HierarchyWitness},
 		{"ch-auto/cch", TreeCHAuto, HierarchyCCH},
+		{"ch-auto/cch-perfect", TreeCHAuto, HierarchyCCHPerfect},
 	}
 	plannerNames := []string{"Plateaus", "PrunedPlateaus", "Dissimilarity", "Penalty", "Commercial"}
 	mk := func(g *graph.Graph, snap *weights.Snapshot, backend TreeBackend, hkind HierarchyKind) []Planner {

@@ -102,8 +102,15 @@ type Options struct {
 	// under witness-preserving metrics — while HierarchyCCH contracts
 	// metric-independently on a nested-dissection order and customizes by
 	// triangle relaxation, staying exact for every published snapshot
-	// including +Inf closures. Ignored on TreeDijkstra.
+	// including +Inf closures. HierarchyCCHPerfect adds the perfect-
+	// customization post-pass on every publish. Ignored on TreeDijkstra.
 	Hierarchy HierarchyKind
+	// CustomizeWorkers bounds the per-level worker fan-out of CCH
+	// customization (the triangle relaxation behind every CCH publish).
+	// 0 selects GOMAXPROCS; 1 forces the serial sweep. Any value yields
+	// bit-identical hierarchies — it is purely a publish-latency knob.
+	// Ignored off the CCH hierarchy flavors.
+	CustomizeWorkers int
 	// SelectionCacheBytes is the total byte budget of the restricted
 	// backends' selection cache (per planner, per weight version): cached
 	// RPHAST selections keyed by spatial cell signature, clock-evicted

@@ -105,24 +105,35 @@ const (
 	// witness pruning, customized by triangle relaxation — exact for any
 	// published snapshot, including +Inf closures.
 	HierarchyCCH
+	// HierarchyCCHPerfect is HierarchyCCH with the perfect-customization
+	// post-pass: each publish additionally proves which shortcut arcs are
+	// strictly dominated under the snapshot's metric and marks them
+	// inert, so queries and tree sweeps skip them. Same routes, costlier
+	// customization, cheaper everything after.
+	HierarchyCCHPerfect
 )
 
 // ParseHierarchyKind maps the shared command-line flag spelling
-// ("witness" or "cch") onto a HierarchyKind.
+// ("witness", "cch" or "cch-perfect") onto a HierarchyKind.
 func ParseHierarchyKind(s string) (HierarchyKind, error) {
 	switch s {
 	case "witness":
 		return HierarchyWitness, nil
 	case "cch":
 		return HierarchyCCH, nil
+	case "cch-perfect":
+		return HierarchyCCHPerfect, nil
 	}
-	return 0, fmt.Errorf("core: invalid hierarchy kind %q (want witness or cch)", s)
+	return 0, fmt.Errorf("core: invalid hierarchy kind %q (want witness, cch or cch-perfect)", s)
 }
 
 // String implements fmt.Stringer.
 func (k HierarchyKind) String() string {
-	if k == HierarchyCCH {
+	switch k {
+	case HierarchyCCH:
 		return "cch"
+	case HierarchyCCHPerfect:
+		return "cch-perfect"
 	}
 	return "witness"
 }

@@ -82,13 +82,17 @@ type view struct {
 // background goroutine re-customizes the hierarchy, and the pointer swap
 // is atomic.
 type provider struct {
-	g          *graph.Graph
-	src        weights.Source
-	backend    TreeBackend
-	hkind      HierarchyKind // which hierarchy flavor backs the CH backends
-	pruned     bool          // elliptic pruning (ignored on hierarchy backends)
-	upperBound float64       // pruning budget
-	needTrees  bool          // planners without a tree seam skip tree state
+	g       *graph.Graph
+	src     weights.Source
+	backend TreeBackend
+	hkind   HierarchyKind // which hierarchy flavor backs the CH backends
+	// customizeWorkers bounds CCH customization's per-level fan-out
+	// (0: GOMAXPROCS). Carried into the hierarchy's customize hook, so
+	// every later re-customization inherits it.
+	customizeWorkers int
+	pruned           bool    // elliptic pruning (ignored on hierarchy backends)
+	upperBound       float64 // pruning budget
+	needTrees        bool    // planners without a tree seam skip tree state
 	// wrap optionally decorates each version's tree source (the counting
 	// instrumentation of PrunedPlateaus).
 	wrap func(TreeSource) TreeSource
@@ -115,20 +119,21 @@ type provider struct {
 // the source's current snapshot, so construction keeps its pre-refactor
 // meaning: a TreeCH planner leaves its constructor with a ready hierarchy.
 // A nil src pins the graph's own base weights.
-func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, hkind HierarchyKind, pruned bool, upperBound float64, selCacheBytes int, wrap func(TreeSource) TreeSource) *provider {
+func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, hkind HierarchyKind, customizeWorkers int, pruned bool, upperBound float64, selCacheBytes int, wrap func(TreeSource) TreeSource) *provider {
 	if src == nil {
 		src = weights.Pin(g.BaseWeights())
 	}
 	p := &provider{
-		g:             g,
-		src:           src,
-		backend:       backend,
-		hkind:         hkind,
-		pruned:        pruned,
-		upperBound:    upperBound,
-		needTrees:     needTrees,
-		wrap:          wrap,
-		selCacheBytes: selCacheBytes,
+		g:                g,
+		src:              src,
+		backend:          backend,
+		hkind:            hkind,
+		customizeWorkers: customizeWorkers,
+		pruned:           pruned,
+		upperBound:       upperBound,
+		needTrees:        needTrees,
+		wrap:             wrap,
+		selCacheBytes:    selCacheBytes,
 	}
 	if needTrees && (backend == TreeCHRestricted || backend == TreeCHAuto) {
 		p.selStats = &selectionStats{}
@@ -249,9 +254,14 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 		start := time.Now()
 		switch {
 		case prev != nil && prev.hier != nil:
+			// The customize hook closes over the original Config, so the
+			// perfect/worker choices survive every re-customization.
 			v.hier = prev.hier.Customize(w)
-		case p.hkind == HierarchyCCH:
-			v.hier = cch.Build(p.g, w)
+		case p.hkind == HierarchyCCH || p.hkind == HierarchyCCHPerfect:
+			v.hier = cch.BuildWith(p.g, w, cch.Config{
+				Workers: p.customizeWorkers,
+				Perfect: p.hkind == HierarchyCCHPerfect,
+			})
 		default:
 			v.hier = ch.Build(p.g, w)
 		}
