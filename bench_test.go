@@ -673,6 +673,54 @@ func BenchmarkCCHCustomizePerfect(b *testing.B) {
 	}
 }
 
+// BenchmarkOrderGeometric is the one-off cost of the coordinate-
+// bisection nested-dissection order on Melbourne — the preprocessing
+// floor every CCH build pays.
+func BenchmarkOrderGeometric(b *testing.B) {
+	study := benchSetup(b)
+	g := study.Cities["Melbourne"].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cch.OrderWith(g, cch.OrderConfig{Kind: cch.OrderGeometric})[0] < 0 {
+			b.Fatal("bad rank")
+		}
+	}
+}
+
+// BenchmarkOrderFlow is the flow-refined order's build cost: every split
+// additionally runs an inertial-flow min vertex cut. Read against
+// BenchmarkOrderGeometric for the one-off premium and against
+// BenchmarkCCHCustomizeFlowOrder for what that premium buys on every
+// subsequent publish.
+func BenchmarkOrderFlow(b *testing.B) {
+	study := benchSetup(b)
+	g := study.Cities["Melbourne"].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cch.OrderWith(g, cch.OrderConfig{Kind: cch.OrderFlow})[0] < 0 {
+			b.Fatal("bad rank")
+		}
+	}
+}
+
+// BenchmarkCCHCustomizeFlowOrder is BenchmarkCCHCustomize (serial sweep,
+// Workers 1) on the flow-refined order: fewer separator nodes mean fewer
+// pairs and triangles, so the same publish costs measurably less — the
+// per-snapshot payoff of the more expensive preprocessing.
+func BenchmarkCCHCustomizeFlowOrder(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	pre := cch.PreprocessWith(city.Graph, cch.OrderConfig{Kind: cch.OrderFlow})
+	snap := city.Seq.WeightsAt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := pre.CustomizeWith(snap, cch.Config{Workers: 1})
+		if h.NewTreeBuilder() == nil {
+			b.Fatal("no tree builder")
+		}
+	}
+}
+
 // BenchmarkPlateausCCH is the grid planner benchmark on the customizable
 // hierarchy — the query-time cost of the no-witness-pruning arc surplus,
 // to read against BenchmarkPlateausCH and BenchmarkPlateausDijkstra.

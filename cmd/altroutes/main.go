@@ -40,21 +40,26 @@ func main() {
 	geojsonOut := flag.String("geojson", "", "write all routes as GeoJSON to this file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness, cch or cch-perfect")
+	order := flag.String("order", "geometric", "CCH contraction-order pipeline behind the cch flavors: geometric or flow")
 	trafficStep := flag.Int("traffic-step", 0, "rush-hour step of the commercial provider's private weights (0 = the study's base congestion field)")
 	flag.Parse()
 
-	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut, *trees, *hierarchy, *trafficStep); err != nil {
+	if err := run(*city, *graphPath, *seed, *sCoord, *tCoord, *sNode, *tNode, *k, *withYen, *geojsonOut, *trees, *hierarchy, *order, *trafficStep); err != nil {
 		fmt.Fprintln(os.Stderr, "altroutes:", err)
 		os.Exit(1)
 	}
 }
 
-func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut, trees, hierarchy string, trafficStep int) error {
+func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode, k int, withYen bool, geojsonOut, trees, hierarchy, order string, trafficStep int) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
 	}
 	hkind, err := core.ParseHierarchyKind(hierarchy)
+	if err != nil {
+		return err
+	}
+	okind, err := core.ParseOrderKind(order)
 	if err != nil {
 		return err
 	}
@@ -83,7 +88,7 @@ func run(city, graphPath string, seed int64, sCoord, tCoord string, sNode, tNode
 	}
 	fmt.Printf("Query: %d %v -> %d %v\n\n", s, g.Point(s), t, g.Point(t))
 
-	opts := core.Options{K: k, TreeBackend: backend, Hierarchy: hkind}
+	opts := core.Options{K: k, TreeBackend: backend, Hierarchy: hkind, Order: okind}
 	// The provider's private metric comes from the deterministic rush-hour
 	// sequence; -traffic-step picks how far into the cycle it plans
 	// (step 0 reproduces the study's static congestion field). Comparing

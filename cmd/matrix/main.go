@@ -38,23 +38,28 @@ func main() {
 	targetsArg := flag.String("targets", "", "explicit targets as semicolon-separated lat,lon pairs")
 	trees := flag.String("trees", "ch-restricted", "tree backend: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind the ch backends: witness, cch or cch-perfect")
+	order := flag.String("order", "geometric", "CCH contraction-order pipeline behind the cch flavors: geometric or flow")
 	reps := flag.Int("reps", 5, "warm repetitions timed per configuration")
 	baseline := flag.Bool("baseline", true, "also time the k² point-to-point baseline")
 	printTable := flag.Bool("print", false, "print the full table (minutes; '-' = unreachable)")
 	flag.Parse()
 
-	if err := run(*city, *graphPath, *seed, *k, *sourcesArg, *targetsArg, *trees, *hierarchy, *reps, *baseline, *printTable); err != nil {
+	if err := run(*city, *graphPath, *seed, *k, *sourcesArg, *targetsArg, *trees, *hierarchy, *order, *reps, *baseline, *printTable); err != nil {
 		fmt.Fprintln(os.Stderr, "matrix:", err)
 		os.Exit(1)
 	}
 }
 
-func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, trees, hierarchy string, reps int, baseline, printTable bool) error {
+func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, trees, hierarchy, order string, reps int, baseline, printTable bool) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
 	}
 	hkind, err := core.ParseHierarchyKind(hierarchy)
+	if err != nil {
+		return err
+	}
+	okind, err := core.ParseOrderKind(order)
 	if err != nil {
 		return err
 	}
@@ -71,7 +76,7 @@ func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, tree
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Network: %d nodes, %d edges (%s trees, %s hierarchy)\n", g.NumNodes(), g.NumEdges(), trees, hkind)
+	fmt.Printf("Network: %d nodes, %d edges (%s trees, %s hierarchy, %s order)\n", g.NumNodes(), g.NumEdges(), trees, hkind, okind)
 
 	rng := rand.New(rand.NewSource(seed + 1))
 	sources, err := resolveEndpoints(g, sourcesArg, k, rng)
@@ -84,7 +89,7 @@ func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, tree
 	}
 
 	buildStart := time.Now()
-	m := core.NewMatrixEngine(g, core.Options{TreeBackend: backend, Hierarchy: hkind}, core.NewEngine(0))
+	m := core.NewMatrixEngine(g, core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind}, core.NewEngine(0))
 	var tab core.Table
 	if err := m.MatrixInto(&tab, sources, targets); err != nil {
 		return err

@@ -31,15 +31,16 @@ func main() {
 	csvOut := flag.String("csv", "", "also write the raw study records to this CSV file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
+	order := flag.String("order", "geometric", "CCH contraction-order pipeline behind -hierarchy cch: geometric or flow")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *table, *ablation, *matrix, *csvOut, *trees, *hierarchy); err != nil {
+	if err := run(*seed, *scale, *table, *ablation, *matrix, *csvOut, *trees, *hierarchy, *order); err != nil {
 		fmt.Fprintln(os.Stderr, "userstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, scale float64, table string, ablation, matrix bool, csvOut, trees, hierarchy string) error {
+func run(seed int64, scale float64, table string, ablation, matrix bool, csvOut, trees, hierarchy, order string) error {
 	if table != "1" && table != "2" && table != "all" {
 		return fmt.Errorf("invalid -table %q (want 1, 2 or all)", table)
 	}
@@ -51,9 +52,13 @@ func run(seed int64, scale float64, table string, ablation, matrix bool, csvOut,
 	if err != nil {
 		return err
 	}
+	okind, err := core.ParseOrderKind(order)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	fmt.Printf("Generating city networks (seed %d, %s trees, %s hierarchy)...\n", seed, trees, hkind)
-	study, err := eval.NewStudyOpts(seed, core.Options{TreeBackend: backend, Hierarchy: hkind})
+	fmt.Printf("Generating city networks (seed %d, %s trees, %s hierarchy, %s order)...\n", seed, trees, hkind, okind)
+	study, err := eval.NewStudyOpts(seed, core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind})
 	if err != nil {
 		return err
 	}

@@ -49,8 +49,9 @@ const Kind = "cch"
 // after Preprocess and safe for concurrent Customize calls; it holds no
 // weights of its own.
 type Preprocessed struct {
-	g    *graph.Graph
-	rank []int32
+	g         *graph.Graph
+	orderKind OrderKind
+	rank      []int32
 	// Chordal arc pairs {lo, hi} with rank[lo] < rank[hi], sorted by
 	// rank[lo] ascending — the order triangle relaxation must process them
 	// in (a pair's lower triangles reference only pairs with a strictly
@@ -103,10 +104,13 @@ func Build(g *graph.Graph, weights []float64) ch.Hierarchy {
 	return PreprocessShared(g).Customize(weights)
 }
 
-// BuildWith is Build with explicit customization Config — worker fan-out
-// and the perfect (inert-arc marking) post-pass.
+// BuildWith is Build with explicit customization Config — the order
+// pipeline, worker fan-out and the perfect (inert-arc marking)
+// post-pass. Preprocessings are shared per (graph, order kind): two
+// callers asking for different order pipelines on the same network get
+// distinct (and distinctly memoized) contractions.
 func BuildWith(g *graph.Graph, weights []float64, cfg Config) ch.Hierarchy {
-	return PreprocessShared(g).CustomizeWith(weights, cfg)
+	return PreprocessSharedWith(g, cfg.Order).CustomizeWith(weights, cfg)
 }
 
 // sharedPreCap bounds the process-wide preprocessing memo. Four entries
@@ -115,33 +119,52 @@ func BuildWith(g *graph.Graph, weights []float64, cfg Config) ch.Hierarchy {
 // from pinning every network it ever touched.
 const sharedPreCap = 4
 
-// shared* memoize preprocessings keyed by graph pointer, FIFO-evicted at
-// sharedPreCap. A single slot used to live here; alternating between two
-// cities (the common multi-city test shape) re-preprocessed on every
-// switch.
+// preKey identifies one memoized preprocessing. The order kind is part
+// of the key — a Preprocessed built on the geometric order is a
+// different contraction than one built on the flow order, and a caller
+// asking for one must never silently receive the other. OrderConfig's
+// Workers knob is deliberately *not* in the key: every worker count
+// produces bit-identical ranks, so the contractions are interchangeable.
+type preKey struct {
+	g    *graph.Graph
+	kind OrderKind
+}
+
+// shared* memoize preprocessings keyed by (graph pointer, order kind),
+// FIFO-evicted at sharedPreCap. A single graph-keyed slot used to live
+// here; alternating between two cities (the common multi-city test
+// shape) re-preprocessed on every switch, and two callers with different
+// order settings would have silently shared one contraction.
 var (
 	sharedMu    sync.Mutex
-	sharedPre   = map[*graph.Graph]*Preprocessed{}
-	sharedOrder []*graph.Graph
+	sharedPre   = map[preKey]*Preprocessed{}
+	sharedOrder []preKey
 )
 
-// PreprocessShared returns the memoized preprocessing of g, computing
-// and caching it on first sight. A Preprocessed depends only on the
-// graph (never on weights) and is safe for concurrent Customize calls,
-// so every consumer of one network can share a single contraction.
+// PreprocessShared returns the memoized default-order preprocessing of
+// g, computing and caching it on first sight. A Preprocessed depends
+// only on the graph and the order pipeline (never on weights) and is
+// safe for concurrent Customize calls, so every consumer of one network
+// can share a single contraction.
 func PreprocessShared(g *graph.Graph) *Preprocessed {
+	return PreprocessSharedWith(g, OrderConfig{})
+}
+
+// PreprocessSharedWith is PreprocessShared keyed by (graph, order kind).
+func PreprocessSharedWith(g *graph.Graph, order OrderConfig) *Preprocessed {
+	key := preKey{g, order.Kind}
 	sharedMu.Lock()
 	defer sharedMu.Unlock()
-	if pre, ok := sharedPre[g]; ok {
+	if pre, ok := sharedPre[key]; ok {
 		return pre
 	}
-	pre := Preprocess(g)
+	pre := PreprocessWith(g, order)
 	if len(sharedOrder) >= sharedPreCap {
 		delete(sharedPre, sharedOrder[0])
 		sharedOrder = sharedOrder[:copy(sharedOrder, sharedOrder[1:])]
 	}
-	sharedPre[g] = pre
-	sharedOrder = append(sharedOrder, g)
+	sharedPre[key] = pre
+	sharedOrder = append(sharedOrder, key)
 	return pre
 }
 
@@ -150,8 +173,13 @@ func PreprocessShared(g *graph.Graph) *Preprocessed {
 // original-edge mapping. The result depends only on the graph structure
 // and node coordinates, never on weights.
 func Preprocess(g *graph.Graph) *Preprocessed {
+	return PreprocessWith(g, OrderConfig{})
+}
+
+// PreprocessWith is Preprocess on an explicit order configuration.
+func PreprocessWith(g *graph.Graph, ocfg OrderConfig) *Preprocessed {
 	n := g.NumNodes()
-	p := &Preprocessed{g: g, rank: Order(g)}
+	p := &Preprocessed{g: g, orderKind: ocfg.Kind, rank: OrderWith(g, ocfg)}
 	order := make([]graph.NodeID, n)
 	for v := 0; v < n; v++ {
 		order[p.rank[v]] = graph.NodeID(v)
@@ -321,6 +349,10 @@ func sortByRank(xs []graph.NodeID, rank []int32) {
 		xs[j+1] = x
 	}
 }
+
+// OrderKind reports which nested-dissection pipeline produced this
+// contraction's order.
+func (p *Preprocessed) OrderKind() OrderKind { return p.orderKind }
 
 // NumPairs returns the number of chordal arc pairs (each carries an
 // upward and a downward weight slot).

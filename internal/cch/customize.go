@@ -10,8 +10,14 @@ import (
 )
 
 // Config tunes one customization pass. The zero value is the serving
-// default: worker count from GOMAXPROCS, basic (non-perfect) output.
+// default: geometric order, worker count from GOMAXPROCS, basic
+// (non-perfect) output.
 type Config struct {
+	// Order selects the nested-dissection pipeline of the underlying
+	// preprocessing. Only consulted by BuildWith (which resolves the
+	// shared preprocessing); CustomizeWith on an existing Preprocessed
+	// ignores it — the order is baked into the contraction.
+	Order OrderConfig
 	// Workers bounds the per-level fan-out of the triangle relaxation.
 	// 0 (or negative) selects runtime.GOMAXPROCS(0); 1 forces the serial
 	// sweep. Any value produces bit-identical arcs — levels only group

@@ -1,0 +1,302 @@
+package cch
+
+// This file implements the max-flow half of the flow-based separator
+// pipeline: a unit-capacity BFS-phase Dinic on the standard split-node
+// transform, computing minimum *vertex* cuts between the two terminal
+// blocks an inertial-flow seeding picks at each nested-dissection split.
+//
+// The construction (Menger via max-flow): every node v of the current
+// partition becomes two flow nodes, v_in and v_out, joined by an internal
+// arc of capacity 1 — cutting that arc is removing v. Every adjacency
+// u ~ v of the induced subgraph (direction ignored: a separator must
+// cover cut edges of either direction, because chordal fill-in is
+// undirected) becomes two arcs u_out -> v_in and v_out -> u_in of
+// effectively infinite capacity, so a minimum cut can only ever consist
+// of internal arcs — a set of vertices. A super source feeds every
+// source terminal's out-node and every sink terminal's in-node drains to
+// a super sink, both over infinite arcs, which makes terminals uncuttable:
+// the min cut is forced into the free middle corridor between the
+// terminal blocks, which is exactly the balance guarantee inertial flow
+// is built on.
+//
+// After the flow is maximum the residual graph encodes *every* minimum
+// cut; the two canonical ones are read off the reachability sets:
+//
+//   - source side: S = nodes residual-reachable from the super source.
+//     v is cut iff v_in ∈ S but v_out ∉ S (its internal arc is the
+//     saturated boundary); v is on the A side iff v_out ∈ S.
+//   - sink side: T = nodes residual-co-reachable to the super sink.
+//     v is cut iff v_out ∈ T but v_in ∉ T; on the B side iff v_in ∈ T.
+//
+// Both cuts have exactly max-flow vertices (max-flow min-cut); they
+// differ in where they sit, and with them in how balanced the two
+// interiors come out. The dissector picks whichever is more balanced —
+// "the most balanced minimal cut via the residual reachability sets".
+//
+// All state lives in a flowScratch owned by one dissector goroutine and
+// reused across every split that goroutine processes: after the first
+// (largest, root-level) split the arrays are at capacity and a run
+// allocates nothing.
+
+import "repro/internal/graph"
+
+// flowInf is the capacity of the uncuttable arcs (adjacency and terminal
+// attachments). Any value exceeding the node count works; flows never
+// get near it.
+const flowInf = int32(1) << 30
+
+// Side labels minVertexCut leaves in flowScratch.side, indexed by
+// position in the set it was called with.
+const (
+	flowSideA   int8 = iota // source-side interior
+	flowSideCut             // separator
+	flowSideB               // sink-side interior
+)
+
+// flowScratch is the reusable zero-alloc state of one dissector's Dinic
+// runs. Flow nodes are numbered 2i (in) and 2i+1 (out) for the node at
+// position i of the current set, with the super source at 2m and the
+// super sink at 2m+1. Arcs are stored as parallel arrays chained through
+// per-node head/next lists; the reverse arc of arc a is a^1.
+type flowScratch struct {
+	// local maps graph node -> position in the current set. Only entries
+	// of current set members are valid; they are rewritten at the start
+	// of every run, so no reset pass is needed.
+	local []int32
+	// head/next/to/rcap are the arc lists. head is indexed by flow node;
+	// to, next and rcap by arc.
+	head, next, to, rcap []int32
+	// level doubles as the Dinic BFS level and, after the final (failed)
+	// phase, as the residual source-reachability marking (level >= 0).
+	level []int32
+	// iter is the current-arc pointer of the blocking-flow DFS.
+	iter []int32
+	// queue is the BFS ring buffer.
+	queue []int32
+	// coreach marks residual co-reachability to the super sink (the
+	// sink-side min cut's defining set).
+	coreach []bool
+	// side receives the chosen cut's labels, indexed by set position.
+	side []int8
+}
+
+// ensure sizes every array for a graph of n nodes and a set of m members.
+// The first call (the root split, m close to n) pays the allocations;
+// later splits are strictly smaller and reuse everything.
+func (f *flowScratch) ensure(n, m int) {
+	if len(f.local) < n {
+		f.local = make([]int32, n)
+	}
+	fn := 2*m + 2
+	if len(f.head) < fn {
+		f.head = make([]int32, fn)
+		f.level = make([]int32, fn)
+		f.iter = make([]int32, fn)
+		f.queue = make([]int32, fn)
+		f.coreach = make([]bool, fn)
+	}
+	if len(f.side) < m {
+		f.side = make([]int8, m)
+	}
+}
+
+// addArc appends a directed arc u -> v of the given capacity and its
+// zero-capacity reverse, keeping the a^1 pairing invariant.
+func (f *flowScratch) addArc(u, v, c int32) {
+	f.to = append(f.to, v)
+	f.rcap = append(f.rcap, c)
+	f.next = append(f.next, f.head[u])
+	f.head[u] = int32(len(f.to) - 1)
+	f.to = append(f.to, u)
+	f.rcap = append(f.rcap, 0)
+	f.next = append(f.next, f.head[v])
+	f.head[v] = int32(len(f.to) - 1)
+}
+
+// minVertexCut computes a minimum vertex cut of the subgraph induced by
+// set that separates the first nSrc positions (the source terminal
+// block) from the last nSink positions (the sink terminal block). set is
+// expected sorted along the split axis, so the terminal blocks are the
+// geometric extremes. Membership in the induced subgraph is tested via
+// setID[u] == aID || setID[u] == bID — the side stamps the dissector has
+// already issued for this split.
+//
+// The search aborts as soon as the flow reaches bound (the incumbent
+// separator's size): a cut at least that large cannot improve on the
+// fallback, so the remaining phases would be wasted work. On abort ok is
+// false and side labels are not written.
+//
+// On success it returns the cut size, and side holds one label per set
+// position: the more balanced of the source-side and sink-side minimum
+// cuts, ties broken toward the source side for determinism.
+func (f *flowScratch) minVertexCut(g *graph.Graph, set []graph.NodeID, nSrc, nSink int, setID []int32, aID, bID int32, bound int32) (int, bool) {
+	m := len(set)
+	f.ensure(g.NumNodes(), m)
+	fn := 2*m + 2
+	src, sink := int32(2*m), int32(2*m+1)
+	for i := 0; i < fn; i++ {
+		f.head[i] = -1
+	}
+	f.to = f.to[:0]
+	f.next = f.next[:0]
+	f.rcap = f.rcap[:0]
+	for i, v := range set {
+		f.local[v] = int32(i)
+	}
+	for i, v := range set {
+		in, out := int32(2*i), int32(2*i+1)
+		f.addArc(in, out, 1)
+		if i < nSrc {
+			f.addArc(src, out, flowInf)
+		}
+		if i >= m-nSink {
+			f.addArc(in, sink, flowInf)
+		}
+		// Undirected adjacency: every directed edge contributes both
+		// crossings. Iterating OutHeads of every member covers each edge
+		// of the induced subgraph exactly once (its tail is a member).
+		for _, u := range g.OutHeads(v) {
+			if sid := setID[u]; sid != aID && sid != bID {
+				continue // outside the current partition
+			}
+			j := f.local[u]
+			f.addArc(out, 2*j, flowInf)
+			f.addArc(2*j+1, in, flowInf)
+		}
+	}
+
+	// BFS-phase Dinic. Unit internal capacities bound each phase's
+	// augmentations by the eventual cut size, and the phase count by
+	// O(sqrt(arcs)); the bound abort keeps hopeless splits cheap.
+	flow := int32(0)
+	for f.bfs(src, sink, fn) {
+		copy(f.iter[:fn], f.head[:fn])
+		for f.dfs(src, sink) {
+			flow++
+			if flow >= bound {
+				return int(flow), false
+			}
+		}
+	}
+
+	// The final (failed) BFS left level >= 0 exactly on the nodes the
+	// super source still reaches in the residual graph — the source-side
+	// min cut's defining set. Compute the sink-side analogue by walking
+	// residual arcs backwards from the super sink.
+	for i := 0; i < fn; i++ {
+		f.coreach[i] = false
+	}
+	f.coreach[sink] = true
+	f.queue[0] = sink
+	for qh, qt := 0, 1; qh < qt; {
+		v := f.queue[qh]
+		qh++
+		for a := f.head[v]; a >= 0; a = f.next[a] {
+			// Residual arc w -> v exists iff the partner of the v -> w
+			// record still has capacity.
+			if w := f.to[a]; f.rcap[a^1] > 0 && !f.coreach[w] {
+				f.coreach[w] = true
+				f.queue[qt] = w
+				qt++
+			}
+		}
+	}
+
+	// Balance of the two canonical cuts. Terminal blocks are uncuttable
+	// and stick to their own side, so both interiors always keep at
+	// least their terminal quarter — the balance corridor.
+	nA, cutA := 0, 0
+	nB2, cutB := 0, 0
+	for i := 0; i < m; i++ {
+		if f.level[2*i+1] >= 0 {
+			nA++
+		} else if f.level[2*i] >= 0 {
+			cutA++
+		}
+		if f.coreach[2*i] {
+			nB2++
+		} else if f.coreach[2*i+1] {
+			cutB++
+		}
+	}
+	nB := m - nA - cutA
+	nA2 := m - nB2 - cutB
+	useSource := absInt(nA-nB) <= absInt(nA2-nB2)
+	cut := cutA
+	if !useSource {
+		cut = cutB
+	}
+	for i := 0; i < m; i++ {
+		if useSource {
+			switch {
+			case f.level[2*i+1] >= 0:
+				f.side[i] = flowSideA
+			case f.level[2*i] >= 0:
+				f.side[i] = flowSideCut
+			default:
+				f.side[i] = flowSideB
+			}
+		} else {
+			switch {
+			case f.coreach[2*i]:
+				f.side[i] = flowSideB
+			case f.coreach[2*i+1]:
+				f.side[i] = flowSideCut
+			default:
+				f.side[i] = flowSideA
+			}
+		}
+	}
+	return cut, true
+}
+
+// bfs builds the level graph of the current Dinic phase and reports
+// whether the sink is still reachable.
+func (f *flowScratch) bfs(src, sink int32, fn int) bool {
+	level := f.level[:fn]
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	f.queue[0] = src
+	for qh, qt := 0, 1; qh < qt; {
+		v := f.queue[qh]
+		qh++
+		for a := f.head[v]; a >= 0; a = f.next[a] {
+			if w := f.to[a]; f.rcap[a] > 0 && level[w] < 0 {
+				level[w] = level[v] + 1
+				f.queue[qt] = w
+				qt++
+			}
+		}
+	}
+	return level[sink] >= 0
+}
+
+// dfs pushes one unit of blocking flow along the level graph, advancing
+// the per-node current-arc pointers so exhausted branches are never
+// revisited within a phase.
+func (f *flowScratch) dfs(v, sink int32) bool {
+	if v == sink {
+		return true
+	}
+	for f.iter[v] >= 0 {
+		a := f.iter[v]
+		if w := f.to[a]; f.rcap[a] > 0 && f.level[w] == f.level[v]+1 && f.dfs(w, sink) {
+			f.rcap[a]--
+			f.rcap[a^1]++
+			// Do not advance iter: the arc may have residual capacity
+			// left for the next augmentation of this phase.
+			return true
+		}
+		f.iter[v] = f.next[a]
+	}
+	return false
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,258 @@
+package cch
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+// flowTestGraph builds a two-way road graph from an edge list on n
+// nodes. Coordinates are a dummy line — minVertexCut never reads
+// geometry; the inertial seeding happens in the caller via set order.
+func flowTestGraph(n int, edges [][2]int) *graph.Graph {
+	b := graph.NewBuilder(n, len(edges)*2)
+	o := geo.Point{Lat: -37.81, Lon: 144.96}
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Offset(o, 0, float64(i)*100))
+	}
+	for _, e := range edges {
+		b.AddEdge(graph.EdgeSpec{From: graph.NodeID(e[0]), To: graph.NodeID(e[1]), Class: graph.Residential, TwoWay: true})
+	}
+	return b.Build()
+}
+
+// runMinCut invokes minVertexCut on the whole graph in the given set
+// order, with the first nSrc and last nSink positions as terminals, and
+// returns the cut size, the per-node side labels (indexed by node ID)
+// and the completion flag.
+func runMinCut(t *testing.T, g *graph.Graph, set []graph.NodeID, nSrc, nSink int, bound int32) (int, map[graph.NodeID]int8, bool) {
+	t.Helper()
+	setID := make([]int32, g.NumNodes())
+	for _, v := range set {
+		setID[v] = 1
+	}
+	var f flowScratch
+	cut, ok := f.minVertexCut(g, set, nSrc, nSink, setID, 1, 2, bound)
+	sides := map[graph.NodeID]int8{}
+	if ok {
+		for i, v := range set {
+			sides[v] = f.side[i]
+		}
+	}
+	return cut, sides, ok
+}
+
+// checkCut verifies the structural invariants of a returned labeling:
+// terminals on their own side, no edge joins the A interior to the B
+// interior, and the cut size matches the number of flowSideCut labels.
+func checkCut(t *testing.T, g *graph.Graph, set []graph.NodeID, nSrc, nSink, cut int, sides map[graph.NodeID]int8) {
+	t.Helper()
+	m := len(set)
+	nCut := 0
+	for i, v := range set {
+		switch sides[v] {
+		case flowSideCut:
+			nCut++
+			if i < nSrc || i >= m-nSink {
+				t.Errorf("terminal %d (pos %d) labeled cut — terminals must be uncuttable", v, i)
+			}
+		case flowSideA:
+			if i >= m-nSink {
+				t.Errorf("sink terminal %d labeled side A", v)
+			}
+		case flowSideB:
+			if i < nSrc {
+				t.Errorf("source terminal %d labeled side B", v)
+			}
+		}
+	}
+	if nCut != cut {
+		t.Errorf("cut size %d but %d nodes labeled cut", cut, nCut)
+	}
+	for _, v := range set {
+		if sides[v] != flowSideA {
+			continue
+		}
+		for _, u := range g.OutHeads(v) {
+			if sides[u] == flowSideB {
+				t.Errorf("edge %d–%d joins the A and B interiors across the cut", v, u)
+			}
+		}
+	}
+}
+
+// TestMinVertexCutBridge: two K4 blobs joined through one articulation
+// node — the minimum vertex cut is exactly that node.
+func TestMinVertexCutBridge(t *testing.T) {
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, // blob A
+		{3, 4}, {4, 5}, // bridge node 4
+		{5, 6}, {5, 7}, {5, 8}, {6, 7}, {6, 8}, {7, 8}, // blob B
+	}
+	g := flowTestGraph(9, edges)
+	set := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	cut, sides, ok := runMinCut(t, g, set, 2, 2, 100)
+	if !ok || cut != 1 {
+		t.Fatalf("bridge cut = %d (ok %v), want 1", cut, ok)
+	}
+	// Any of {3}, {4}, {5} is a minimum cut; the balance tie breaks
+	// toward the source side, which reaches exactly node 3.
+	if sides[3] != flowSideCut {
+		t.Errorf("want the source-side cut {3} on a balance tie, got labels %v", sides)
+	}
+	checkCut(t, g, set, 2, 2, cut, sides)
+}
+
+// TestMinVertexCutGridCorridor: a 4×8 grid, set ordered column-major
+// with the first and last columns as terminals — the minimum cut is one
+// full column of 4 nodes.
+func TestMinVertexCutGridCorridor(t *testing.T) {
+	rows, cols := 4, 8
+	id := func(r, c int) int { return c*rows + r } // column-major
+	var edges [][2]int
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+		}
+	}
+	g := flowTestGraph(rows*cols, edges)
+	set := make([]graph.NodeID, rows*cols)
+	for i := range set {
+		set[i] = graph.NodeID(i)
+	}
+	cut, sides, ok := runMinCut(t, g, set, rows, rows, 100)
+	if !ok || cut != rows {
+		t.Fatalf("grid corridor cut = %d (ok %v), want %d", cut, ok, rows)
+	}
+	checkCut(t, g, set, rows, rows, cut, sides)
+}
+
+// TestMinVertexCutParallelPaths: two vertex-disjoint paths between a
+// source hub and a sink hub — the cut needs one node per path.
+func TestMinVertexCutParallelPaths(t *testing.T) {
+	// 0 —(1-2-3)— 7 and 0 —(4-5-6)— 7.
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 7},
+		{0, 4}, {4, 5}, {5, 6}, {6, 7},
+	}
+	g := flowTestGraph(8, edges)
+	set := []graph.NodeID{0, 1, 4, 2, 5, 3, 6, 7}
+	cut, sides, ok := runMinCut(t, g, set, 1, 1, 100)
+	if !ok || cut != 2 {
+		t.Fatalf("parallel paths cut = %d (ok %v), want 2", cut, ok)
+	}
+	checkCut(t, g, set, 1, 1, cut, sides)
+}
+
+// TestMinVertexCutBoundAbort: a bound at or below the true min cut makes
+// the search abort without labeling — the dissector then keeps its
+// geometric fallback.
+func TestMinVertexCutBoundAbort(t *testing.T) {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 7},
+		{0, 4}, {4, 5}, {5, 6}, {6, 7},
+	}
+	g := flowTestGraph(8, edges)
+	set := []graph.NodeID{0, 1, 4, 2, 5, 3, 6, 7}
+	if cut, _, ok := runMinCut(t, g, set, 1, 1, 2); ok {
+		t.Fatalf("bound 2 with true cut 2: search completed (cut %d), want abort", cut)
+	}
+	if cut, _, ok := runMinCut(t, g, set, 1, 1, 1); ok {
+		t.Fatalf("bound 1 with true cut 2: search completed (cut %d), want abort", cut)
+	}
+}
+
+// residualChoiceGraph is the fixture of the residual-cut-selection
+// tests: terminals of unequal size at the two ends of a chain with a
+// bypass edge, so several size-1 cuts exist and the source-side and
+// sink-side canonical cuts split the interiors with different balance.
+//
+//	t0, t1 — 2 — 3 — 4 — 5 — 6
+//	          \______/
+//
+// (bypass 2–4, terminals t0=0, t1=1 both attached to 2).
+func residualChoiceGraph() (*graph.Graph, []graph.NodeID) {
+	edges := [][2]int{
+		{0, 2}, {1, 2},
+		{2, 3}, {3, 4}, {2, 4},
+		{4, 5}, {5, 6},
+	}
+	return flowTestGraph(7, edges), []graph.NodeID{0, 1, 2, 3, 4, 5, 6}
+}
+
+// TestMinVertexCutPicksBalancedResidualCut: with the two-node terminal
+// block at the source end, the source-side cut {2} leaves interiors of
+// 2 and 4 nodes (diff 2) while the sink-side cut {5} leaves 5 and 1
+// (diff 4) — the source-side cut must win.
+func TestMinVertexCutPicksBalancedResidualCut(t *testing.T) {
+	g, set := residualChoiceGraph()
+	cut, sides, ok := runMinCut(t, g, set, 2, 1, 100)
+	if !ok || cut != 1 {
+		t.Fatalf("cut = %d (ok %v), want 1", cut, ok)
+	}
+	if sides[2] != flowSideCut {
+		t.Errorf("want source-side cut {2} (more balanced), got cut at %v", sides)
+	}
+	checkCut(t, g, set, 2, 1, cut, sides)
+}
+
+// TestMinVertexCutPicksBalancedResidualCutMirror mirrors the fixture
+// (two-node terminal block at the sink end): now the sink-side cut is
+// the more balanced one and must be chosen.
+func TestMinVertexCutPicksBalancedResidualCutMirror(t *testing.T) {
+	g, set := residualChoiceGraph()
+	// Reverse the set: positions flip, terminals swap roles.
+	rev := make([]graph.NodeID, len(set))
+	for i, v := range set {
+		rev[len(set)-1-i] = v
+	}
+	cut, sides, ok := runMinCut(t, g, rev, 1, 2, 100)
+	if !ok || cut != 1 {
+		t.Fatalf("cut = %d (ok %v), want 1", cut, ok)
+	}
+	if sides[2] != flowSideCut {
+		t.Errorf("want sink-side cut {2} (more balanced), got cut at %v", sides)
+	}
+	checkCut(t, g, rev, 1, 2, cut, sides)
+}
+
+// TestMinVertexCutScratchReuse runs two different cuts through one
+// scratch back to back — the zero-alloc reuse path of the dissector —
+// and checks the second run is uncontaminated by the first.
+func TestMinVertexCutScratchReuse(t *testing.T) {
+	bridgeEdges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{3, 4}, {4, 5},
+		{5, 6}, {5, 7}, {5, 8}, {6, 7}, {6, 8}, {7, 8},
+	}
+	gBridge := flowTestGraph(9, bridgeEdges)
+	pathEdges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 7},
+		{0, 4}, {4, 5}, {5, 6}, {6, 7},
+	}
+	gPaths := flowTestGraph(8, pathEdges)
+
+	var f flowScratch
+	setA := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	idsA := make([]int32, 9)
+	for i := range idsA {
+		idsA[i] = 1
+	}
+	if cut, ok := f.minVertexCut(gBridge, setA, 2, 2, idsA, 1, 2, 100); !ok || cut != 1 {
+		t.Fatalf("first run: cut = %d (ok %v), want 1", cut, ok)
+	}
+	setB := []graph.NodeID{0, 1, 4, 2, 5, 3, 6, 7}
+	idsB := make([]int32, 8)
+	for i := range idsB {
+		idsB[i] = 1
+	}
+	if cut, ok := f.minVertexCut(gPaths, setB, 1, 1, idsB, 1, 2, 100); !ok || cut != 2 {
+		t.Fatalf("reused scratch: cut = %d (ok %v), want 2", cut, ok)
+	}
+}

@@ -1,26 +1,149 @@
 package cch
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 )
 
-// Order computes the metric-independent contraction order the customizable
-// hierarchy is built on: a nested-dissection order from recursive geometric
-// bisection. Road networks are near-planar with small geometric separators,
-// so cutting the node set along the longer bounding-box axis and ordering
-// the separator *after* both halves yields the small-fill, balanced
-// elimination orders CCH preprocessing wants (every chordal arc stays
-// within one side or touches the separator, so fill-in cannot cross the
-// cut). The order depends only on the topology and node coordinates —
-// never on edge weights — which is what makes the contraction reusable
-// across arbitrary weight snapshots.
+// This file computes the metric-independent contraction order the
+// customizable hierarchy is built on: a nested-dissection order from
+// recursive bisection. Road networks are near-planar with small
+// separators, so cutting the node set and ordering the separator *after*
+// both halves yields the small-fill, balanced elimination orders CCH
+// preprocessing wants (every chordal arc stays within one side or touches
+// the separator, so fill-in cannot cross the cut). The order depends only
+// on the topology and node coordinates — never on edge weights — which is
+// what makes the contraction reusable across arbitrary weight snapshots.
 //
-// The returned slice maps node -> rank; higher rank = contracted later =
-// more important, matching the ch package's convention.
-func Order(g *graph.Graph) []int32 {
+// Two pipelines share the recursion, selected by OrderConfig.Kind:
+//
+//   - OrderGeometric splits along the longer bounding-box axis at the
+//     median node and covers the coordinate cut with a greedy minimal
+//     vertex cover (refineSeparator).
+//   - OrderFlow additionally runs an inertial-flow refinement per split:
+//     the sorted set's extreme quarters become source and sink terminals,
+//     a unit-capacity Dinic (flow.go) computes the minimum vertex cut
+//     between them, and the more balanced of the residual graph's two
+//     canonical minimum cuts replaces the geometric separator — but only
+//     when it is strictly smaller, so the flow order is never worse than
+//     the geometric one at any split.
+//
+// Separator size drives everything downstream — chordal pairs, triangles,
+// customization time, PHAST/RPHAST sweep arcs, matrix fill — which is why
+// the flow refinement pays for itself across every weight snapshot the
+// preprocessing ever serves.
+//
+// The recursion is parallel: the two interiors of a split share no nodes
+// and no rank slots (each branch's rank range is pre-reserved before it
+// is descended into), so branches fan out over OrderConfig.Workers
+// goroutines with output bit-identical to the serial recursion.
+
+// OrderKind selects the nested-dissection separator pipeline.
+type OrderKind uint8
+
+const (
+	// OrderGeometric is the coordinate-bisection pipeline: median split
+	// along the longer axis, greedy vertex-cover separator refinement.
+	OrderGeometric OrderKind = iota
+	// OrderFlow refines every split with an inertial-flow minimum vertex
+	// cut between the split's extreme quarters, falling back to the
+	// geometric separator whenever the cut is not strictly smaller.
+	// Smaller separators, fewer pairs and triangles, slower (one-off)
+	// preprocessing.
+	OrderFlow
+)
+
+// ParseOrderKind maps the shared command-line flag spelling ("geometric"
+// or "flow") onto an OrderKind.
+func ParseOrderKind(s string) (OrderKind, error) {
+	switch s {
+	case "geometric":
+		return OrderGeometric, nil
+	case "flow":
+		return OrderFlow, nil
+	}
+	return 0, fmt.Errorf("cch: invalid order kind %q (want geometric or flow)", s)
+}
+
+// String implements fmt.Stringer.
+func (k OrderKind) String() string {
+	if k == OrderFlow {
+		return "flow"
+	}
+	return "geometric"
+}
+
+// OrderConfig tunes one nested-dissection run. The zero value is the
+// historical default: geometric separators, GOMAXPROCS-parallel
+// recursion. Every configuration of Workers produces bit-identical
+// ranks — branch rank ranges are pre-reserved, so parallelism is purely
+// a wall-clock knob.
+type OrderConfig struct {
+	Kind OrderKind
+	// Workers bounds the recursion fan-out. 0 (or negative) selects
+	// runtime.GOMAXPROCS(0); 1 forces serial recursion.
+	Workers int
+}
+
+// Order computes the nested-dissection contraction order with the
+// default configuration (geometric separators). The returned slice maps
+// node -> rank; higher rank = contracted later = more important,
+// matching the ch package's convention.
+func Order(g *graph.Graph) []int32 { return OrderWith(g, OrderConfig{}) }
+
+// OrderWith is Order with explicit pipeline and worker control.
+func OrderWith(g *graph.Graph, cfg OrderConfig) []int32 {
+	return orderImpl(g, cfg, nil)
+}
+
+// OrderStats summarizes the splits of one nested-dissection run — the
+// separator-size profile the -orders report prints. Depth is recursion
+// depth: depth 0 is the single top-level split, and the per-depth totals
+// at small depths are the separators that dominate fill-in.
+type OrderStats struct {
+	// Splits counts the recursive splits that produced a separator.
+	Splits int
+	// SepNodes is the total number of nodes ranked as separators.
+	SepNodes int
+	// MaxSep is the largest single separator.
+	MaxSep int
+	// SepByDepth[d] is the total separator size over all splits at
+	// recursion depth d; SplitsByDepth[d] the number of such splits.
+	SepByDepth    []int
+	SplitsByDepth []int
+}
+
+// OrderWithStats is OrderWith plus the split-profile statistics. The
+// instrumented run is serial (stats aggregation must not observe
+// scheduling), so use OrderWith for production builds.
+func OrderWithStats(g *graph.Graph, cfg OrderConfig) ([]int32, OrderStats) {
+	var st OrderStats
+	rank := orderImpl(g, cfg, func(depth int, set, intA, intB, sep []graph.NodeID) {
+		st.Splits++
+		st.SepNodes += len(sep)
+		if len(sep) > st.MaxSep {
+			st.MaxSep = len(sep)
+		}
+		for len(st.SepByDepth) <= depth {
+			st.SepByDepth = append(st.SepByDepth, 0)
+			st.SplitsByDepth = append(st.SplitsByDepth, 0)
+		}
+		st.SepByDepth[depth] += len(sep)
+		st.SplitsByDepth[depth]++
+	})
+	return rank, st
+}
+
+// orderImpl runs the dissection. onSplit, when non-nil (stats and the
+// package tests), receives every non-degenerate split before its
+// interiors recurse and forces serial recursion so observation order is
+// deterministic.
+func orderImpl(g *graph.Graph, cfg OrderConfig, onSplit func(depth int, set, intA, intB, sep []graph.NodeID)) []int32 {
 	n := g.NumNodes()
 	rank := make([]int32, n)
 	if n == 0 {
@@ -30,43 +153,81 @@ func Order(g *graph.Graph) []int32 {
 	for v := range nodes {
 		nodes[v] = graph.NodeID(v)
 	}
-	// setID stamps which current partition a node belongs to, so separator
-	// detection can test "neighbour on the other side" in O(1) without
-	// per-level sets. IDs are issued fresh for every split.
-	d := &dissector{g: g, setID: make([]int32, n), cover: make([]int32, n), rank: rank}
+	st := &orderState{g: g, kind: cfg.Kind, rank: rank, onSplit: onSplit}
 	// Scale longitude distances to latitude degrees so the axis choice
 	// reflects metric extent, not raw degree spans.
-	d.lonScale = math.Cos(g.BBox().Center().Lat * math.Pi / 180)
-	d.dissect(nodes)
+	st.lonScale = math.Cos(g.BBox().Center().Lat * math.Pi / 180)
+	st.pool.New = func() any {
+		return &dissector{st: st, setID: make([]int32, n), cover: make([]int32, n)}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && onSplit == nil {
+		// The calling goroutine is worker #0; the semaphore holds the
+		// extra slots branches may claim.
+		st.sem = make(chan struct{}, workers-1)
+	}
+	d := st.pool.Get().(*dissector)
+	d.dissect(nodes, 0, 0)
+	st.pool.Put(d)
+	st.wg.Wait()
 	return rank
 }
 
+// orderState is the shared state of one OrderWith run: the output rank
+// array (branches write disjoint pre-reserved ranges), the worker
+// semaphore, and a pool of per-goroutine dissector scratches.
+type orderState struct {
+	g        *graph.Graph
+	kind     OrderKind
+	lonScale float64
+	rank     []int32
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	pool     sync.Pool
+	onSplit  func(depth int, set, intA, intB, sep []graph.NodeID)
+}
+
+// dissector is one goroutine's private scratch state. setID stamps which
+// current partition a node belongs to, so separator detection can test
+// "neighbour on the other side" in O(1) without per-level sets; IDs are
+// issued fresh for every split and are only ever compared against stamps
+// this same scratch wrote, so a branch running on its own scratch never
+// observes (or races with) a sibling's stamps.
 type dissector struct {
-	g     *graph.Graph
+	st    *orderState
 	setID []int32
 	// cover stamps cover membership during separator refinement on a
 	// separate array so setID keeps holding side membership (the greedy
 	// drop check needs to tell cut partners from same-side boundary
 	// neighbours).
-	cover    []int32
-	nextID   int32
-	nextRank int32
-	lonScale float64
-	rank     []int32
+	cover  []int32
+	nextID int32
+	// flow is the zero-alloc Dinic scratch of the OrderFlow pipeline,
+	// lazily sized at the first refined split.
+	flow flowScratch
 }
 
 // leafSize is the partition size below which nodes are ordered directly;
 // small enough that worst-case clique fill on a leaf is negligible.
 const leafSize = 24
 
-// dissect orders the given node set into ranks [d.nextRank, d.nextRank +
-// len(set)): both halves first (recursively), the separator last, so
-// separator nodes end up the most important nodes of their subtree.
-func (d *dissector) dissect(set []graph.NodeID) {
+// parallelDissectMin is the interior size below which a branch is not
+// worth handing to another goroutine.
+const parallelDissectMin = 2048
+
+// dissect orders the given node set into ranks [base, base+len(set)):
+// both interiors first (recursively), the separator last, so separator
+// nodes end up the most important nodes of their subtree. Rank ranges
+// are fully determined before any recursion starts, which is what makes
+// branch-parallel execution bit-identical to serial.
+func (d *dissector) dissect(set []graph.NodeID, base int32, depth int) {
+	st := d.st
 	if len(set) <= leafSize {
-		for _, v := range set {
-			d.rank[v] = d.nextRank
-			d.nextRank++
+		for i, v := range set {
+			st.rank[v] = base + int32(i)
 		}
 		return
 	}
@@ -76,13 +237,13 @@ func (d *dissector) dissect(set []graph.NodeID) {
 	minLat, maxLat := math.Inf(1), math.Inf(-1)
 	minLon, maxLon := math.Inf(1), math.Inf(-1)
 	for _, v := range set {
-		p := d.g.Point(v)
+		p := st.g.Point(v)
 		minLat, maxLat = math.Min(minLat, p.Lat), math.Max(maxLat, p.Lat)
 		minLon, maxLon = math.Min(minLon, p.Lon), math.Max(maxLon, p.Lon)
 	}
-	byLon := (maxLon-minLon)*d.lonScale > maxLat-minLat
+	byLon := (maxLon-minLon)*st.lonScale > maxLat-minLat
 	sort.Slice(set, func(i, j int) bool {
-		pi, pj := d.g.Point(set[i]), d.g.Point(set[j])
+		pi, pj := st.g.Point(set[i]), st.g.Point(set[j])
 		if byLon {
 			if pi.Lon != pj.Lon {
 				return pi.Lon < pj.Lon
@@ -105,50 +266,128 @@ func (d *dissector) dissect(set []graph.NodeID) {
 	for _, v := range b {
 		d.setID[v] = bID
 	}
-	// Vertex separator covering every A–B cut edge. The baseline is
-	// one-sided (every A node with an undirected neighbour in B); the
-	// refinement pass (refineSeparator) instead covers the cut from both
-	// boundaries and greedily drops redundant nodes, and the smaller of
-	// the two wins — separator size is what drives chordal fill-in, so a
-	// node shaved here removes a whole clique row of pairs and triangles.
-	sep := d.refineSeparator(set, a, b, aID, bID)
+	sep, intA, intB := d.separate(set, a, b, aID, bID)
 	// Degenerate split (everything is separator): recursion cannot make
 	// progress, so order the set directly — abandoning recursion for the
 	// full set would hand the chordal fill-in an arbitrary order over up
 	// to n nodes, but this only happens for dense blobs the leaf path
 	// handles acceptably.
 	if len(sep) == len(set) {
-		for _, v := range set {
-			d.rank[v] = d.nextRank
-			d.nextRank++
+		for i, v := range set {
+			st.rank[v] = base + int32(i)
 		}
 		return
 	}
-	// Both interiors recurse first; the separator is ranked last, making
-	// its nodes the most important of this subtree. sepID stamps let the
-	// interior split run in one pass per side.
+	if st.onSplit != nil {
+		st.onSplit(depth, set, intA, intB, sep)
+	}
+	// Pre-reserve every range: interiors pack [base, base+|intA|+|intB|),
+	// the separator takes the top of the subtree — its nodes become the
+	// most important of this split whatever order the branches run in.
+	for i, v := range sep {
+		st.rank[v] = base + int32(len(set)-len(sep)+i)
+	}
+	baseB := base + int32(len(intA))
+	if st.sem != nil && len(intA) >= parallelDissectMin {
+		select {
+		case st.sem <- struct{}{}:
+			st.wg.Add(1)
+			go func(branch []graph.NodeID, branchBase int32) {
+				defer st.wg.Done()
+				d2 := st.pool.Get().(*dissector)
+				d2.dissect(branch, branchBase, depth+1)
+				st.pool.Put(d2)
+				<-st.sem
+			}(intA, base)
+			intA = nil
+		default:
+			// No free worker: recurse inline below.
+		}
+	}
+	if intA != nil {
+		d.dissect(intA, base, depth+1)
+	}
+	d.dissect(intB, baseB, depth+1)
+}
+
+// separate computes the split's vertex separator and the two interiors
+// it leaves. The geometric baseline covers the coordinate cut with the
+// greedy vertex-cover refinement; the flow pipeline then tries to beat
+// it with an inertial-flow minimum cut and keeps whichever is smaller —
+// the refinement is monotone: never worse than the geometric separator.
+// A degenerate result (separator == set) is signalled by nil interiors.
+func (d *dissector) separate(set, a, b []graph.NodeID, aID, bID int32) (sep, intA, intB []graph.NodeID) {
+	sep = d.refineSeparator(set, a, b, aID, bID)
+	if d.st.kind == OrderFlow && len(sep) > 0 {
+		if fsep, fa, fb, ok := d.flowRefine(set, aID, bID, len(sep)); ok {
+			return fsep, fa, fb
+		}
+	}
+	if len(sep) == len(set) {
+		return sep, nil, nil
+	}
+	// Interiors of the geometric halves. sepID stamps let the membership
+	// test run in one pass per side.
 	sepID := d.freshID()
 	for _, v := range sep {
 		d.setID[v] = sepID
 	}
-	interior := make([]graph.NodeID, 0, len(a))
+	intA = make([]graph.NodeID, 0, len(a))
 	for _, v := range a {
 		if d.setID[v] != sepID {
-			interior = append(interior, v)
+			intA = append(intA, v)
 		}
 	}
-	bInterior := make([]graph.NodeID, 0, len(b))
+	intB = make([]graph.NodeID, 0, len(b))
 	for _, v := range b {
 		if d.setID[v] != sepID {
-			bInterior = append(bInterior, v)
+			intB = append(intB, v)
 		}
 	}
-	d.dissect(interior)
-	d.dissect(bInterior)
-	for _, v := range sep {
-		d.rank[v] = d.nextRank
-		d.nextRank++
+	return sep, intA, intB
+}
+
+// flowMinBalanceDen is the balance corridor: each flow interior must keep
+// at least len(set)/flowMinBalanceDen nodes. The terminal construction
+// (uncuttable extreme quarters) guarantees this structurally; the check
+// is the safety net that keeps a surprising cut from degenerating the
+// recursion.
+const flowMinBalanceDen = 4
+
+// flowRefine runs the inertial-flow refinement of one split: the sorted
+// set's extreme quarters become terminals, Dinic computes the minimum
+// vertex cut between them (aborting at bound, the incumbent geometric
+// separator's size), and the most balanced minimal cut's sides become
+// the interiors. ok is false when the cut is no improvement or falls
+// outside the balance corridor — the caller then keeps the geometric
+// separator, making the refinement monotone.
+func (d *dissector) flowRefine(set []graph.NodeID, aID, bID int32, bound int) (sep, intA, intB []graph.NodeID, ok bool) {
+	m := len(set)
+	nTerm := m / 4
+	if nTerm < 1 {
+		return nil, nil, nil, false
 	}
+	cut, done := d.flow.minVertexCut(d.st.g, set, nTerm, nTerm, d.setID, aID, bID, int32(bound))
+	if !done || cut >= bound {
+		return nil, nil, nil, false
+	}
+	intA = make([]graph.NodeID, 0, m-cut)
+	intB = make([]graph.NodeID, 0, m-cut)
+	sep = make([]graph.NodeID, 0, cut)
+	for i, v := range set { // set order: deterministic
+		switch d.flow.side[i] {
+		case flowSideA:
+			intA = append(intA, v)
+		case flowSideCut:
+			sep = append(sep, v)
+		default:
+			intB = append(intB, v)
+		}
+	}
+	if len(intA) < m/flowMinBalanceDen || len(intB) < m/flowMinBalanceDen {
+		return nil, nil, nil, false
+	}
+	return sep, intA, intB, true
 }
 
 // refineSeparator returns a vertex separator of the a/b split: a set of
@@ -199,14 +438,14 @@ func (d *dissector) refineSeparator(set, a, b []graph.NodeID, aID, bID int32) []
 	for _, v := range boundary {
 		other := otherOf(v)
 		redundant := true
-		for _, u := range d.g.OutHeads(v) {
+		for _, u := range d.st.g.OutHeads(v) {
 			if d.setID[u] == other && d.cover[u] != inCover {
 				redundant = false
 				break
 			}
 		}
 		if redundant {
-			for _, u := range d.g.InTails(v) {
+			for _, u := range d.st.g.InTails(v) {
 				if d.setID[u] == other && d.cover[u] != inCover {
 					redundant = false
 					break
@@ -244,12 +483,12 @@ func (d *dissector) refineSeparator(set, a, b []graph.NodeID, aID, bID int32) []
 // parallel and two-way edges as they appear in the adjacency.
 func (d *dissector) cutDegree(v graph.NodeID, id int32) int {
 	deg := 0
-	for _, u := range d.g.OutHeads(v) {
+	for _, u := range d.st.g.OutHeads(v) {
 		if d.setID[u] == id {
 			deg++
 		}
 	}
-	for _, u := range d.g.InTails(v) {
+	for _, u := range d.st.g.InTails(v) {
 		if d.setID[u] == id {
 			deg++
 		}
@@ -265,12 +504,12 @@ func (d *dissector) freshID() int32 {
 // touches reports whether v has an out- or in-neighbour currently stamped
 // with the given partition id.
 func (d *dissector) touches(v graph.NodeID, id int32) bool {
-	for _, u := range d.g.OutHeads(v) {
+	for _, u := range d.st.g.OutHeads(v) {
 		if d.setID[u] == id {
 			return true
 		}
 	}
-	for _, u := range d.g.InTails(v) {
+	for _, u := range d.st.g.InTails(v) {
 		if d.setID[u] == id {
 			return true
 		}

@@ -1,0 +1,196 @@
+package cch
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/citygen"
+	"repro/internal/graph"
+)
+
+// melbourneGraph memoizes the citygen Melbourne network for the order
+// tests — generation is deterministic, so sharing one graph across tests
+// is safe and keeps the package's test time down.
+var melbourneOnce struct {
+	g *graph.Graph
+}
+
+func melbourneGraph(t testing.TB) *graph.Graph {
+	if melbourneOnce.g == nil {
+		g, err := citygen.Melbourne().Generate(2022)
+		if err != nil {
+			t.Fatalf("generate Melbourne: %v", err)
+		}
+		melbourneOnce.g = g
+	}
+	return melbourneOnce.g
+}
+
+// TestFlowOrderBeatsGeometricMelbourne pins the point of the flow
+// pipeline: on the Melbourne profile the inertial-flow separators must
+// shrink the contraction by at least 10% in both chordal pairs and
+// triangles relative to the geometric order (ISSUE 8 acceptance
+// criterion; geometric baseline 146,950 pairs / 3.44M triangles).
+func TestFlowOrderBeatsGeometricMelbourne(t *testing.T) {
+	g := melbourneGraph(t)
+	geo := PreprocessWith(g, OrderConfig{Kind: OrderGeometric})
+	flow := PreprocessWith(g, OrderConfig{Kind: OrderFlow})
+	t.Logf("geometric: %d pairs, %d triangles", geo.NumPairs(), geo.NumTriangles())
+	t.Logf("flow:      %d pairs, %d triangles", flow.NumPairs(), flow.NumTriangles())
+	if flow.NumPairs() > geo.NumPairs()*9/10 {
+		t.Errorf("flow order pairs %d > 90%% of geometric %d", flow.NumPairs(), geo.NumPairs())
+	}
+	if flow.NumTriangles() > geo.NumTriangles()*9/10 {
+		t.Errorf("flow order triangles %d > 90%% of geometric %d", flow.NumTriangles(), geo.NumTriangles())
+	}
+}
+
+// orderSplit is one recorded dissection split: the node sets the
+// validity test re-checks against the final ranks.
+type orderSplit struct {
+	set, intA, intB, sep []graph.NodeID
+}
+
+// TestOrderValidity is the property test of both order pipelines: the
+// returned rank must be a permutation, and at every recorded split (a)
+// the separator and interiors partition the split's set, (b) no graph
+// edge joins the two interiors — every cut edge has a separator
+// endpoint, the invariant chordal fill-in containment rests on — and
+// (c) the set occupies one contiguous rank block whose top |sep| ranks
+// are exactly the separator, so elimination respects side containment.
+func TestOrderValidity(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid30", gridCity(30, 30)},
+		{"random1", randomCity(1, 800)},
+		{"random7", randomCity(7, 800)},
+		{"Melbourne", melbourneGraph(t)},
+	}
+	for _, tc := range graphs {
+		for _, kind := range []OrderKind{OrderGeometric, OrderFlow} {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, kind), func(t *testing.T) {
+				var splits []orderSplit
+				rank := orderImpl(tc.g, OrderConfig{Kind: kind}, func(_ int, set, intA, intB, sep []graph.NodeID) {
+					splits = append(splits, orderSplit{
+						set:  append([]graph.NodeID(nil), set...),
+						intA: append([]graph.NodeID(nil), intA...),
+						intB: append([]graph.NodeID(nil), intB...),
+						sep:  append([]graph.NodeID(nil), sep...),
+					})
+				})
+				n := tc.g.NumNodes()
+				seen := make([]bool, n)
+				for v := 0; v < n; v++ {
+					r := rank[v]
+					if r < 0 || int(r) >= n || seen[r] {
+						t.Fatalf("rank is not a permutation: node %d has rank %d", v, r)
+					}
+					seen[r] = true
+				}
+				if len(splits) == 0 && n > leafSize {
+					t.Fatalf("no splits recorded on %d nodes", n)
+				}
+				side := make(map[graph.NodeID]int8, n)
+				for _, s := range splits {
+					if len(s.intA)+len(s.intB)+len(s.sep) != len(s.set) {
+						t.Fatalf("split does not partition its set: |A|=%d |B|=%d |sep|=%d |set|=%d",
+							len(s.intA), len(s.intB), len(s.sep), len(s.set))
+					}
+					for k := range side {
+						delete(side, k)
+					}
+					for _, v := range s.intA {
+						side[v] = 1
+					}
+					for _, v := range s.intB {
+						side[v] = 2
+					}
+					for _, v := range s.intA {
+						for _, u := range tc.g.OutHeads(v) {
+							if side[u] == 2 {
+								t.Fatalf("cut edge %d–%d has no separator endpoint", v, u)
+							}
+						}
+						for _, u := range tc.g.InTails(v) {
+							if side[u] == 2 {
+								t.Fatalf("cut edge %d–%d has no separator endpoint", u, v)
+							}
+						}
+					}
+					// Contiguity + separator-on-top: sorting the set's ranks
+					// must give one dense block ending in the separator.
+					ranks := make([]int, 0, len(s.set))
+					for _, v := range s.set {
+						ranks = append(ranks, int(rank[v]))
+					}
+					sort.Ints(ranks)
+					for i := 1; i < len(ranks); i++ {
+						if ranks[i] != ranks[i-1]+1 {
+							t.Fatalf("split ranks not contiguous at %d..%d", ranks[i-1], ranks[i])
+						}
+					}
+					sepFloor := ranks[0] + len(s.set) - len(s.sep)
+					for _, v := range s.sep {
+						if int(rank[v]) < sepFloor {
+							t.Fatalf("separator node %d ranked %d below its interiors (floor %d)",
+								v, rank[v], sepFloor)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOrderParallelMatchesSerial pins the determinism contract of the
+// parallel dissection: every worker count yields bit-identical ranks,
+// because branch rank ranges are pre-reserved before any branch runs.
+func TestOrderParallelMatchesSerial(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid40", gridCity(40, 40)},
+		{"Melbourne", melbourneGraph(t)},
+	}
+	for _, tc := range graphs {
+		for _, kind := range []OrderKind{OrderGeometric, OrderFlow} {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, kind), func(t *testing.T) {
+				serial := OrderWith(tc.g, OrderConfig{Kind: kind, Workers: 1})
+				for _, workers := range []int{0, 2, 4} {
+					got := OrderWith(tc.g, OrderConfig{Kind: kind, Workers: workers})
+					for v := range got {
+						if got[v] != serial[v] {
+							t.Fatalf("workers=%d: rank[%d] = %d, serial %d", workers, v, got[v], serial[v])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPreprocessSharedKeyedByOrder pins the memo fix: two callers asking
+// for different order pipelines on the same graph must get distinct
+// preprocessings (previously the second caller silently received the
+// first's), while repeat calls with the same kind share one.
+func TestPreprocessSharedKeyedByOrder(t *testing.T) {
+	g := gridCity(20, 20)
+	geo := PreprocessSharedWith(g, OrderConfig{Kind: OrderGeometric})
+	flow := PreprocessSharedWith(g, OrderConfig{Kind: OrderFlow})
+	if geo == flow {
+		t.Fatalf("geometric and flow preprocessings share one memo entry")
+	}
+	if geo.OrderKind() != OrderGeometric || flow.OrderKind() != OrderFlow {
+		t.Fatalf("order kinds not recorded: geo=%v flow=%v", geo.OrderKind(), flow.OrderKind())
+	}
+	if again := PreprocessSharedWith(g, OrderConfig{Kind: OrderFlow}); again != flow {
+		t.Fatalf("repeat flow preprocessing not shared")
+	}
+	if again := PreprocessShared(g); again != geo {
+		t.Fatalf("default-order PreprocessShared not keyed to the geometric entry")
+	}
+}

@@ -50,21 +50,32 @@ func TestBackendMatrix(t *testing.T) {
 		name    string
 		backend TreeBackend
 		hkind   HierarchyKind
+		order   OrderKind
 	}
+	// The CCH flavors run on both contraction-order pipelines — the flow
+	// order produces a different (smaller) hierarchy, and its routes must
+	// still be byte-identical to the Dijkstra baseline. Witness rows have
+	// no order dimension (theirs is metric-driven).
 	configs := []config{
-		{"ch/witness", TreeCH, HierarchyWitness},
-		{"ch/cch", TreeCH, HierarchyCCH},
-		{"ch/cch-perfect", TreeCH, HierarchyCCHPerfect},
-		{"ch-restricted/witness", TreeCHRestricted, HierarchyWitness},
-		{"ch-restricted/cch", TreeCHRestricted, HierarchyCCH},
-		{"ch-restricted/cch-perfect", TreeCHRestricted, HierarchyCCHPerfect},
-		{"ch-auto/witness", TreeCHAuto, HierarchyWitness},
-		{"ch-auto/cch", TreeCHAuto, HierarchyCCH},
-		{"ch-auto/cch-perfect", TreeCHAuto, HierarchyCCHPerfect},
+		{"ch/witness", TreeCH, HierarchyWitness, OrderGeometric},
+		{"ch/cch", TreeCH, HierarchyCCH, OrderGeometric},
+		{"ch/cch-perfect", TreeCH, HierarchyCCHPerfect, OrderGeometric},
+		{"ch/cch/flow", TreeCH, HierarchyCCH, OrderFlow},
+		{"ch/cch-perfect/flow", TreeCH, HierarchyCCHPerfect, OrderFlow},
+		{"ch-restricted/witness", TreeCHRestricted, HierarchyWitness, OrderGeometric},
+		{"ch-restricted/cch", TreeCHRestricted, HierarchyCCH, OrderGeometric},
+		{"ch-restricted/cch-perfect", TreeCHRestricted, HierarchyCCHPerfect, OrderGeometric},
+		{"ch-restricted/cch/flow", TreeCHRestricted, HierarchyCCH, OrderFlow},
+		{"ch-restricted/cch-perfect/flow", TreeCHRestricted, HierarchyCCHPerfect, OrderFlow},
+		{"ch-auto/witness", TreeCHAuto, HierarchyWitness, OrderGeometric},
+		{"ch-auto/cch", TreeCHAuto, HierarchyCCH, OrderGeometric},
+		{"ch-auto/cch-perfect", TreeCHAuto, HierarchyCCHPerfect, OrderGeometric},
+		{"ch-auto/cch/flow", TreeCHAuto, HierarchyCCH, OrderFlow},
+		{"ch-auto/cch-perfect/flow", TreeCHAuto, HierarchyCCHPerfect, OrderFlow},
 	}
 	plannerNames := []string{"Plateaus", "PrunedPlateaus", "Dissimilarity", "Penalty", "Commercial"}
-	mk := func(g *graph.Graph, snap *weights.Snapshot, backend TreeBackend, hkind HierarchyKind) []Planner {
-		o := Options{TreeBackend: backend, Hierarchy: hkind, Weights: snap}
+	mk := func(g *graph.Graph, snap *weights.Snapshot, backend TreeBackend, hkind HierarchyKind, order OrderKind) []Planner {
+		o := Options{TreeBackend: backend, Hierarchy: hkind, Order: order, Weights: snap}
 		return []Planner{
 			NewPlateaus(g, o),
 			NewPrunedPlateaus(g, o),
@@ -79,9 +90,9 @@ func TestBackendMatrix(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		g := randomRoadNetwork(seed+500, 140)
 		snap := closureSnapshot(g, seed+900)
-		baseline := mk(g, snap, TreeDijkstra, HierarchyWitness)
+		baseline := mk(g, snap, TreeDijkstra, HierarchyWitness, OrderGeometric)
 		for _, cfg := range configs {
-			other := mk(g, snap, cfg.backend, cfg.hkind)
+			other := mk(g, snap, cfg.backend, cfg.hkind, cfg.order)
 			for i := range baseline {
 				t.Run(cfg.name+"/"+plannerNames[i], func(t *testing.T) {
 					comparePlannersExact(t, baseline[i], other[i], g, 6, seed*31+int64(i))

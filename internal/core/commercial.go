@@ -78,7 +78,7 @@ func NewCommercial(g *graph.Graph, private []float64, opts Options) *Commercial 
 		poolSize:      16,
 	}
 	pruned := !opts.TreeBackend.usesHierarchy() && !opts.DisablePrunedTrees
-	c.prov = newProvider(g, src, true, opts.TreeBackend, opts.Hierarchy, opts.CustomizeWorkers, pruned, opts.UpperBound, opts.SelectionCacheBytes, nil)
+	c.prov = newProvider(g, src, true, pruned, nil, opts)
 	return c
 }
 

@@ -105,6 +105,15 @@ type Options struct {
 	// including +Inf closures. HierarchyCCHPerfect adds the perfect-
 	// customization post-pass on every publish. Ignored on TreeDijkstra.
 	Hierarchy HierarchyKind
+	// Order selects the nested-dissection pipeline behind the CCH
+	// hierarchy flavors: OrderGeometric (the default) bisects on
+	// coordinates with a greedy vertex-cover separator; OrderFlow refines
+	// every split with an inertial-flow minimum vertex cut — smaller
+	// separators, fewer triangles, measurably faster customization on
+	// every publish, at the cost of a slower one-off preprocessing.
+	// Preprocessings are shared per (graph, order kind). Ignored off the
+	// CCH flavors.
+	Order OrderKind
 	// CustomizeWorkers bounds the per-level worker fan-out of CCH
 	// customization (the triangle relaxation behind every CCH publish).
 	// 0 selects GOMAXPROCS; 1 forces the serial sweep. Any value yields

@@ -64,7 +64,7 @@ func NewMatrixEngine(g *graph.Graph, opts Options, eng *Engine) *MatrixEngine {
 	return &MatrixEngine{
 		g:    g,
 		eng:  eng,
-		prov: newProvider(g, opts.Weights, true, opts.TreeBackend, opts.Hierarchy, opts.CustomizeWorkers, false, opts.UpperBound, opts.SelectionCacheBytes, nil),
+		prov: newProvider(g, opts.Weights, true, false, nil, opts),
 	}
 }
 

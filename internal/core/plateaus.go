@@ -51,7 +51,7 @@ func newPlateaus(g *graph.Graph, opts Options, pruned bool, wrap func(TreeSource
 	return &Plateaus{
 		g:    g,
 		opts: opts,
-		prov: newProvider(g, opts.Weights, true, opts.TreeBackend, opts.Hierarchy, opts.CustomizeWorkers, pruned, opts.UpperBound, opts.SelectionCacheBytes, wrap),
+		prov: newProvider(g, opts.Weights, true, pruned, wrap, opts),
 	}
 }
 

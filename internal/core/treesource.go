@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cch"
 	"repro/internal/ch"
 	"repro/internal/geo"
 	"repro/internal/graph"
@@ -138,13 +139,35 @@ func (k HierarchyKind) String() string {
 	return "witness"
 }
 
+// OrderKind selects the nested-dissection separator pipeline behind the
+// CCH hierarchy flavors — the cch package's type re-exported so command
+// wiring needs only one spelling. OrderGeometric is the coordinate-
+// bisection baseline; OrderFlow refines every split with an inertial-flow
+// minimum vertex cut (smaller separators, fewer triangles, faster
+// customization; slower one-off preprocessing). Ignored by
+// HierarchyWitness and the Dijkstra backend.
+type OrderKind = cch.OrderKind
+
+const (
+	OrderGeometric = cch.OrderGeometric
+	OrderFlow      = cch.OrderFlow
+)
+
+// ParseOrderKind maps the shared command-line flag spelling ("geometric"
+// or "flow") onto an OrderKind.
+func ParseOrderKind(s string) (OrderKind, error) { return cch.ParseOrderKind(s) }
+
 // HierarchyStatus is the serving-layer observability record of one
 // planner's hierarchy backend: which flavor answers queries right now,
 // how long the most recent (re)customization took, and — for restricted-
 // sweep backends — the most recent query's selection size and tree-pair
 // sweep time. Zero for planners not running on a hierarchy.
 type HierarchyStatus struct {
-	Kind          string
+	Kind string
+	// Order is the contraction-order pipeline ("geometric" or "flow")
+	// behind a CCH-flavored hierarchy; empty for witness hierarchies,
+	// whose order is metric-driven.
+	Order         string
 	LastCustomize time.Duration
 	// LastSelection is the elliptic target-set size of the most recent
 	// query on a restricted backend (0 off such backends); LastRestricted

@@ -86,6 +86,10 @@ type provider struct {
 	src     weights.Source
 	backend TreeBackend
 	hkind   HierarchyKind // which hierarchy flavor backs the CH backends
+	// order selects the nested-dissection pipeline of a CCH contraction
+	// (geometric or flow-refined separators). Baked into the shared
+	// preprocessing at first build; ignored by the witness flavor.
+	order OrderKind
 	// customizeWorkers bounds CCH customization's per-level fan-out
 	// (0: GOMAXPROCS). Carried into the hierarchy's customize hook, so
 	// every later re-customization inherits it.
@@ -118,24 +122,27 @@ type provider struct {
 // newProvider builds the resolver and synchronously installs the view of
 // the source's current snapshot, so construction keeps its pre-refactor
 // meaning: a TreeCH planner leaves its constructor with a ready hierarchy.
-// A nil src pins the graph's own base weights.
-func newProvider(g *graph.Graph, src weights.Source, needTrees bool, backend TreeBackend, hkind HierarchyKind, customizeWorkers int, pruned bool, upperBound float64, selCacheBytes int, wrap func(TreeSource) TreeSource) *provider {
+// The backend/hierarchy/order/worker/bound/cache knobs come from opts; a
+// nil src pins the graph's own base weights (note the Commercial planner
+// passes its private metric here, not opts.Weights).
+func newProvider(g *graph.Graph, src weights.Source, needTrees, pruned bool, wrap func(TreeSource) TreeSource, opts Options) *provider {
 	if src == nil {
 		src = weights.Pin(g.BaseWeights())
 	}
 	p := &provider{
 		g:                g,
 		src:              src,
-		backend:          backend,
-		hkind:            hkind,
-		customizeWorkers: customizeWorkers,
+		backend:          opts.TreeBackend,
+		hkind:            opts.Hierarchy,
+		order:            opts.Order,
+		customizeWorkers: opts.CustomizeWorkers,
 		pruned:           pruned,
-		upperBound:       upperBound,
+		upperBound:       opts.UpperBound,
 		needTrees:        needTrees,
 		wrap:             wrap,
-		selCacheBytes:    selCacheBytes,
+		selCacheBytes:    opts.SelectionCacheBytes,
 	}
-	if needTrees && (backend == TreeCHRestricted || backend == TreeCHAuto) {
+	if needTrees && (opts.TreeBackend == TreeCHRestricted || opts.TreeBackend == TreeCHAuto) {
 		p.selStats = &selectionStats{}
 		p.grid = spatial.NewIndex(g, 0)
 	}
@@ -187,6 +194,9 @@ func (p *provider) hierarchyStatus() HierarchyStatus {
 	st := HierarchyStatus{LastCustomize: time.Duration(p.lastCustomize.Load())}
 	if v := p.cur.Load(); v != nil && v.hier != nil {
 		st.Kind = v.hier.Kind()
+		if p.hkind == HierarchyCCH || p.hkind == HierarchyCCHPerfect {
+			st.Order = p.order.String()
+		}
 	}
 	if p.selStats != nil {
 		st.LastSelection = int(p.selStats.lastSelection.Load())
@@ -259,6 +269,7 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 			v.hier = prev.hier.Customize(w)
 		case p.hkind == HierarchyCCH || p.hkind == HierarchyCCHPerfect:
 			v.hier = cch.BuildWith(p.g, w, cch.Config{
+				Order:   cch.OrderConfig{Kind: p.order},
 				Workers: p.customizeWorkers,
 				Perfect: p.hkind == HierarchyCCHPerfect,
 			})
