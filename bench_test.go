@@ -563,6 +563,128 @@ func BenchmarkMicroCHDist(b *testing.B) {
 	}
 }
 
+// --- Point-to-point query engines (elimination tree vs bidirectional) --------
+//
+// The CCH flavors answer Dist two ways: the heap-free elimination-tree
+// ascent (the default) and the bidirectional upward Dijkstra it replaced.
+// Both return bit-identical distances; these benchmarks measure the gap
+// on Melbourne short- and long-range pairs under both contraction orders.
+// Run with -benchmem: the elimination-tree path must stay at 0 allocs/op
+// warm.
+
+// benchMelbourneLongPair picks two intersections on opposite sides of the
+// network — the long-range query whose ascents walk near-full root paths.
+func benchMelbourneLongPair(b *testing.B, city *eval.City) (s, t graph.NodeID) {
+	b.Helper()
+	c := city.Graph.BBox().Center()
+	s, _ = city.Index.Nearest(geo.Offset(c, -3500, -3500))
+	t, _ = city.Index.Nearest(geo.Offset(c, 3500, 3500))
+	if s == t {
+		b.Fatal("long pair collapsed to one intersection")
+	}
+	return s, t
+}
+
+type benchPair struct{ s, t graph.NodeID }
+
+// benchMelbourneShortPairs samples short-range (~1.2km) pairs around
+// eight neighborhoods of the city, so the short-query numbers average
+// over separator geometry instead of hinging on one lucky pair.
+func benchMelbourneShortPairs(b *testing.B, city *eval.City) []benchPair {
+	b.Helper()
+	c := city.Graph.BBox().Center()
+	var pairs []benchPair
+	for _, off := range [][2]float64{
+		{0, 0}, {2000, 0}, {-2000, 0}, {0, 2000},
+		{0, -2000}, {1500, 1500}, {-1500, 1500}, {1500, -1500},
+	} {
+		cc := geo.Offset(c, off[0], off[1])
+		s, _ := city.Index.Nearest(cc)
+		t, _ := city.Index.Nearest(geo.Offset(cc, 900, 800))
+		if s != t {
+			pairs = append(pairs, benchPair{s, t})
+		}
+	}
+	if len(pairs) == 0 {
+		b.Fatal("all short pairs collapsed")
+	}
+	return pairs
+}
+
+// benchQueryEngine runs Dist on the chosen engine over both contraction
+// orders and three query ranges: short is the city-center ~1.2km pair
+// every per-query benchmark in this file uses (benchMelbourneShortPair),
+// shortmix rotates through the eight-neighborhood sample so separator
+// geometry is averaged rather than hinging on one lucky cell, and long
+// is a cross-city pair.
+func benchQueryEngine(b *testing.B, bidir bool) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	for _, ord := range []struct {
+		name string
+		kind cch.OrderKind
+	}{{"geometric", cch.OrderGeometric}, {"flow", cch.OrderFlow}} {
+		pre := cch.PreprocessWith(city.Graph, cch.OrderConfig{Kind: ord.kind})
+		h := pre.CustomizeWith(city.Public, cch.Config{BidirQuery: bidir})
+		ss, st := benchMelbourneShortPair(b, city)
+		mix := benchMelbourneShortPairs(b, city)
+		ls, lt := benchMelbourneLongPair(b, city)
+		for _, q := range []struct {
+			name  string
+			pairs []benchPair
+		}{{"short", []benchPair{{ss, st}}}, {"shortmix", mix}, {"long", []benchPair{{ls, lt}}}} {
+			b.Run(ord.name+"/"+q.name, func(b *testing.B) {
+				h.Dist(q.pairs[0].s, q.pairs[0].t) // warm the workspace pool
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := q.pairs[i%len(q.pairs)]
+					h.Dist(p.s, p.t)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkElimTreeDist(b *testing.B) { benchQueryEngine(b, false) }
+
+func BenchmarkCHDist(b *testing.B) { benchQueryEngine(b, true) }
+
+// BenchmarkElimTreeMatrixBound measures the matrix engine's bound
+// computation for one target column of k sources: the batched
+// multi-source ascent (one backward ascent shared across k forward
+// ascents) against the k independent Dist calls it replaced.
+func BenchmarkElimTreeMatrixBound(b *testing.B) {
+	study := benchSetup(b)
+	city := study.Cities["Melbourne"]
+	pre := cch.PreprocessWith(city.Graph, cch.OrderConfig{Kind: cch.OrderFlow})
+	h := pre.CustomizeWith(city.Public, cch.Config{}).(*ch.Runtime)
+	rng := rand.New(rand.NewSource(7))
+	const k = 16
+	sources := make([]graph.NodeID, k)
+	for i := range sources {
+		sources[i] = graph.NodeID(rng.Intn(city.Graph.NumNodes()))
+	}
+	target := graph.NodeID(rng.Intn(city.Graph.NumNodes()))
+	out := make([]float64, k)
+	b.Run("batched", func(b *testing.B) {
+		h.AscentDists(sources, target, out) // warm the workspace pool
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !h.AscentDists(sources, target, out) {
+				b.Fatal("runtime declined the batched ascent")
+			}
+		}
+	})
+	b.Run("per-pair", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, s := range sources {
+				out[j] = h.Dist(s, target)
+			}
+		}
+	})
+}
+
 // --- Live traffic: CH re-customization vs full rebuild ------------------------
 
 // BenchmarkCHBuildFull is the cost of following a published weight

@@ -8,9 +8,10 @@
 // side by side — order build time, separator-size profile per recursion
 // depth, the size of the metric-independent contraction (pairs,
 // triangles, arcs), the dependency-level profile that bounds
-// customization parallelism, and the inert fraction a perfect
-// customization retires from the sweeps — for the Melbourne profile and
-// a 50×50 grid reference network.
+// customization parallelism, the elimination-tree shape (height and mean
+// leaf depth — the root-path lengths point-to-point ascents walk), and
+// the inert fraction a perfect customization retires from the sweeps —
+// for the Melbourne profile and a 50×50 grid reference network.
 //
 // Usage:
 //
@@ -75,15 +76,17 @@ func reportOrders() {
 // and how many arcs a perfect customization of the base metric proves
 // strictly dominated.
 type orderColumn struct {
-	build     time.Duration
-	stats     cch.OrderStats
-	pairs     int
-	triangles int
-	levels    int
-	maxWidth  int
-	medWidth  int
-	widePct   float64
-	inertPct  float64
+	build       time.Duration
+	stats       cch.OrderStats
+	pairs       int
+	triangles   int
+	levels      int
+	maxWidth    int
+	medWidth    int
+	widePct     float64
+	inertPct    float64
+	etHeight    int
+	etLeafDepth float64
 }
 
 func measureOrder(g *graph.Graph, kind cch.OrderKind) orderColumn {
@@ -94,6 +97,11 @@ func measureOrder(g *graph.Graph, kind cch.OrderKind) orderColumn {
 
 	pre := cch.PreprocessWith(g, cfg)
 	col.pairs, col.triangles = pre.NumPairs(), pre.NumTriangles()
+	// Elimination-tree shape: height bounds the worst-case point-to-point
+	// ascent, mean leaf depth the typical one — the query-side quality an
+	// order buys beyond customization size.
+	et := pre.ElimTree()
+	col.etHeight, col.etLeafDepth = et.Height(), et.AvgLeafDepth()
 	widths := pre.LevelWidths()
 	wide := 0
 	for _, w := range widths {
@@ -140,6 +148,9 @@ func orderReport(name string, g *graph.Graph) {
 	fmt.Printf("  %-14s %14d %14d %10s\n", "sep nodes", geo.stats.SepNodes, flow.stats.SepNodes, pct(flow.stats.SepNodes, geo.stats.SepNodes))
 	fmt.Printf("  %-14s %14d %14d %10s\n", "max sep", geo.stats.MaxSep, flow.stats.MaxSep, pct(flow.stats.MaxSep, geo.stats.MaxSep))
 	fmt.Printf("  %-14s %14d %14d %10s\n", "levels", geo.levels, flow.levels, pct(flow.levels, geo.levels))
+	fmt.Printf("  %-14s %14d %14d %10s\n", "elim height", geo.etHeight, flow.etHeight, pct(flow.etHeight, geo.etHeight))
+	fmt.Printf("  %-14s %14.1f %14.1f %10s\n", "avg leaf depth", geo.etLeafDepth, flow.etLeafDepth,
+		pct(int(flow.etLeafDepth*10), int(geo.etLeafDepth*10)))
 	fmt.Printf("  %-14s %13.1f%% %13.1f%%\n", "inert", geo.inertPct, flow.inertPct)
 	fmt.Printf("  levels: geometric max width %d, median %d, %.1f%% of pairs in levels >= 512 wide\n",
 		geo.maxWidth, geo.medWidth, geo.widePct)

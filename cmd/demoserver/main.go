@@ -38,18 +38,19 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent planner calls per city (0 = number of CPUs)")
 	trees := flag.String("trees", "ch-auto", "tree backend for the choice-routing planners: dijkstra, ch (PHAST full sweeps), ch-restricted (RPHAST) or ch-auto (default: RPHAST restricted sweeps for short queries, full sweeps otherwise)")
 	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind -trees ch: witness (smallest, exact only under witness-preserving metrics), cch (customizable; default, exact for every published snapshot incl. closures) or cch-perfect (cch plus dominated-arc pruning per publish)")
-	order := flag.String("order", "flow", "CCH contraction-order pipeline: flow (default: inertial-flow separators — smaller hierarchy, faster publishes) or geometric (coordinate bisection; faster one-off preprocessing)")
+	order := flag.String("order", "flow", "CCH contraction-order pipeline: flow (default: inertial-flow separators — smaller hierarchy, faster publishes; slower one-off order build at startup) or geometric (coordinate bisection; faster one-off preprocessing)")
+	query := flag.String("query", "elimtree", "point-to-point query engine on the CCH flavors: elimtree (default: heap-free elimination-tree ascents) or bidij (bidirectional upward Dijkstra); distances are bit-identical either way")
 	trafficStep := flag.Duration("traffic-step", 0, "auto-advance the rush-hour traffic sequence at this interval (0 disables; publishes also arrive via POST /api/publish)")
 	cacheSize := flag.Int("cache", core.DefaultCacheSize, "versioned result-cache capacity of the serving engine (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *ratingsPath, *workers, *trees, *hierarchy, *order, *trafficStep, *cacheSize); err != nil {
+	if err := run(*addr, *seed, *ratingsPath, *workers, *trees, *hierarchy, *order, *query, *trafficStep, *cacheSize); err != nil {
 		fmt.Fprintln(os.Stderr, "demoserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, ratingsPath string, workers int, trees, hierarchy, order string, trafficStep time.Duration, cacheSize int) error {
+func run(addr string, seed int64, ratingsPath string, workers int, trees, hierarchy, order, query string, trafficStep time.Duration, cacheSize int) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
@@ -62,7 +63,11 @@ func run(addr string, seed int64, ratingsPath string, workers int, trees, hierar
 	if err != nil {
 		return err
 	}
-	opts := core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind}
+	qeng, err := core.ParseQueryEngine(query)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind, Query: qeng}
 	fmt.Printf("Generating the three city networks (seed %d, %s trees, %s hierarchy, %s order)...\n", seed, trees, hkind, okind)
 	study, err := eval.NewStudyOpts(seed, opts)
 	if err != nil {

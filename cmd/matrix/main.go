@@ -38,19 +38,20 @@ func main() {
 	targetsArg := flag.String("targets", "", "explicit targets as semicolon-separated lat,lon pairs")
 	trees := flag.String("trees", "ch-restricted", "tree backend: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "cch", "hierarchy flavor behind the ch backends: witness, cch or cch-perfect")
-	order := flag.String("order", "geometric", "CCH contraction-order pipeline behind the cch flavors: geometric or flow")
+	order := flag.String("order", "flow", "CCH contraction-order pipeline behind the cch flavors: flow (default: smaller hierarchy, faster publishes; slower one-off order build at startup) or geometric")
+	query := flag.String("query", "elimtree", "point-to-point query engine on the CCH flavors: elimtree (default: heap-free elimination-tree ascents, batched per target column in the pairwise baseline) or bidij (bidirectional upward Dijkstra); distances are bit-identical either way")
 	reps := flag.Int("reps", 5, "warm repetitions timed per configuration")
 	baseline := flag.Bool("baseline", true, "also time the k² point-to-point baseline")
 	printTable := flag.Bool("print", false, "print the full table (minutes; '-' = unreachable)")
 	flag.Parse()
 
-	if err := run(*city, *graphPath, *seed, *k, *sourcesArg, *targetsArg, *trees, *hierarchy, *order, *reps, *baseline, *printTable); err != nil {
+	if err := run(*city, *graphPath, *seed, *k, *sourcesArg, *targetsArg, *trees, *hierarchy, *order, *query, *reps, *baseline, *printTable); err != nil {
 		fmt.Fprintln(os.Stderr, "matrix:", err)
 		os.Exit(1)
 	}
 }
 
-func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, trees, hierarchy, order string, reps int, baseline, printTable bool) error {
+func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, trees, hierarchy, order, query string, reps int, baseline, printTable bool) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
@@ -60,6 +61,10 @@ func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, tree
 		return err
 	}
 	okind, err := core.ParseOrderKind(order)
+	if err != nil {
+		return err
+	}
+	qeng, err := core.ParseQueryEngine(query)
 	if err != nil {
 		return err
 	}
@@ -89,7 +94,7 @@ func run(city, graphPath string, seed int64, k int, sourcesArg, targetsArg, tree
 	}
 
 	buildStart := time.Now()
-	m := core.NewMatrixEngine(g, core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind}, core.NewEngine(0))
+	m := core.NewMatrixEngine(g, core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind, Query: qeng}, core.NewEngine(0))
 	var tab core.Table
 	if err := m.MatrixInto(&tab, sources, targets); err != nil {
 		return err

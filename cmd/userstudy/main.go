@@ -31,16 +31,17 @@ func main() {
 	csvOut := flag.String("csv", "", "also write the raw study records to this CSV file")
 	trees := flag.String("trees", "dijkstra", "tree backend for the choice-routing planners: dijkstra, ch (PHAST), ch-restricted (RPHAST) or ch-auto")
 	hierarchy := flag.String("hierarchy", "witness", "hierarchy flavor behind -trees ch: witness or cch (customizable)")
-	order := flag.String("order", "geometric", "CCH contraction-order pipeline behind -hierarchy cch: geometric or flow")
+	order := flag.String("order", "flow", "CCH contraction-order pipeline behind -hierarchy cch: flow (default: smaller hierarchy, faster publishes; slower one-off order build at startup) or geometric")
+	query := flag.String("query", "elimtree", "point-to-point query engine on the CCH flavors: elimtree (default: heap-free elimination-tree ascents) or bidij (bidirectional upward Dijkstra); distances are bit-identical either way")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *table, *ablation, *matrix, *csvOut, *trees, *hierarchy, *order); err != nil {
+	if err := run(*seed, *scale, *table, *ablation, *matrix, *csvOut, *trees, *hierarchy, *order, *query); err != nil {
 		fmt.Fprintln(os.Stderr, "userstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, scale float64, table string, ablation, matrix bool, csvOut, trees, hierarchy, order string) error {
+func run(seed int64, scale float64, table string, ablation, matrix bool, csvOut, trees, hierarchy, order, query string) error {
 	if table != "1" && table != "2" && table != "all" {
 		return fmt.Errorf("invalid -table %q (want 1, 2 or all)", table)
 	}
@@ -56,9 +57,13 @@ func run(seed int64, scale float64, table string, ablation, matrix bool, csvOut,
 	if err != nil {
 		return err
 	}
+	qeng, err := core.ParseQueryEngine(query)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	fmt.Printf("Generating city networks (seed %d, %s trees, %s hierarchy, %s order)...\n", seed, trees, hkind, okind)
-	study, err := eval.NewStudyOpts(seed, core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind})
+	study, err := eval.NewStudyOpts(seed, core.Options{TreeBackend: backend, Hierarchy: hkind, Order: okind, Query: qeng})
 	if err != nil {
 		return err
 	}

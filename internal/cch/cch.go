@@ -76,6 +76,11 @@ type Preprocessed struct {
 	// structure level-parallel customization runs over.
 	levelOff   []int32
 	levelPairs []int32
+	// elim is the elimination tree of the chordal supergraph (parent =
+	// lowest-ranked upward neighbor), built once here and attached to
+	// every customized runtime — the topology the heap-free query engine
+	// walks. Metric-independent like everything else in a Preprocessed.
+	elim *ch.ElimTree
 
 	// template caches the first customized runtime so later Customize
 	// calls share its adjacency arrays instead of re-deriving them.
@@ -312,6 +317,28 @@ func PreprocessWith(g *graph.Graph, ocfg OrderConfig) *Preprocessed {
 		p.arcFrom[2*i] = p.lo[i]
 		p.arcFrom[2*i+1] = p.hi[i]
 	}
+
+	// Elimination tree: a node's parent is its lowest-ranked upward
+	// neighbor — the first of its pair group, which is sorted ascending by
+	// rank of the upper endpoint. Depths follow in one descending-rank
+	// pass (a parent always outranks its children, so it is final first).
+	parent := make([]graph.NodeID, n)
+	depth := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if pairStart[v] < pairEnd[v] {
+			parent[v] = p.hi[pairStart[v]]
+		} else {
+			parent[v] = graph.InvalidNode
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		if parent[v] >= 0 {
+			depth[v] = depth[parent[v]] + 1
+		}
+	}
+	p.elim = &ch.ElimTree{Parent: parent, Depth: depth}
+
 	p.computeLevels()
 	p.soa.New = func() any {
 		return &soaScratch{upW: make([]float64, P), downW: make([]float64, P)}
@@ -365,3 +392,8 @@ func (p *Preprocessed) NumTriangles() int { return len(p.triLoSide) }
 // Rank returns the nested-dissection contraction order (higher = more
 // important). The slice aliases internal storage.
 func (p *Preprocessed) Rank() []int32 { return p.rank }
+
+// ElimTree returns the elimination tree of the chordal supergraph — the
+// root-path topology the heap-free query engine ascends. Shared by every
+// customization; immutable.
+func (p *Preprocessed) ElimTree() *ch.ElimTree { return p.elim }

@@ -29,6 +29,11 @@ type Config struct {
 	// PHAST sweeps and RPHAST selections skip them. Roughly doubles
 	// customization cost; shrinks every subsequent sweep.
 	Perfect bool
+	// BidirQuery keeps the bidirectional upward Dijkstra for
+	// point-to-point queries instead of the default elimination-tree
+	// engine. Both return bit-identical distances; the toggle exists for
+	// ablations and the -query flag.
+	BidirQuery bool
 }
 
 // arcBuf is one generation's output storage: the packed arc array (and,
@@ -39,7 +44,11 @@ type Config struct {
 // snapshots reuses its previous generation's storage without ever
 // racing a query still reading it.
 type arcBuf struct {
-	arcs   []ch.Arc
+	arcs []ch.Arc
+	// arcW mirrors arcs[i].Weight — the packed view the runtime's relax
+	// loops read (ch.Runtime.WithArcsInert); filled by the same loop that
+	// packs the final weights into the arc records.
+	arcW   []float64
 	inert  []bool
 	leased atomic.Bool
 }
@@ -74,7 +83,7 @@ func (p *Preprocessed) acquireBuf(withInert bool) *arcBuf {
 		}
 	}
 	if buf == nil {
-		buf = &arcBuf{arcs: make([]ch.Arc, 2*P)}
+		buf = &arcBuf{arcs: make([]ch.Arc, 2*P), arcW: make([]float64, 2*P)}
 		buf.leased.Store(true)
 		if len(p.bufs) < maxArcBufs {
 			p.bufs = append(p.bufs, buf)
@@ -222,10 +231,14 @@ func (p *Preprocessed) CustomizeWith(weights []float64, cfg Config) ch.Hierarchy
 		}
 	}
 
-	// Pack the final weights back into the arc records.
+	// Pack the final weights back into the arc records and the packed
+	// weight view the relax loops read.
+	arcW := buf.arcW
 	for i := 0; i < P; i++ {
 		arcs[2*i].Weight = upW[i]
 		arcs[2*i+1].Weight = downW[i]
+		arcW[2*i] = upW[i]
+		arcW[2*i+1] = downW[i]
 	}
 
 	var inert []bool
@@ -251,9 +264,15 @@ func (p *Preprocessed) CustomizeWith(weights []float64, cfg Config) ch.Hierarchy
 		tmpl = p.template
 		p.mu.Unlock()
 	}
-	rt := tmpl.WithArcsInert(arcs, inert).WithCustomize(func(w []float64) ch.Hierarchy {
+	rt := tmpl.WithArcsInert(arcs, arcW, inert).WithCustomize(func(w []float64) ch.Hierarchy {
 		return p.CustomizeWith(w, cfg)
 	})
+	if !cfg.BidirQuery {
+		// The chordal supergraph's upward neighborhoods are cliques, so the
+		// elimination tree carries the whole upward search space: queries
+		// on this runtime walk root paths instead of running a heap.
+		rt = rt.WithElimTree(p.elim)
+	}
 	// The runtime owns the buffer for its lifetime; the finalizer returns
 	// it to the free list once no query can possibly read it anymore.
 	// (A deterministic release hook would reclaim earlier, but only the

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cch
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package cch
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation can allocate, so allocation-count assertions are
+// skipped.
+const raceEnabled = true

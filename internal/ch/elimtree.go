@@ -1,0 +1,57 @@
+package ch
+
+import "repro/internal/graph"
+
+// ElimTree is the elimination tree of a chordal supergraph: Parent[v] is
+// v's lowest-ranked upward neighbor (graph.InvalidNode at the roots —
+// nodes with no upward arcs, one per connected component). Because a
+// node's upward neighborhood forms a clique, every upward neighbor of v —
+// and transitively every node reachable from v by upward arcs — lies on
+// v's unique root path, which is what lets a point-to-point query walk
+// two root paths instead of running a priority-queue search (elimquery.go).
+//
+// The tree depends only on the contraction topology, never on weights, so
+// one tree (built once per preprocessing) is shared by every
+// customization. It is immutable and safe for concurrent use.
+type ElimTree struct {
+	// Parent[v] is the next node on v's root path, InvalidNode at roots.
+	Parent []graph.NodeID
+	// Depth[v] counts v's ancestors (0 at roots). Depth bounds every
+	// ascent: a query from v touches at most Depth[v]+1 nodes.
+	Depth []int32
+}
+
+// Height returns the number of nodes on the longest root path — the
+// worst-case ascent length of any query.
+func (t *ElimTree) Height() int {
+	max := int32(-1)
+	for _, d := range t.Depth {
+		if d > max {
+			max = d
+		}
+	}
+	return int(max) + 1
+}
+
+// AvgLeafDepth returns the mean depth over the tree's leaves (nodes that
+// are nobody's parent) — the typical ascent length of a query rooted at
+// an unimportant node, which is what most real endpoints are.
+func (t *ElimTree) AvgLeafDepth() float64 {
+	isParent := make([]bool, len(t.Parent))
+	for _, p := range t.Parent {
+		if p >= 0 {
+			isParent[p] = true
+		}
+	}
+	var sum, leaves int
+	for v, d := range t.Depth {
+		if !isParent[v] {
+			sum += int(d)
+			leaves++
+		}
+	}
+	if leaves == 0 {
+		return 0
+	}
+	return float64(sum) / float64(leaves)
+}

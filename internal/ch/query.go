@@ -8,13 +8,21 @@ import (
 )
 
 // Dist returns the exact shortest travel time from s to t, or +Inf if t is
-// unreachable. The search is the standard bidirectional upward Dijkstra:
-// the forward frontier climbs rank-increasing arcs from s, the backward
-// frontier climbs from t, and the best meeting node gives the answer.
+// unreachable. With an elimination tree attached (the CCH flavors) the
+// query walks the two root paths heap-free (elimquery.go); otherwise it
+// runs the standard bidirectional upward Dijkstra: the forward frontier
+// climbs rank-increasing arcs from s, the backward frontier climbs from
+// t, and the best meeting node gives the answer. Both engines return
+// bit-identical distances.
 func (h *Runtime) Dist(s, t graph.NodeID) float64 {
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	d, _ := h.searchInto(ws, s, t)
+	var d float64
+	if h.elim != nil {
+		d, _ = h.elimSearchInto(ws, s, t)
+	} else {
+		d, _ = h.searchInto(ws, s, t)
+	}
 	return d
 }
 
@@ -24,7 +32,13 @@ func (h *Runtime) Dist(s, t graph.NodeID) float64 {
 func (h *Runtime) Path(s, t graph.NodeID) ([]graph.EdgeID, float64) {
 	ws := sp.GetWorkspace()
 	defer ws.Release()
-	d, meet := h.searchInto(ws, s, t)
+	var d float64
+	var meet graph.NodeID
+	if h.elim != nil {
+		d, meet = h.elimSearchInto(ws, s, t)
+	} else {
+		d, meet = h.searchInto(ws, s, t)
+	}
 	if math.IsInf(d, 1) {
 		return nil, d
 	}
@@ -87,6 +101,7 @@ func (h *Runtime) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, grap
 
 	best := math.Inf(1)
 	meet := graph.InvalidNode
+	inert, arcTo, arcW, arcFrom := h.inert, h.arcTo, h.arcW, h.arcFrom
 
 	for f.Heap.Len() > 0 || b.Heap.Len() > 0 {
 		topF, topB := math.Inf(1), math.Inf(1)
@@ -110,14 +125,14 @@ func (h *Runtime) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, grap
 				meet = u
 			}
 			for _, ai := range h.upFwdAt(u) {
-				if h.inert != nil && h.inert[ai] {
+				if inert != nil && inert[ai] {
 					continue
 				}
-				a := h.arcs[ai]
-				nd := du + a.Weight
-				if nd < f.DistOf(a.To) {
-					f.Update(a.To, nd, graph.EdgeID(ai))
-					f.Heap.Push(a.To, nd)
+				to := arcTo[ai]
+				nd := du + arcW[ai]
+				if nd < f.DistOf(to) {
+					f.Update(to, nd, graph.EdgeID(ai))
+					f.Heap.Push(to, nd)
 				}
 			}
 		} else if b.Heap.Len() > 0 {
@@ -131,11 +146,11 @@ func (h *Runtime) searchInto(ws *sp.Workspace, s, t graph.NodeID) (float64, grap
 				meet = u
 			}
 			for _, ai := range h.upBwdAt(u) {
-				if h.inert != nil && h.inert[ai] {
+				if inert != nil && inert[ai] {
 					continue
 				}
-				from := h.arcFrom[ai]
-				nd := du + h.arcs[ai].Weight
+				from := arcFrom[ai]
+				nd := du + arcW[ai]
 				if nd < b.DistOf(from) {
 					b.Update(from, nd, graph.EdgeID(ai))
 					b.Heap.Push(from, nd)

@@ -93,6 +93,14 @@ type Runtime struct {
 	upBwdArcs []int32
 	// arcFrom[i] is the tail node of arcs[i].
 	arcFrom []graph.NodeID
+	// arcTo/arcW are packed copies of arcs[i].To and arcs[i].Weight — the
+	// only fields the relax loops read. A 32-byte Arc record drags the
+	// unpacking table through the cache on every relaxation; the packed
+	// views keep the hot loops at 12 bytes per arc. arcTo is
+	// topology-fixed and shared across customizations; arcW follows the
+	// arc array (WithArcs/WithArcsInert re-derive or adopt it).
+	arcTo []graph.NodeID
+	arcW  []float64
 	// inert, when non-nil, flags arcs a perfect customization proved
 	// strictly dominated by an up-down path through other arcs: queries
 	// and tree-builder packings skip them without losing exactness (the
@@ -104,6 +112,12 @@ type Runtime struct {
 	// customize, when non-nil, handles Customize calls (the CCH triangle
 	// relaxation); nil dispatches to the witness-flavor Recustomize.
 	customize func([]float64) Hierarchy
+	// elim, when non-nil, switches Dist/Path to the elimination-tree
+	// engine (elimquery.go). Only sound on hierarchies whose upward
+	// neighborhoods are cliques — package cch attaches it, the witness
+	// flavor never does. elimStats is allocated alongside it.
+	elim      *ElimTree
+	elimStats *elimCounters
 }
 
 // NewRuntime assembles a hierarchy runtime from externally built arcs:
@@ -121,7 +135,13 @@ func NewRuntime(g *graph.Graph, kind string, rank []int32, from []graph.NodeID, 
 		upFwdOff:  make([]int32, n+1),
 		upBwdOff:  make([]int32, n+1),
 		arcFrom:   from,
+		arcTo:     make([]graph.NodeID, len(arcs)),
+		arcW:      make([]float64, len(arcs)),
 		customize: customize,
+	}
+	for ai := range arcs {
+		h.arcTo[ai] = arcs[ai].To
+		h.arcW[ai] = arcs[ai].Weight
 	}
 	// Count, prefix-sum, fill.
 	for ai := range arcs {
@@ -175,6 +195,14 @@ func (h *Runtime) upBwdAt(v graph.NodeID) []int32 {
 func (h *Runtime) WithArcs(arcs []Arc) *Runtime {
 	rt := *h
 	rt.arcs = arcs
+	if arcs == nil {
+		rt.arcW = nil // template form: adjacency only, no metric
+		return &rt
+	}
+	rt.arcW = make([]float64, len(arcs))
+	for ai := range arcs {
+		rt.arcW[ai] = arcs[ai].Weight
+	}
 	return &rt
 }
 
@@ -188,12 +216,40 @@ func (h *Runtime) WithCustomize(fn func([]float64) Hierarchy) *Runtime {
 	return &rt
 }
 
-// WithArcsInert is WithArcs plus an inert-arc mask (aligned with arcs;
-// nil clears it) — the handoff from a perfect customization pass.
-func (h *Runtime) WithArcsInert(arcs []Arc, inert []bool) *Runtime {
+// WithArcsInert is WithArcs plus a packed weight view and an inert-arc
+// mask (both aligned with arcs; nil inert clears the mask) — the handoff
+// from a customization pass. arcW must hold arcs[i].Weight for every i;
+// passing the customization's own buffer keeps the swap allocation-free.
+// A nil arcW is derived here instead.
+func (h *Runtime) WithArcsInert(arcs []Arc, arcW []float64, inert []bool) *Runtime {
 	rt := *h
 	rt.arcs = arcs
 	rt.inert = inert
+	if arcW == nil {
+		arcW = make([]float64, len(arcs))
+		for ai := range arcs {
+			arcW[ai] = arcs[ai].Weight
+		}
+	}
+	rt.arcW = arcW
+	return &rt
+}
+
+// WithElimTree returns a runtime answering Dist/Path with the
+// elimination-tree engine over et (nil restores the bidirectional
+// search). The caller vouches that et is the elimination tree of this
+// runtime's topology and that upward neighborhoods are cliques — package
+// cch's chordal supergraph satisfies this by construction; a witness
+// hierarchy does not. Counters start fresh: each customized runtime
+// reports its own query telemetry, like a selection cache does.
+func (h *Runtime) WithElimTree(et *ElimTree) *Runtime {
+	rt := *h
+	rt.elim = et
+	if et != nil {
+		rt.elimStats = &elimCounters{}
+	} else {
+		rt.elimStats = nil
+	}
 	return &rt
 }
 

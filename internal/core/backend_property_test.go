@@ -51,31 +51,40 @@ func TestBackendMatrix(t *testing.T) {
 		backend TreeBackend
 		hkind   HierarchyKind
 		order   OrderKind
+		query   QueryEngine
 	}
 	// The CCH flavors run on both contraction-order pipelines — the flow
 	// order produces a different (smaller) hierarchy, and its routes must
 	// still be byte-identical to the Dijkstra baseline. Witness rows have
-	// no order dimension (theirs is metric-driven).
+	// no order dimension (theirs is metric-driven). CCH rows default to
+	// the elimination-tree query engine; the restricted backend — whose
+	// selection bounds come straight from hier.Dist — additionally runs
+	// bidij rows, pinning byte-identical routes across both engines on
+	// both flavors and both orders.
 	configs := []config{
-		{"ch/witness", TreeCH, HierarchyWitness, OrderGeometric},
-		{"ch/cch", TreeCH, HierarchyCCH, OrderGeometric},
-		{"ch/cch-perfect", TreeCH, HierarchyCCHPerfect, OrderGeometric},
-		{"ch/cch/flow", TreeCH, HierarchyCCH, OrderFlow},
-		{"ch/cch-perfect/flow", TreeCH, HierarchyCCHPerfect, OrderFlow},
-		{"ch-restricted/witness", TreeCHRestricted, HierarchyWitness, OrderGeometric},
-		{"ch-restricted/cch", TreeCHRestricted, HierarchyCCH, OrderGeometric},
-		{"ch-restricted/cch-perfect", TreeCHRestricted, HierarchyCCHPerfect, OrderGeometric},
-		{"ch-restricted/cch/flow", TreeCHRestricted, HierarchyCCH, OrderFlow},
-		{"ch-restricted/cch-perfect/flow", TreeCHRestricted, HierarchyCCHPerfect, OrderFlow},
-		{"ch-auto/witness", TreeCHAuto, HierarchyWitness, OrderGeometric},
-		{"ch-auto/cch", TreeCHAuto, HierarchyCCH, OrderGeometric},
-		{"ch-auto/cch-perfect", TreeCHAuto, HierarchyCCHPerfect, OrderGeometric},
-		{"ch-auto/cch/flow", TreeCHAuto, HierarchyCCH, OrderFlow},
-		{"ch-auto/cch-perfect/flow", TreeCHAuto, HierarchyCCHPerfect, OrderFlow},
+		{"ch/witness", TreeCH, HierarchyWitness, OrderGeometric, QueryElimTree},
+		{"ch/cch", TreeCH, HierarchyCCH, OrderGeometric, QueryElimTree},
+		{"ch/cch-perfect", TreeCH, HierarchyCCHPerfect, OrderGeometric, QueryElimTree},
+		{"ch/cch/flow", TreeCH, HierarchyCCH, OrderFlow, QueryElimTree},
+		{"ch/cch-perfect/flow", TreeCH, HierarchyCCHPerfect, OrderFlow, QueryElimTree},
+		{"ch-restricted/witness", TreeCHRestricted, HierarchyWitness, OrderGeometric, QueryElimTree},
+		{"ch-restricted/cch", TreeCHRestricted, HierarchyCCH, OrderGeometric, QueryElimTree},
+		{"ch-restricted/cch-perfect", TreeCHRestricted, HierarchyCCHPerfect, OrderGeometric, QueryElimTree},
+		{"ch-restricted/cch/flow", TreeCHRestricted, HierarchyCCH, OrderFlow, QueryElimTree},
+		{"ch-restricted/cch-perfect/flow", TreeCHRestricted, HierarchyCCHPerfect, OrderFlow, QueryElimTree},
+		{"ch-restricted/cch/bidij", TreeCHRestricted, HierarchyCCH, OrderGeometric, QueryBidij},
+		{"ch-restricted/cch-perfect/bidij", TreeCHRestricted, HierarchyCCHPerfect, OrderGeometric, QueryBidij},
+		{"ch-restricted/cch/flow/bidij", TreeCHRestricted, HierarchyCCH, OrderFlow, QueryBidij},
+		{"ch-restricted/cch-perfect/flow/bidij", TreeCHRestricted, HierarchyCCHPerfect, OrderFlow, QueryBidij},
+		{"ch-auto/witness", TreeCHAuto, HierarchyWitness, OrderGeometric, QueryElimTree},
+		{"ch-auto/cch", TreeCHAuto, HierarchyCCH, OrderGeometric, QueryElimTree},
+		{"ch-auto/cch-perfect", TreeCHAuto, HierarchyCCHPerfect, OrderGeometric, QueryElimTree},
+		{"ch-auto/cch/flow", TreeCHAuto, HierarchyCCH, OrderFlow, QueryElimTree},
+		{"ch-auto/cch-perfect/flow", TreeCHAuto, HierarchyCCHPerfect, OrderFlow, QueryElimTree},
 	}
 	plannerNames := []string{"Plateaus", "PrunedPlateaus", "Dissimilarity", "Penalty", "Commercial"}
-	mk := func(g *graph.Graph, snap *weights.Snapshot, backend TreeBackend, hkind HierarchyKind, order OrderKind) []Planner {
-		o := Options{TreeBackend: backend, Hierarchy: hkind, Order: order, Weights: snap}
+	mk := func(g *graph.Graph, snap *weights.Snapshot, cfg config) []Planner {
+		o := Options{TreeBackend: cfg.backend, Hierarchy: cfg.hkind, Order: cfg.order, Query: cfg.query, Weights: snap}
 		return []Planner{
 			NewPlateaus(g, o),
 			NewPrunedPlateaus(g, o),
@@ -90,9 +99,9 @@ func TestBackendMatrix(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		g := randomRoadNetwork(seed+500, 140)
 		snap := closureSnapshot(g, seed+900)
-		baseline := mk(g, snap, TreeDijkstra, HierarchyWitness, OrderGeometric)
+		baseline := mk(g, snap, config{backend: TreeDijkstra, hkind: HierarchyWitness})
 		for _, cfg := range configs {
-			other := mk(g, snap, cfg.backend, cfg.hkind, cfg.order)
+			other := mk(g, snap, cfg)
 			for i := range baseline {
 				t.Run(cfg.name+"/"+plannerNames[i], func(t *testing.T) {
 					comparePlannersExact(t, baseline[i], other[i], g, 6, seed*31+int64(i))

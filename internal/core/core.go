@@ -114,6 +114,14 @@ type Options struct {
 	// Preprocessings are shared per (graph, order kind). Ignored off the
 	// CCH flavors.
 	Order OrderKind
+	// Query selects the point-to-point distance engine on the CCH
+	// hierarchy flavors: QueryElimTree (the default) answers Dist/Path —
+	// including the fastest-time bound seeding every restricted selection
+	// — by walking the elimination-tree root paths heap-free; QueryBidij
+	// keeps the bidirectional upward Dijkstra. Distances are
+	// bit-identical either way. Ignored by HierarchyWitness and the
+	// Dijkstra backend.
+	Query QueryEngine
 	// CustomizeWorkers bounds the per-level worker fan-out of CCH
 	// customization (the triangle relaxation behind every CCH publish).
 	// 0 selects GOMAXPROCS; 1 forces the serial sweep. Any value yields

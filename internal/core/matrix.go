@@ -193,14 +193,37 @@ func (m *MatrixEngine) MatrixInto(tab *Table, sources, targets []graph.NodeID) e
 	return err
 }
 
+// elimAscender is the capability a hierarchy exposes when it can batch
+// point-to-point distance bounds: one backward elimination-tree ascent of
+// the target shared across forward ascents of every source. The CCH
+// runtimes implement it (ch.Runtime.AscentDists); it reports false when
+// the elimination-tree engine is disabled, in which case callers fall
+// back to per-pair Dist.
+type elimAscender interface {
+	AscentDists(sources []graph.NodeID, t graph.NodeID, out []float64) bool
+}
+
 // MatrixPairwise fills tab with len(sources) × len(targets) independent
 // point-to-point tree-pair queries through the planner's own tree source
 // — the k² baseline the matrix engine amortizes away. Exposed for the
 // eval ablations and benchmarks that quantify the amortization.
+//
+// On a restricted CCH backend with the elimination-tree engine the k
+// fastest-time bounds of each target column are batched through one
+// shared backward ascent (AscentDists) instead of k independent
+// bidirectional searches; the resulting cells are bit-identical either
+// way, since bounds only seed the restricted selections.
 func (m *MatrixEngine) MatrixPairwise(tab *Table, sources, targets []graph.NodeID) error {
 	v, err := m.prepare(tab, sources, targets)
 	if err != nil {
 		return err
+	}
+	if rt, ok := unwrapTrees(v.trees).(*restrictedTrees); ok {
+		if asc, ok := rt.hier.(elimAscender); ok {
+			if m.pairwiseBatchedBounds(tab, rt, asc) {
+				return nil
+			}
+		}
 	}
 	ws := sp.GetWorkspace()
 	defer ws.Release()
@@ -221,6 +244,38 @@ func (m *MatrixEngine) MatrixPairwise(tab *Table, sources, targets []graph.NodeI
 		}
 	}
 	return nil
+}
+
+// pairwiseBatchedBounds runs the column-batched variant of MatrixPairwise:
+// for each target, one multi-source elimination-tree ascent yields every
+// source's fastest-time bound, and each cell is then filled by the same
+// bounded tree-pair build the per-pair path would have run. Reports false
+// when the ascender declines (it does so before any cell is written: the
+// capability is constant per runtime), so the caller can fall back.
+func (m *MatrixEngine) pairwiseBatchedBounds(tab *Table, rt *restrictedTrees, asc elimAscender) bool {
+	bounds := make([]float64, len(tab.Sources))
+	ws := sp.GetWorkspace()
+	defer ws.Release()
+	inf := math.Inf(1)
+	for j, t := range tab.Targets {
+		if !asc.AscentDists(tab.Sources, t, bounds) {
+			return false
+		}
+		for i, s := range tab.Sources {
+			cell := &tab.Seconds[i*len(tab.Targets)+j]
+			if s == t {
+				*cell = 0
+				continue
+			}
+			fwd, _, ok := rt.buildTreesBounded(ws, s, t, bounds[i])
+			if !ok {
+				*cell = inf
+				continue
+			}
+			*cell = fwd.Dist[t]
+		}
+	}
+	return true
 }
 
 // prepare validates the endpoints, resolves the single weight view of the

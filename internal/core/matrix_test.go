@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -101,13 +102,22 @@ func TestMatrixExactness(t *testing.T) {
 		name    string
 		backend TreeBackend
 		hkind   HierarchyKind
+		query   QueryEngine
 	}
+	// The CCH rows run under both point-to-point query engines: elimtree
+	// routes MatrixPairwise through the batched multi-source ascent,
+	// bidij through per-pair bidirectional searches — and the tables must
+	// come out byte-identical either way (the bounds only gate selection;
+	// cells come from the sweeps).
 	configs := []config{
-		{"dijkstra", TreeDijkstra, HierarchyWitness},
-		{"ch/witness", TreeCH, HierarchyWitness},
-		{"ch-restricted/witness", TreeCHRestricted, HierarchyWitness},
-		{"ch-restricted/cch", TreeCHRestricted, HierarchyCCH},
-		{"ch-auto/cch", TreeCHAuto, HierarchyCCH},
+		{"dijkstra", TreeDijkstra, HierarchyWitness, QueryElimTree},
+		{"ch/witness", TreeCH, HierarchyWitness, QueryElimTree},
+		{"ch-restricted/witness", TreeCHRestricted, HierarchyWitness, QueryElimTree},
+		{"ch-restricted/cch", TreeCHRestricted, HierarchyCCH, QueryElimTree},
+		{"ch-restricted/cch/bidij", TreeCHRestricted, HierarchyCCH, QueryBidij},
+		{"ch-restricted/cch-perfect", TreeCHRestricted, HierarchyCCHPerfect, QueryElimTree},
+		{"ch-restricted/cch-perfect/bidij", TreeCHRestricted, HierarchyCCHPerfect, QueryBidij},
+		{"ch-auto/cch", TreeCHAuto, HierarchyCCH, QueryElimTree},
 	}
 	for _, netSeed := range []int64{7, 19} {
 		g := randomRoadNetwork(netSeed, 160)
@@ -115,12 +125,14 @@ func TestMatrixExactness(t *testing.T) {
 		sources := sampleNodes(g, 6, netSeed+1)
 		targets := sampleNodes(g, 5, netSeed+2)
 		ref := dijkstraMatrix(g, snap.Weights(), sources, targets)
+		tables := map[string][]float64{}
 		for _, cfg := range configs {
 			t.Run(fmt.Sprintf("net%d/%s", netSeed, cfg.name), func(t *testing.T) {
 				m := NewMatrixEngine(g, Options{
 					Weights:     snap,
 					TreeBackend: cfg.backend,
 					Hierarchy:   cfg.hkind,
+					Query:       cfg.query,
 				}, NewEngine(2))
 				// Two passes: the second runs on a warm selection cache, so
 				// a hit must be just as exact as the miss that built it.
@@ -148,6 +160,13 @@ func TestMatrixExactness(t *testing.T) {
 					t.Fatal(err)
 				}
 				requireTableBitEqual(t, &pw, last.Seconds, "pairwise-vs-matrix")
+				// Query engines must be invisible in the output: a bidij
+				// row's table is compared bit-for-bit against its elimtree
+				// sibling (which ran just before it in config order).
+				tables[cfg.name] = append([]float64(nil), last.Seconds...)
+				if sibling, ok := tables[strings.TrimSuffix(cfg.name, "/bidij")]; ok && cfg.query == QueryBidij {
+					requireTableBitEqual(t, last, sibling, "bidij-vs-elimtree")
+				}
 			})
 		}
 	}

@@ -157,6 +157,43 @@ const (
 // or "flow") onto an OrderKind.
 func ParseOrderKind(s string) (OrderKind, error) { return cch.ParseOrderKind(s) }
 
+// QueryEngine selects the point-to-point distance engine behind the CCH
+// hierarchy flavors' Dist/Path — the searches that seed every restricted
+// selection's elliptic bound and the matrix baseline. Both engines return
+// bit-identical distances; the witness flavor ignores the knob (its
+// search spaces are not path-shaped, so it always runs bidirectional).
+type QueryEngine uint8
+
+const (
+	// QueryElimTree (the default) walks the two elimination-tree root
+	// paths heap-free — no priority queue, no decrease-key, no stopping
+	// criterion; ascent lengths are bounded by the tree height the order
+	// pipeline produced.
+	QueryElimTree QueryEngine = iota
+	// QueryBidij keeps the classic bidirectional upward Dijkstra.
+	QueryBidij
+)
+
+// ParseQueryEngine maps the shared command-line flag spelling ("elimtree"
+// or "bidij") onto a QueryEngine.
+func ParseQueryEngine(s string) (QueryEngine, error) {
+	switch s {
+	case "elimtree":
+		return QueryElimTree, nil
+	case "bidij":
+		return QueryBidij, nil
+	}
+	return 0, fmt.Errorf("core: invalid query engine %q (want elimtree or bidij)", s)
+}
+
+// String implements fmt.Stringer.
+func (q QueryEngine) String() string {
+	if q == QueryBidij {
+		return "bidij"
+	}
+	return "elimtree"
+}
+
 // HierarchyStatus is the serving-layer observability record of one
 // planner's hierarchy backend: which flavor answers queries right now,
 // how long the most recent (re)customization took, and — for restricted-
@@ -190,6 +227,19 @@ type HierarchyStatus struct {
 	// whether that query's selection came out of the cache.
 	LastUnionCells int
 	LastHit        bool
+	// LastQueryEngine names the point-to-point engine of the serving
+	// hierarchy ("elimtree" or "bidij"; empty off hierarchy backends).
+	// The Elim* counters are cumulative over the serving customization
+	// (they reset on a weight swap, like the selection entries):
+	// ElimQueries point-to-point ascent queries, ElimTruncated of them
+	// abandoned early by the incumbent bound, ElimAscentNodes total
+	// processed ascent nodes (mean ascent = nodes/queries). LastAscent is
+	// the most recent query's processed node count.
+	LastQueryEngine string
+	ElimQueries     uint64
+	ElimTruncated   uint64
+	ElimAscentNodes uint64
+	LastAscent      int
 }
 
 // TreeSource abstracts the tree factory behind the choice-routing
@@ -324,7 +374,16 @@ func newRestrictedTrees(g *graph.Graph, hier ch.Hierarchy, tb *ch.TreeBuilder, w
 }
 
 func (r *restrictedTrees) BuildTrees(ws *sp.Workspace, s, t graph.NodeID) (fwd, bwd *sp.Tree, ok bool) {
-	fastest := r.hier.Dist(s, t)
+	// On the CCH flavors hier.Dist is the heap-free elimination-tree
+	// ascent, so a selection-cache hit no longer pays a priority-queue
+	// search for its elliptic bound.
+	return r.buildTreesBounded(ws, s, t, r.hier.Dist(s, t))
+}
+
+// buildTreesBounded is BuildTrees with the fastest-time bound already
+// computed — the batched entry point of MatrixPairwise, whose shared
+// multi-source ascent derives one column of bounds at a time.
+func (r *restrictedTrees) buildTreesBounded(ws *sp.Workspace, s, t graph.NodeID, fastest float64) (fwd, bwd *sp.Tree, ok bool) {
 	if math.IsInf(fastest, 1) {
 		return nil, nil, false
 	}

@@ -90,6 +90,10 @@ type provider struct {
 	// (geometric or flow-refined separators). Baked into the shared
 	// preprocessing at first build; ignored by the witness flavor.
 	order OrderKind
+	// query selects the CCH point-to-point engine (elimination-tree
+	// ascents by default). Carried into the hierarchy's customize hook,
+	// so every later re-customization inherits it.
+	query QueryEngine
 	// customizeWorkers bounds CCH customization's per-level fan-out
 	// (0: GOMAXPROCS). Carried into the hierarchy's customize hook, so
 	// every later re-customization inherits it.
@@ -135,6 +139,7 @@ func newProvider(g *graph.Graph, src weights.Source, needTrees, pruned bool, wra
 		backend:          opts.TreeBackend,
 		hkind:            opts.Hierarchy,
 		order:            opts.Order,
+		query:            opts.Query,
 		customizeWorkers: opts.CustomizeWorkers,
 		pruned:           pruned,
 		upperBound:       opts.UpperBound,
@@ -196,6 +201,16 @@ func (p *provider) hierarchyStatus() HierarchyStatus {
 		st.Kind = v.hier.Kind()
 		if p.hkind == HierarchyCCH || p.hkind == HierarchyCCHPerfect {
 			st.Order = p.order.String()
+		}
+		// Query-engine telemetry is a capability of the runtime, not part
+		// of the Hierarchy seam: flavors without it simply report nothing.
+		if qr, ok := v.hier.(interface{ QueryStats() ch.QueryStats }); ok {
+			qs := qr.QueryStats()
+			st.LastQueryEngine = qs.Engine
+			st.ElimQueries = qs.Queries
+			st.ElimTruncated = qs.Truncated
+			st.ElimAscentNodes = qs.AscentNodes
+			st.LastAscent = qs.LastAscent
 		}
 	}
 	if p.selStats != nil {
@@ -269,9 +284,10 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 			v.hier = prev.hier.Customize(w)
 		case p.hkind == HierarchyCCH || p.hkind == HierarchyCCHPerfect:
 			v.hier = cch.BuildWith(p.g, w, cch.Config{
-				Order:   cch.OrderConfig{Kind: p.order},
-				Workers: p.customizeWorkers,
-				Perfect: p.hkind == HierarchyCCHPerfect,
+				Order:      cch.OrderConfig{Kind: p.order},
+				Workers:    p.customizeWorkers,
+				Perfect:    p.hkind == HierarchyCCHPerfect,
+				BidirQuery: p.query == QueryBidij,
 			})
 		default:
 			v.hier = ch.Build(p.g, w)

@@ -420,7 +420,10 @@ func (s *Server) writeTrafficStatus(w http.ResponseWriter, name string, c *eval.
 // cumulative hit/miss/eviction counters, e.g.
 // " hier A=cch(2.1ms)[sel 214 (hit), sweep 80µs, cache 31/2/0]
 // B=cch(2.3ms)[full sweep 310µs]"; empty when no approach runs a
-// hierarchy.
+// hierarchy. Flavors running the elimination-tree query engine append a
+// "[q=elimtree asc N trunc P%]" block: the last point-to-point ascent's
+// settled-node count and the cumulative share of ascents the incumbent
+// bound truncated early (since the last weight publish).
 func formatHierarchies(statuses []core.HierarchyStatus) string {
 	var sb strings.Builder
 	for i, st := range statuses {
@@ -439,6 +442,14 @@ func formatHierarchies(statuses []core.HierarchyStatus) string {
 			} else {
 				fmt.Fprintf(&sb, "[full sweep %s]", st.LastSweep.Round(10*time.Microsecond))
 			}
+		}
+		if st.LastQueryEngine == "elimtree" {
+			fmt.Fprintf(&sb, "[q=%s", st.LastQueryEngine)
+			if st.ElimQueries > 0 {
+				fmt.Fprintf(&sb, " asc %d trunc %.0f%%",
+					st.LastAscent, 100*float64(st.ElimTruncated)/float64(st.ElimQueries))
+			}
+			sb.WriteString("]")
 		}
 	}
 	return sb.String()

@@ -2,6 +2,7 @@ package sp
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 
 	"repro/internal/graph"
@@ -60,6 +61,37 @@ func (s *SearchState) DistOf(v graph.NodeID) float64 {
 // Touched reports whether v has been reached this search.
 func (s *SearchState) Touched(v graph.NodeID) bool { return s.stamp[v] >= s.cur }
 
+// Label returns v's distance and whether v has been reached this search,
+// in a single stamp read — heap-free walk loops ask both questions for
+// every path node, and the fused form halves their stamp traffic.
+func (s *SearchState) Label(v graph.NodeID) (float64, bool) {
+	if s.stamp[v] >= s.cur {
+		return s.dist[v], true
+	}
+	return math.Inf(1), false
+}
+
+// Improve relaxes v to distance d via parent iff d beats v's current
+// label. It fuses the Touched/DistOf/Update triple of heap-free relax
+// loops into one stamp read. improved reports that d was written (so d is
+// now v's label — meet-candidate peeks are valid against it); fresh that
+// v was reached for the first time this search (callers count fresh
+// labels to track their live frontier).
+func (s *SearchState) Improve(v graph.NodeID, d float64, parent graph.EdgeID) (improved, fresh bool) {
+	if s.stamp[v] >= s.cur {
+		if d < s.dist[v] {
+			s.dist[v] = d
+			s.parent[v] = parent
+			return true, false
+		}
+		return false, false
+	}
+	s.stamp[v] = s.cur
+	s.dist[v] = d
+	s.parent[v] = parent
+	return true, true
+}
+
 // Settled reports whether v's distance is final this search.
 func (s *SearchState) Settled(v graph.NodeID) bool { return s.stamp[v] == s.cur+1 }
 
@@ -108,6 +140,78 @@ func (s *SearchState) DenseArrays(n int) ([]float64, []graph.EdgeID) {
 	return s.dist[:n], s.parent[:n]
 }
 
+// AscentScratch is the pending-frontier bookkeeping of a heap-free
+// elimination-tree walk (package ch): a bitmap over tree depths marking
+// which root-path nodes hold an unprocessed label, plus the lazily-filled
+// map from depth to the node holding it. A root path has exactly one node
+// per depth, so a depth identifies a pending node, and the highest set
+// bit is always the next node to settle — the walk jumps from label to
+// label instead of chasing parent pointers through unlabeled ancestors.
+type AscentScratch struct {
+	bits  []uint64
+	chain []graph.NodeID
+}
+
+// Begin readies the scratch for a walk over depths [0, height]. Stale
+// bits above height survive in higher words but are never scanned — the
+// walk starts at height and descends.
+func (a *AscentScratch) Begin(height int) {
+	words := height>>6 + 1
+	if len(a.bits) < words {
+		a.bits = append(a.bits, make([]uint64, words-len(a.bits))...)
+		a.chain = append(a.chain, make([]graph.NodeID, words*64-len(a.chain))...)
+	}
+	clear(a.bits[:words])
+}
+
+// Mark records a pending label on node v at its root-path depth. Marking
+// an already-pending depth is a no-op (v is already the node there: one
+// node per depth per root path).
+func (a *AscentScratch) Mark(depth int, v graph.NodeID) {
+	a.bits[depth>>6] |= 1 << uint(depth&63)
+	a.chain[depth] = v
+}
+
+// Take consumes the pending label at depth, returning its node, or
+// (0, false) when the depth holds none.
+func (a *AscentScratch) Take(depth int) (graph.NodeID, bool) {
+	w, m := depth>>6, uint64(1)<<uint(depth&63)
+	if a.bits[w]&m == 0 {
+		return 0, false
+	}
+	a.bits[w] &^= m
+	return a.chain[depth], true
+}
+
+// Raw exposes the scratch's backing arrays — pending bitmap and
+// depth-to-node chain — so fused walk loops can keep the slice headers in
+// registers instead of re-loading them through the scratch on every mark.
+// Valid after Begin, until the next Begin.
+func (a *AscentScratch) Raw() (bitmap []uint64, chain []graph.NodeID) {
+	return a.bits, a.chain
+}
+
+// NextPending returns the highest depth ≤ from at which either scratch
+// holds a pending label, or -1 when both frontiers are exhausted. Callers
+// walking one frontier pass the same scratch twice.
+func NextPending(x, y *AscentScratch, from int) int {
+	if from < 0 {
+		return -1
+	}
+	w := from >> 6
+	mask := uint64(2)<<uint(from&63) - 1 // low bits 0..from&63; from&63==63 wraps to all-ones
+	for {
+		if bs := (x.bits[w] | y.bits[w]) & mask; bs != 0 {
+			return w<<6 + bits.Len64(bs) - 1
+		}
+		if w == 0 {
+			return -1
+		}
+		w--
+		mask = ^uint64(0)
+	}
+}
+
 // Workspace bundles the reusable scratch memory of the search functions in
 // this package: a forward and a backward SearchState plus tree headers and
 // a path buffer. The ...Into search variants write their results into the
@@ -127,6 +231,10 @@ type Workspace struct {
 	// states. They are exported for packages that drive their own search
 	// loops on the shared machinery.
 	F, B SearchState
+
+	// FA and BA are the forward and backward pending frontiers of
+	// heap-free elimination-tree walks (package ch), paired with F and B.
+	FA, BA AscentScratch
 
 	treeF, treeB Tree
 	path         []graph.EdgeID
