@@ -16,6 +16,13 @@
 //	demoserver [-addr :8080] [-seed N] [-ratings ratings.json] [-workers N]
 //	           [-trees dijkstra|ch|ch-restricted|ch-auto] [-hierarchy witness|cch|cch-perfect]
 //	           [-traffic-step 30s] [-cache 4096]
+//	           [-metrics] [-ingest] [-verbose]
+//
+// -metrics (default on) serves the Prometheus text exposition on GET
+// /metrics; -ingest opens the POST /api/observations telemetry path
+// (observed speeds, incident closures, deterministic scenario replay);
+// -verbose restores the per-query log lines the hot handlers no longer
+// emit by default.
 package main
 
 import (
@@ -42,15 +49,18 @@ func main() {
 	query := flag.String("query", "elimtree", "point-to-point query engine on the CCH flavors: elimtree (default: heap-free elimination-tree ascents) or bidij (bidirectional upward Dijkstra); distances are bit-identical either way")
 	trafficStep := flag.Duration("traffic-step", 0, "auto-advance the rush-hour traffic sequence at this interval (0 disables; publishes also arrive via POST /api/publish)")
 	cacheSize := flag.Int("cache", core.DefaultCacheSize, "versioned result-cache capacity of the serving engine (0 disables)")
+	metricsOn := flag.Bool("metrics", true, "serve the Prometheus scrape endpoint on GET /metrics (query/customization latency, cache hit rates, store versions, ingest state)")
+	ingest := flag.Bool("ingest", false, "accept live telemetry on POST /api/observations (observed speeds and incident closures publish into the traffic store)")
+	verbose := flag.Bool("verbose", false, "log a line per /api/routes and /api/matrix request; off by default because a per-query Printf serializes the hot path under load")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *ratingsPath, *workers, *trees, *hierarchy, *order, *query, *trafficStep, *cacheSize); err != nil {
+	if err := run(*addr, *seed, *ratingsPath, *workers, *trees, *hierarchy, *order, *query, *trafficStep, *cacheSize, *metricsOn, *ingest, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "demoserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, ratingsPath string, workers int, trees, hierarchy, order, query string, trafficStep time.Duration, cacheSize int) error {
+func run(addr string, seed int64, ratingsPath string, workers int, trees, hierarchy, order, query string, trafficStep time.Duration, cacheSize int, metricsOn, ingest, verbose bool) error {
 	backend, err := core.ParseTreeBackend(trees)
 	if err != nil {
 		return err
@@ -89,9 +99,17 @@ func run(addr string, seed int64, ratingsPath string, workers int, trees, hierar
 	if trafficStep > 0 {
 		go autoAdvance(study, trafficStep)
 	}
-	srv := server.New(study.Cities, ratingsPath)
-	log.Printf("demoserver: listening on http://localhost%s (%d planner workers, cache %d, traffic-step %v)",
-		addr, engine.Workers(), cacheSize, trafficStep)
+	var sopts []server.Option
+	if metricsOn {
+		sopts = append(sopts, server.WithMetrics())
+	}
+	if ingest {
+		sopts = append(sopts, server.WithIngest())
+	}
+	sopts = append(sopts, server.WithVerbose(verbose))
+	srv := server.New(study.Cities, ratingsPath, sopts...)
+	log.Printf("demoserver: listening on http://localhost%s (%d planner workers, cache %d, traffic-step %v, metrics %v, ingest %v, verbose %v)",
+		addr, engine.Workers(), cacheSize, trafficStep, metricsOn, ingest, verbose)
 	return http.ListenAndServe(addr, srv)
 }
 

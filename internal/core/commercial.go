@@ -100,6 +100,12 @@ func (c *Commercial) weightsSource() weights.Source { return c.prov.src }
 // its last customization latency (zero off the TreeCH backend).
 func (c *Commercial) HierarchyStatus() HierarchyStatus { return c.prov.hierarchyStatus() }
 
+// setMetrics sinks the bundle's customization and selection observers
+// into the private-metric provider (Router.SetMetrics fan-out).
+func (c *Commercial) setMetrics(m *Metrics) {
+	c.prov.setMetrics(m.customizeObserver(c.Name()), m.selectionObserver())
+}
+
 // Alternatives implements Planner.
 func (c *Commercial) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	routes, _, err := c.AlternativesVersioned(s, t)

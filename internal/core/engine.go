@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/path"
@@ -35,6 +36,17 @@ type Engine struct {
 	// only installs its default cache on engines whose owner never chose
 	// (an explicit SetCache(0) stays disabled).
 	cacheSet atomic.Bool
+	// metrics maps each planner to its instrument bundle (nil map or
+	// missing planner: record nothing). Queries and cache lookups are
+	// recorded here, at the engine, because the engine is the one place
+	// every query passes exactly once — a planner-level hook would double
+	// count when planners call each other. The map is keyed by planner
+	// rather than held as a single bundle because one engine is commonly
+	// shared by several cities (demoserver pools its workers): planners
+	// are per-city, so the planner identity is what carries the city
+	// label. Copy-on-write under metricsMu; lookups are one atomic load.
+	metrics   atomic.Pointer[map[Planner]*Metrics]
+	metricsMu sync.Mutex
 }
 
 // NewEngine returns an engine running at most workers concurrent planner
@@ -91,6 +103,43 @@ func (e *Engine) CacheStats() (hits, misses uint64) {
 		return c.hits.Load(), c.misses.Load()
 	}
 	return 0, 0
+}
+
+// SetMetrics installs the instrument bundle recording per-query latency
+// and result-cache traffic for the given planners (m == nil uninstalls
+// them). Registrations from different cities accumulate, so a shared
+// engine attributes each query to the city owning its planner. Safe to
+// call while serving.
+func (e *Engine) SetMetrics(m *Metrics, planners ...Planner) {
+	e.metricsMu.Lock()
+	defer e.metricsMu.Unlock()
+	next := make(map[Planner]*Metrics)
+	if old := e.metrics.Load(); old != nil {
+		for pl, b := range *old {
+			next[pl] = b
+		}
+	}
+	for _, pl := range planners {
+		if m == nil {
+			delete(next, pl)
+		} else {
+			next[pl] = m
+		}
+	}
+	if len(next) == 0 {
+		e.metrics.Store(nil)
+		return
+	}
+	e.metrics.Store(&next)
+}
+
+// metricsFor returns the bundle observing this planner's queries (nil
+// for unregistered planners — every observer method is nil-safe).
+func (e *Engine) metricsFor(pl Planner) *Metrics {
+	if reg := e.metrics.Load(); reg != nil {
+		return (*reg)[pl]
+	}
+	return nil
 }
 
 // Job is one Alternatives call of a batch.
@@ -207,10 +256,24 @@ func protectCall(fn func(int), i int) (err error) {
 func (e *Engine) acquire() { e.sem <- struct{}{} }
 func (e *Engine) release() { <-e.sem }
 
-// runJob executes one planner call, converting a panic into the job's
+// runJob executes one planner call, recording its latency and outcome
+// when an instrument bundle is installed. Timing wraps doJob from the
+// outside so a recovered panic is still observed with its error counted.
+func (e *Engine) runJob(job *Job, res *Result) {
+	m := e.metricsFor(job.Planner)
+	if m == nil {
+		e.doJob(job, res)
+		return
+	}
+	start := time.Now()
+	e.doJob(job, res)
+	m.observeQuery(job.Planner.Name(), time.Since(start), res.Err)
+}
+
+// doJob executes one planner call, converting a panic into the job's
 // error: a worker goroutine must never take the whole process down (the
 // HTTP handler's own recover cannot reach it).
-func (e *Engine) runJob(job *Job, res *Result) {
+func (e *Engine) doJob(job *Job, res *Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Routes = nil
@@ -233,9 +296,11 @@ func (e *Engine) runJob(job *Job, res *Result) {
 	// if a publish lands mid-flight.
 	key := cacheKey{planner: job.Planner, version: vp.WeightsVersion(), s: job.S, t: job.T}
 	if routes, ok := cache.get(key); ok {
+		e.metricsFor(job.Planner).observeCache(true)
 		res.Routes, res.Version = routes, key.version
 		return
 	}
+	e.metricsFor(job.Planner).observeCache(false)
 	res.Routes, res.Version, res.Err = vp.AlternativesVersioned(job.S, job.T)
 	if res.Err == nil {
 		key.version = res.Version

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ch"
 	"repro/internal/graph"
@@ -53,6 +55,8 @@ type MatrixEngine struct {
 	g    *graph.Graph
 	eng  *Engine
 	prov *provider
+	// metrics is the optional instrument bundle (nil: record nothing).
+	metrics atomic.Pointer[Metrics]
 }
 
 // NewMatrixEngine builds a standalone matrix engine over g. Options are
@@ -84,6 +88,13 @@ func (m *MatrixEngine) WeightsVersion() weights.Version { return m.prov.weightsV
 // HierarchyStatus reports the backing hierarchy's serving state,
 // selection-cache counters included.
 func (m *MatrixEngine) HierarchyStatus() HierarchyStatus { return m.prov.hierarchyStatus() }
+
+// SetMetrics installs the instrument bundle recording per-table latency
+// and size (nil uninstalls). A matrix engine sharing a Plateaus
+// planner's provider (NewMatrixEngineFor) inherits that planner's
+// customization/selection observers through the shared provider; this
+// call only adds the matrix-side histograms.
+func (m *MatrixEngine) SetMetrics(b *Metrics) { m.metrics.Store(b) }
 
 // rowBuilder carries the immutable inputs of one matrix computation; it
 // is pooled so MatrixInto's fan-out closure captures a single long-lived
@@ -138,6 +149,10 @@ func (m *MatrixEngine) OneToMany(source graph.NodeID, targets []graph.NodeID) (*
 // a warm engine with a selection-cache hit this is the zero-allocation
 // path (single-worker Engine: rows run inline, no fan-out goroutines).
 func (m *MatrixEngine) MatrixInto(tab *Table, sources, targets []graph.NodeID) error {
+	if b := m.metrics.Load(); b != nil {
+		start := time.Now()
+		defer func() { b.observeMatrix(time.Since(start), len(sources)*len(targets)) }()
+	}
 	v, err := m.prepare(tab, sources, targets)
 	if err != nil {
 		return err

@@ -72,6 +72,12 @@ func (p *Plateaus) weightsSource() weights.Source { return p.prov.src }
 // its last customization latency (zero off the TreeCH backend).
 func (p *Plateaus) HierarchyStatus() HierarchyStatus { return p.prov.hierarchyStatus() }
 
+// setMetrics sinks the bundle's customization and selection observers
+// into the planner's weight provider (Router.SetMetrics fan-out).
+func (p *Plateaus) setMetrics(m *Metrics) {
+	p.prov.setMetrics(m.customizeObserver(p.Name()), m.selectionObserver())
+}
+
 // Plateau is a maximal chain of edges that appears in both the forward and
 // the backward shortest-path tree. Exposed for visualization (Fig. 1 of
 // the paper) and tests.

@@ -55,6 +55,12 @@ func (p *PrunedPlateaus) weightsSource() weights.Source { return p.inner.weights
 // its last customization latency (zero off the TreeCH backend).
 func (p *PrunedPlateaus) HierarchyStatus() HierarchyStatus { return p.inner.HierarchyStatus() }
 
+// setMetrics sinks the observers under this planner's own name (not the
+// inner Plateaus', which may also be serving separately).
+func (p *PrunedPlateaus) setMetrics(m *Metrics) {
+	p.inner.prov.setMetrics(m.customizeObserver(p.Name()), m.selectionObserver())
+}
+
 // Alternatives implements Planner.
 func (p *PrunedPlateaus) Alternatives(s, t graph.NodeID) ([]path.Path, error) {
 	return p.inner.Alternatives(s, t)

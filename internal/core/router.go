@@ -45,6 +45,9 @@ type Router struct {
 	engine   atomic.Pointer[Engine]
 	planners []Planner
 	stores   []*weights.Store
+	// metrics is the installed instrument bundle (nil: none); kept so a
+	// SetEngine swap inherits it like the cache.
+	metrics atomic.Pointer[Metrics]
 }
 
 // versionRetries bounds the response-consistency loop: how many times a
@@ -89,7 +92,27 @@ func (r *Router) SetEngine(e *Engine) {
 	if !e.cacheSet.Load() {
 		e.SetCache(DefaultCacheSize)
 	}
+	e.SetMetrics(r.metrics.Load(), r.planners...)
 	r.engine.Store(e)
+}
+
+// SetMetrics installs the instrument bundle across the whole serving
+// layer: the engine records query latency and cache traffic, and every
+// provider-backed planner sinks its customization-latency and
+// selection-size observers. Nil uninstalls. Call once at wiring time
+// (typically right after NewRouter); installs race benignly with serving
+// queries — an in-flight query simply records under whichever bundle it
+// loaded first.
+func (r *Router) SetMetrics(m *Metrics) {
+	r.metrics.Store(m)
+	// Registered per planner: an engine shared by several cities keeps
+	// attributing each query to the city whose planner ran it.
+	r.Engine().SetMetrics(m, r.planners...)
+	for _, p := range r.planners {
+		if ms, ok := p.(metricsSetter); ok {
+			ms.setMetrics(m)
+		}
+	}
 }
 
 // Planners returns the planner set, in registration order.
@@ -213,6 +236,21 @@ func (r *Router) Versions() []weights.Version {
 	for i, p := range r.planners {
 		if vp, ok := p.(VersionedPlanner); ok {
 			out[i] = vp.WeightsVersion()
+		}
+	}
+	return out
+}
+
+// ServingVersions reports, per planner, the weight version currently
+// *installed*, read passively — unlike Versions it never nudges a
+// rebuild, so it is safe on scrape paths that must not perturb serving
+// (the /metrics collectors call it on every scrape). Planners without
+// version tracking report 0.
+func (r *Router) ServingVersions() []weights.Version {
+	out := make([]weights.Version, len(r.planners))
+	for i, p := range r.planners {
+		if vp, ok := p.(VersionedPlanner); ok {
+			out[i] = servingVersionOf(vp)
 		}
 	}
 	return out

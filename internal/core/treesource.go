@@ -11,6 +11,7 @@ import (
 	"repro/internal/ch"
 	"repro/internal/geo"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/sp"
 	"repro/internal/spatial"
 	"repro/internal/weights"
@@ -299,6 +300,10 @@ type selectionStats struct {
 	selHits      atomic.Uint64
 	selMisses    atomic.Uint64
 	selEvictions atomic.Uint64
+	// selObs, when set, receives the size of every selection resolved
+	// (hits and misses both — it distributes what queries *ran on*, not
+	// what was built). Installed by Router.SetMetrics.
+	selObs atomic.Pointer[metrics.Histogram]
 }
 
 // restrictedTrees is the RPHAST source: the point-to-point hierarchy
@@ -463,6 +468,9 @@ func (r *restrictedTrees) entryForCells(sb *selBuf, must ...graph.NodeID) (*selE
 		r.stats.selHits.Add(1)
 		r.stats.lastHit.Store(true)
 		r.stats.lastUnion.Store(int64(len(cells)))
+		if h := r.stats.selObs.Load(); h != nil {
+			h.Observe(float64(e.targets))
+		}
 		return e, true
 	}
 	r.stats.selMisses.Add(1)
@@ -484,6 +492,9 @@ func (r *restrictedTrees) entryForCells(sb *selBuf, must ...graph.NodeID) (*selE
 		e.sel = r.tb.Select(tgts, nil)
 		e.targets = e.sel.Targets()
 		e.bytes = e.sel.MemoryBytes() + 4*len(e.sig) + selEntryOverhead
+	}
+	if h := r.stats.selObs.Load(); h != nil {
+		h.Observe(float64(e.targets))
 	}
 	return r.cache.insert(e), false
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/cch"
 	"repro/internal/ch"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/path"
 	"repro/internal/spatial"
 	"repro/internal/weights"
@@ -121,6 +123,27 @@ type provider struct {
 	// selStats is the restricted-sweep observability shared across weight
 	// versions (nil off the restricted backends).
 	selStats *selectionStats
+	// custObs, when set, receives the wall-clock seconds of every
+	// hierarchy build/customization (the per-planner histogram installed
+	// by Router.SetMetrics).
+	custObs atomic.Pointer[metrics.Histogram]
+
+	// Query-engine counters accumulated from superseded hierarchies. Each
+	// customized runtime starts its QueryStats at zero (ch.WithElimTree
+	// allocates fresh counters), so reading them off the current view alone
+	// made ElimQueries/ElimTruncated/ElimAscentNodes drop to zero on every
+	// publish swap. Instead the swap folds the outgoing view's counters
+	// into acc* and status reports acc + current view. accGen is a seqlock
+	// generation (odd while a fold+swap is in flight): hierarchyStatus
+	// retries until it observes a stable generation, so it never pairs a
+	// pre-fold accumulator with a post-swap (zeroed) runtime — the read
+	// that would make the counters go backwards. The fields are atomics
+	// only so the racing reads are well-defined; writers already serialize
+	// under p.mu.
+	accGen         atomic.Uint64
+	accQueries     atomic.Uint64
+	accTruncated   atomic.Uint64
+	accAscentNodes atomic.Uint64
 }
 
 // newProvider builds the resolver and synchronously installs the view of
@@ -197,22 +220,45 @@ func (p *provider) hierarchyStatus() HierarchyStatus {
 		return HierarchyStatus{}
 	}
 	st := HierarchyStatus{LastCustomize: time.Duration(p.lastCustomize.Load())}
-	if v := p.cur.Load(); v != nil && v.hier != nil {
+	// Seqlock read of the accumulated + current-runtime query counters:
+	// retry while a swap's fold is in flight or completed underneath us,
+	// so the sum is always taken against one consistent (acc, view) pair
+	// and stays monotone across publishes. Never takes p.mu — a rebuild
+	// can hold it for seconds.
+	var v *view
+	var qs ch.QueryStats
+	var accQ, accT, accA uint64
+	for {
+		g1 := p.accGen.Load()
+		if g1&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		accQ, accT, accA = p.accQueries.Load(), p.accTruncated.Load(), p.accAscentNodes.Load()
+		qs = ch.QueryStats{}
+		v = p.cur.Load()
+		if v != nil && v.hier != nil {
+			// Query-engine telemetry is a capability of the runtime, not
+			// part of the Hierarchy seam: flavors without it report nothing.
+			if qr, ok := v.hier.(interface{ QueryStats() ch.QueryStats }); ok {
+				qs = qr.QueryStats()
+			}
+		}
+		if p.accGen.Load() == g1 {
+			break
+		}
+	}
+	if v != nil && v.hier != nil {
 		st.Kind = v.hier.Kind()
 		if p.hkind == HierarchyCCH || p.hkind == HierarchyCCHPerfect {
 			st.Order = p.order.String()
 		}
-		// Query-engine telemetry is a capability of the runtime, not part
-		// of the Hierarchy seam: flavors without it simply report nothing.
-		if qr, ok := v.hier.(interface{ QueryStats() ch.QueryStats }); ok {
-			qs := qr.QueryStats()
-			st.LastQueryEngine = qs.Engine
-			st.ElimQueries = qs.Queries
-			st.ElimTruncated = qs.Truncated
-			st.ElimAscentNodes = qs.AscentNodes
-			st.LastAscent = qs.LastAscent
-		}
 	}
+	st.LastQueryEngine = qs.Engine
+	st.ElimQueries = accQ + qs.Queries
+	st.ElimTruncated = accT + qs.Truncated
+	st.ElimAscentNodes = accA + qs.AscentNodes
+	st.LastAscent = qs.LastAscent
 	if p.selStats != nil {
 		st.LastSelection = int(p.selStats.lastSelection.Load())
 		st.LastRestricted = p.selStats.lastRestricted.Load()
@@ -226,6 +272,16 @@ func (p *provider) hierarchyStatus() HierarchyStatus {
 	return st
 }
 
+// setMetrics sinks the provider-relevant observers of a bundle: the
+// planner's customization histogram and, on restricted backends, the
+// selection-size histogram. A nil bundle clears both.
+func (p *provider) setMetrics(cust, sel *metrics.Histogram) {
+	p.custObs.Store(cust)
+	if p.selStats != nil {
+		p.selStats.selObs.Store(sel)
+	}
+}
+
 // rebuildTo synchronously installs a view for at least the given
 // snapshot's version. Concurrent callers coalesce: whoever takes the lock
 // first builds, the rest observe the result.
@@ -237,8 +293,30 @@ func (p *provider) rebuildTo(snap *weights.Snapshot) *view {
 		return cur
 	}
 	v := p.buildView(snap, cur)
-	p.cur.Store(v)
+	p.installView(v, cur)
 	return v
+}
+
+// installView swings the view pointer, folding the outgoing runtime's
+// query counters into the provider accumulators first so
+// hierarchyStatus stays monotone across the swap. The odd/even accGen
+// window makes fold+swap atomic for seqlock readers; it spans only this
+// function (buildView runs outside it), so readers spin briefly at
+// worst. Queries still draining on the old view after the fold add to
+// counters nobody reads again — a bounded undercount, never a
+// backwards step. Caller holds p.mu.
+func (p *provider) installView(v, old *view) {
+	p.accGen.Add(1)
+	if old != nil && old.hier != nil {
+		if qr, ok := old.hier.(interface{ QueryStats() ch.QueryStats }); ok {
+			qs := qr.QueryStats()
+			p.accQueries.Add(qs.Queries)
+			p.accTruncated.Add(qs.Truncated)
+			p.accAscentNodes.Add(qs.AscentNodes)
+		}
+	}
+	p.cur.Store(v)
+	p.accGen.Add(1)
 }
 
 // refreshAsync starts (at most one) background rebuild toward the
@@ -302,7 +380,11 @@ func (p *provider) buildView(snap *weights.Snapshot, prev *view) *view {
 			// and shared across versions.
 			v.trees = newRestrictedTrees(p.g, v.hier, tb, w, p.upperBound, p.backend == TreeCHAuto, p.selStats, p.grid, p.selCacheBytes)
 		}
-		p.lastCustomize.Store(int64(time.Since(start)))
+		elapsed := time.Since(start)
+		p.lastCustomize.Store(int64(elapsed))
+		if h := p.custObs.Load(); h != nil {
+			h.Observe(elapsed.Seconds())
+		}
 	case p.pruned:
 		var prevPruned *prunedTrees
 		var prevSnap *weights.Snapshot

@@ -17,6 +17,7 @@ import (
 	"repro/internal/simstudy"
 	"repro/internal/sp"
 	"repro/internal/spatial"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/weights"
 )
@@ -61,6 +62,13 @@ type City struct {
 	// responses and point-to-point answers can never disagree on the
 	// serving snapshot. Nil on hand-assembled Cities.
 	Matrix *core.MatrixEngine
+	// Ingest is the telemetry ingest path behind POST /api/observations:
+	// streamed per-edge observations (observed speeds, incident closures)
+	// publish into TrafficStore and decay back to the step-0 baseline.
+	// It shares the store with Seq — the store's Update serialization
+	// keeps the two producers' versions gapless. Nil on hand-assembled
+	// Cities.
+	Ingest *telemetry.Ingestor
 }
 
 // defaultEngine serves Cities assembled without NewCity.
@@ -130,6 +138,7 @@ func NewCityOpts(profile citygen.Profile, seed int64, opts core.Options) (*City,
 	}
 	c.Router = core.NewRouter(core.NewEngine(0), c.Planners[:], c.PublicStore, c.TrafficStore)
 	c.Matrix = core.NewMatrixEngineFor(plateaus, c.Router.Engine())
+	c.Ingest = telemetry.NewIngestor(c.TrafficStore, tw, telemetry.Config{})
 	return c, nil
 }
 

@@ -1,0 +1,485 @@
+// Package metrics is a small, dependency-free metrics registry exposing
+// the Prometheus text exposition format. It exists so the serving stack
+// can report counters, gauges and latency histograms on GET /metrics
+// without pulling the Prometheus client library into the build — the
+// repository's constraint is a stdlib-only module.
+//
+// The model follows Prometheus closely where it matters for scrapers:
+//
+//   - Counters are monotone, gauges are set-anywhere, histograms carry
+//     cumulative bucket counts, a _sum and a _count, with an implicit
+//     +Inf bucket.
+//   - Vec variants add fixed label dimensions; children are created on
+//     first With and live forever (the label cardinality of this stack is
+//     tiny: planner names, store names, city names).
+//   - Collect registers a scrape-time callback that emits samples read
+//     from state owned elsewhere (the serving layer's existing atomics) —
+//     the pull-model equivalent of a Prometheus collector, used for
+//     counters that must survive engine-internal resets.
+//
+// All instruments are safe for concurrent use; Observe/Add/Inc on the hot
+// path are a handful of atomic operations and never allocate.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the fixed latency buckets (seconds) of this stack's
+// query-path histograms: 100µs to 2.5s, the range between a warm cache
+// hit and a cold customization on the demo networks.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// SizeBuckets are the fixed buckets of count-valued histograms (selection
+// sizes, matrix cells): powers of four from 16 up.
+var SizeBuckets = []float64{16, 64, 256, 1024, 4096, 16384, 65536}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Registry holds a set of named metric families and renders them in the
+// Prometheus text format.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func(*Emit)
+}
+
+// family is one named metric with a fixed type, help string, label
+// dimension and (for histograms) bucket layout.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge" or "histogram"
+	labels  []string
+	buckets []float64
+
+	mu       sync.RWMutex
+	children map[string]any // keyed by joined label values
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates (or re-fetches) a family, panicking on a name reused
+// with a different shape — a registration bug, not a runtime condition.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	if !nameRE.MatchString(name) {
+		panic("metrics: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !nameRE.MatchString(l) {
+			panic("metrics: invalid label name " + l)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic("metrics: " + name + " re-registered with a different shape")
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// child returns the instrument of one label-value tuple, creating it on
+// first use via mk.
+func (f *family) child(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = mk()
+	f.children[key] = c
+	return c
+}
+
+// Counter is a monotone float counter.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (v < 0 panics — counters are monotone).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decrease")
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a settable float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set installs v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative allowed).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets hold the
+// *per-bucket* counts internally; rendering emits the Prometheus
+// cumulative form plus the implicit +Inf bucket, _sum and _count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// addFloat atomically adds v to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", nil, nil)
+	return f.child(nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", nil, nil)
+	return f.child(nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram over the given
+// bucket upper bounds (ascending; nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, "histogram", nil, histBounds(buckets))
+	return f.child(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a counter family with label dimensions.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", labels, nil)}
+}
+
+// With returns the child counter of one label-value tuple.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", labels, nil)}
+}
+
+// With returns the child gauge of one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with label dimensions.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family (nil
+// buckets selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, "histogram", labels, histBounds(buckets))}
+}
+
+// With returns the child histogram of one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+func histBounds(buckets []float64) []float64 {
+	if buckets == nil {
+		return DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram buckets must ascend")
+		}
+	}
+	return append([]float64(nil), buckets...)
+}
+
+// Emit receives samples from a scrape-time collector. Every call appends
+// one sample line; families are created on first use and merged with the
+// statically registered ones at render time (same name + different type
+// panics, as for static registration).
+type Emit struct {
+	samples []sample
+}
+
+type sample struct {
+	name   string
+	help   string
+	typ    string
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+}
+
+// Counter emits one monotone sample. labelPairs alternate key, value.
+func (e *Emit) Counter(name, help string, value float64, labelPairs ...string) {
+	e.add(name, help, "counter", value, labelPairs)
+}
+
+// Gauge emits one gauge sample. labelPairs alternate key, value.
+func (e *Emit) Gauge(name, help string, value float64, labelPairs ...string) {
+	e.add(name, help, "gauge", value, labelPairs)
+}
+
+func (e *Emit) add(name, help, typ string, value float64, labelPairs []string) {
+	if !nameRE.MatchString(name) {
+		panic("metrics: invalid metric name " + name)
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("metrics: odd label pair list for " + name)
+	}
+	var sb strings.Builder
+	for i := 0; i < len(labelPairs); i += 2 {
+		if !nameRE.MatchString(labelPairs[i]) {
+			panic("metrics: invalid label name " + labelPairs[i])
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", labelPairs[i], escapeLabel(labelPairs[i+1]))
+	}
+	e.samples = append(e.samples, sample{name: name, help: help, typ: typ, labels: sb.String(), value: value})
+}
+
+// Collect registers a scrape-time callback; every WriteTo call invokes it
+// with a fresh Emit. Use it to surface counters and gauges whose source
+// of truth lives in the serving layer's own atomics.
+func (r *Registry) Collect(fn func(*Emit)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format:
+// families sorted by name, children sorted by label tuple, histograms as
+// cumulative _bucket series plus _sum and _count.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	collectors := append([]func(*Emit){}, r.collectors...)
+	r.mu.Unlock()
+
+	var e Emit
+	for _, fn := range collectors {
+		fn(&e)
+	}
+
+	type block struct {
+		name, help, typ string
+		lines           []string
+	}
+	blocks := make(map[string]*block)
+	get := func(name, help, typ string) *block {
+		b, ok := blocks[name]
+		if !ok {
+			b = &block{name: name, help: help, typ: typ}
+			blocks[name] = b
+			return b
+		}
+		if b.typ != typ {
+			panic("metrics: " + name + " emitted as both " + b.typ + " and " + typ)
+		}
+		return b
+	}
+
+	for _, f := range fams {
+		b := get(f.name, f.help, f.typ)
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			labels := renderLabels(f.labels, k)
+			switch c := f.children[k].(type) {
+			case *Counter:
+				b.lines = append(b.lines, sampleLine(f.name, labels, "", c.Value()))
+			case *Gauge:
+				b.lines = append(b.lines, sampleLine(f.name, labels, "", c.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, bound := range c.bounds {
+					cum += c.counts[i].Load()
+					b.lines = append(b.lines, sampleLine(f.name+"_bucket", labels, `le="`+formatFloat(bound)+`"`, float64(cum)))
+				}
+				cum += c.counts[len(c.bounds)].Load()
+				b.lines = append(b.lines, sampleLine(f.name+"_bucket", labels, `le="+Inf"`, float64(cum)))
+				b.lines = append(b.lines, sampleLine(f.name+"_sum", labels, "", c.Sum()))
+				b.lines = append(b.lines, sampleLine(f.name+"_count", labels, "", float64(cum)))
+			}
+		}
+		f.mu.RUnlock()
+	}
+	for _, s := range e.samples {
+		b := get(s.name, s.help, s.typ)
+		b.lines = append(b.lines, sampleLine(s.name, s.labels, "", s.value))
+	}
+
+	names := make([]string, 0, len(blocks))
+	for n := range blocks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		b := blocks[n]
+		if b.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", b.name, escapeHelp(b.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", b.name, b.typ)
+		for _, l := range b.lines {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	nn, err := io.WriteString(w, sb.String())
+	return int64(nn), err
+}
+
+// ContentType is the Prometheus text exposition format version the
+// registry renders.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP implements http.Handler: the GET /metrics scrape endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	r.WriteTo(w)
+}
+
+// renderLabels expands a joined child key back into {k="v",...} text.
+func renderLabels(names []string, key string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	values := strings.Split(key, "\xff")
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", n, escapeLabel(values[i]))
+	}
+	return sb.String()
+}
+
+// sampleLine renders one sample; extra is an additional pre-rendered
+// label (the histogram le).
+func sampleLine(name, labels, extra string, v float64) string {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		return name + "{" + all + "} " + formatFloat(v)
+	}
+	return name + " " + formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format. %q adds
+// the quotes and escapes \ and "; the format additionally wants literal
+// newlines as \n, which %q already produces.
+func escapeLabel(v string) string {
+	// %q on the caller side handles everything; this hook exists so the
+	// escaping policy is centralized should it ever need to diverge.
+	return v
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseText is a strict-enough exposition-format parser for tests: it
+// checks line shapes and returns name{labels} -> value.
+func parseText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	sampleRE := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.Replace(m[3], "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		key := m[1] + m[2]
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		out[key] = v
+	}
+	return out
+}
+
+func render(t *testing.T, r *Registry) (string, map[string]float64) {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return sb.String(), parseText(t, sb.String())
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("test_depth", "depth")
+	g.Set(4.5)
+	g.Add(-1.5)
+	cv := r.CounterVec("test_by_kind_total", "by kind", "kind")
+	cv.With("a").Add(3)
+	cv.With("b").Inc()
+
+	text, samples := render(t, r)
+	if got := samples["test_ops_total"]; got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	if got := samples["test_depth"]; got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+	if got := samples[`test_by_kind_total{kind="a"}`]; got != 3 {
+		t.Fatalf("labeled counter = %v, want 3", got)
+	}
+	for _, want := range []string{"# TYPE test_ops_total counter", "# TYPE test_depth gauge", "# HELP test_ops_total ops"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Families must be sorted by name.
+	if strings.Index(text, "test_by_kind_total") > strings.Index(text, "test_ops_total") {
+		t.Fatalf("families not sorted by name:\n%s", text)
+	}
+}
+
+// TestHistogramCumulative pins the histogram contract: bucket series are
+// cumulative, monotone, end at +Inf, and the +Inf bucket equals _count.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	obs := []float64{0.0005, 0.001, 0.004, 0.05, 0.2, 7}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	_, samples := render(t, r)
+
+	buckets := []struct {
+		le   string
+		want float64
+	}{
+		{"0.001", 2}, // 0.0005 and the boundary value 0.001 (le is inclusive)
+		{"0.01", 3},
+		{"0.1", 4},
+		{"+Inf", 6},
+	}
+	prev := 0.0
+	for _, b := range buckets {
+		got := samples[`test_latency_seconds_bucket{le="`+b.le+`"}`]
+		if got != b.want {
+			t.Fatalf("bucket le=%s = %v, want %v", b.le, got, b.want)
+		}
+		if got < prev {
+			t.Fatalf("bucket le=%s not cumulative (%v < %v)", b.le, got, prev)
+		}
+		prev = got
+	}
+	if got := samples["test_latency_seconds_count"]; got != 6 {
+		t.Fatalf("_count = %v, want 6", got)
+	}
+	if got, want := samples["test_latency_seconds_sum"], 0.0005+0.001+0.004+0.05+0.2+7; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("_sum = %v, want %v", got, want)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count() = %d, want 6", h.Count())
+	}
+}
+
+func TestHistogramVecSharesBuckets(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_q_seconds", "per planner", nil, "planner")
+	hv.With("Plateaus").Observe(0.002)
+	hv.With("Penalty").Observe(1.7)
+	_, samples := render(t, r)
+	if got := samples[`test_q_seconds_bucket{planner="Plateaus",le="0.0025"}`]; got != 1 {
+		t.Fatalf("Plateaus le=0.0025 = %v, want 1", got)
+	}
+	if got := samples[`test_q_seconds_count{planner="Penalty"}`]; got != 1 {
+		t.Fatalf("Penalty count = %v, want 1", got)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.Collect(func(e *Emit) {
+		e.Counter("test_pub_total", "publishes", v, "store", "traffic")
+		e.Gauge("test_step", "step", 7)
+	})
+	v = 42
+	_, samples := render(t, r)
+	if got := samples[`test_pub_total{store="traffic"}`]; got != 42 {
+		t.Fatalf("collector counter = %v, want 42 (must read at scrape time)", got)
+	}
+	if got := samples["test_step"]; got != 7 {
+		t.Fatalf("collector gauge = %v, want 7", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("test_esc", "", "name").With(`a"b\c` + "\nd").Set(1)
+	text, _ := render(t, r)
+	if !strings.Contains(text, `name="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", text)
+	}
+}
+
+func TestReRegisterSameShape(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_x_total", "x")
+	b := r.Counter("test_x_total", "x")
+	if a != b {
+		t.Fatalf("re-registration must return the same instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering as a different type must panic")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ok_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	parseText(t, rec.Body.String())
+}
+
+// TestConcurrentUse hammers every instrument kind from many goroutines
+// while scraping — the -race coverage of the registry itself.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "")
+	h := r.HistogramVec("test_h_seconds", "", nil, "p")
+	g := r.Gauge("test_g", "")
+	r.Collect(func(e *Emit) { e.Gauge("test_live", "", 1) })
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := strconv.Itoa(w % 3)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.With(name).Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var sb strings.Builder
+					r.WriteTo(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, samples := render(t, r)
+	if got := samples["test_c_total"]; got != workers*per {
+		t.Fatalf("counter = %v, want %d", got, workers*per)
+	}
+	var count float64
+	for w := 0; w < 3; w++ {
+		count += samples[`test_h_seconds_count{p="`+strconv.Itoa(w)+`"}`]
+	}
+	if count != workers*per {
+		t.Fatalf("histogram total = %v, want %d", count, workers*per)
+	}
+}

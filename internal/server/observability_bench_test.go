@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// BenchmarkIngestPublish measures one telemetry batch end to end:
+// decay the standing deviations, apply an 8-edge scenario step, rebuild
+// the weight vector and publish it through the store (which swaps the
+// serving snapshot). This is the cost a live feed pays per tick.
+func BenchmarkIngestPublish(b *testing.B) {
+	c := testCities(b)["Copenhagen"]
+	sc := telemetry.Scenario{Kind: telemetry.RushHour, Seed: 17}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := sc.Observations(c.Graph, 1+i%24)
+		if _, err := c.Ingest.Advance(obs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetricsScrape measures rendering the full exposition after
+// the families carry samples — the steady-state GET /metrics cost.
+func BenchmarkMetricsScrape(b *testing.B) {
+	cities := testCities(b)
+	s := New(cities, "", WithMetrics(), WithIngest())
+	c := cities["Copenhagen"]
+	bb := c.Graph.BBox()
+	// Populate the event-driven families with a few real queries.
+	routes := fmt.Sprintf("/api/routes?city=Copenhagen&s=%f,%f&t=%f,%f",
+		bb.MinLat, bb.MinLon, bb.MaxLat, bb.MaxLon)
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", routes, nil))
+		if rec.Code != 200 {
+			b.Fatalf("routes: status %d", rec.Code)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if _, err := s.registry.WriteTo(&sb); err != nil {
+			b.Fatal(err)
+		}
+		if sb.Len() == 0 {
+			b.Fatal("empty scrape")
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/geo"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/path"
 )
 
@@ -39,6 +40,15 @@ var displayLabels = [eval.NumApproaches]string{"A", "B", "C", "D"}
 type Server struct {
 	mux    *http.ServeMux
 	cities map[string]*eval.City
+
+	// registry backs GET /metrics when WithMetrics was given; nil
+	// otherwise.
+	registry *metrics.Registry
+	// verbose turns on the per-query log lines of the hot handlers
+	// (WithVerbose); errors are logged regardless.
+	verbose bool
+	// ingest registers POST /api/observations (WithIngest).
+	ingest bool
 
 	mu        sync.Mutex
 	ratings   []RatingSubmission
@@ -55,12 +65,16 @@ type RatingSubmission struct {
 }
 
 // New creates a demo server over the given cities. storePath, if
-// non-empty, is a JSON file ratings are persisted to.
-func New(cities map[string]*eval.City, storePath string) *Server {
+// non-empty, is a JSON file ratings are persisted to. Options add the
+// observability surfaces (WithMetrics, WithIngest, WithVerbose).
+func New(cities map[string]*eval.City, storePath string, opts ...Option) *Server {
 	s := &Server{
 		mux:       http.NewServeMux(),
 		cities:    cities,
 		storePath: storePath,
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/cities", s.handleCities)
@@ -70,7 +84,25 @@ func New(cities map[string]*eval.City, storePath string) *Server {
 	s.mux.HandleFunc("POST /api/rating", s.handleRating)
 	s.mux.HandleFunc("POST /api/publish", s.handlePublish)
 	s.mux.HandleFunc("GET /api/traffic", s.handleTraffic)
+	if s.registry != nil {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.ingest {
+		s.mux.HandleFunc("POST /api/observations", s.handleObservations)
+	}
 	return s
+}
+
+// handleMetrics serves the Prometheus text exposition of everything the
+// serving stack measures: per-query latency histograms per planner,
+// cache hit rates, customization latency, selection sizes, matrix table
+// shapes, plus the scrape-time counters (store versions, publish
+// counts, elimination-tree query totals, ingest state).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	if _, err := s.registry.WriteTo(w); err != nil {
+		log.Printf("server: writing metrics: %v", err)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -218,7 +250,11 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 	// Live-swap observability: which snapshot each approach answered
 	// under, which hierarchy flavor served it (and how long its last
 	// customization took), plus the serving cache's cumulative hit rate.
-	if c.Router != nil {
+	// Verbose-only: this Printf (and the status formatting feeding it)
+	// once ran per query, pushing every concurrent request through the
+	// logger's mutex — under load the serving path serialized on it. The
+	// same numbers are on GET /metrics without touching the hot path.
+	if s.verbose && c.Router != nil {
 		hits, misses := c.Router.Engine().CacheStats()
 		log.Printf("server: %s %d->%d answered at weight versions A=%d B=%d C=%d D=%d%s (cache %d hits / %d misses)",
 			q.Get("city"), sv, tv, rs.Versions[0], rs.Versions[1], rs.Versions[2], rs.Versions[3],
@@ -306,12 +342,14 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 		seconds[i] = row
 	}
-	sel := "full sweeps"
-	if tab.Restricted {
-		sel = fmt.Sprintf("sel %d (%s)", tab.SelectionTargets, hitMiss(tab.SelectionHit))
+	if s.verbose { // per-table log line; the histograms cover the silent case
+		sel := "full sweeps"
+		if tab.Restricted {
+			sel = fmt.Sprintf("sel %d (%s)", tab.SelectionTargets, hitMiss(tab.SelectionHit))
+		}
+		log.Printf("server: %s matrix %dx%d v%d %s in %s",
+			req.City, len(sources), len(targets), tab.Version, sel, time.Since(start).Round(10*time.Microsecond))
 	}
-	log.Printf("server: %s matrix %dx%d v%d %s in %s",
-		req.City, len(sources), len(targets), tab.Version, sel, time.Since(start).Round(10*time.Microsecond))
 	writeJSON(w, struct {
 		Sources       [][2]float64 `json:"sources"` // snapped coordinates
 		Targets       [][2]float64 `json:"targets"`

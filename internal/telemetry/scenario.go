@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Kind names a built-in observation-stream scenario.
+type Kind string
+
+const (
+	// RushHour reports slowdowns on a fixed hotspot set whose severity
+	// swings through a sinusoidal peak-and-trough cycle — the ingest-path
+	// twin of traffic.Sequence's model-driven rush hour.
+	RushHour Kind = "rush-hour"
+	// IncidentStorm closes a pseudo-random batch of edges each step and
+	// reopens them CloseFor steps later — churn on the ban-like path
+	// (closures, reopenings, full weight republshes) rather than the
+	// speed path.
+	IncidentStorm Kind = "incident-storm"
+	// SensorNoise reports near-free-flow speeds on many random edges —
+	// the adversarial case for the decay/snap machinery, where almost
+	// every observation should collapse back to baseline.
+	SensorNoise Kind = "sensor-noise"
+)
+
+// ParseKind maps a scenario name (as accepted by the -ingest flag and
+// the /api/observations scenario field) to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case RushHour, IncidentStorm, SensorNoise:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("telemetry: unknown scenario %q (want %q, %q or %q)", s, RushHour, IncidentStorm, SensorNoise)
+}
+
+// Scenario deterministically generates the observation stream of one
+// workload: Observations(g, step) depends only on (scenario, graph,
+// step), never on call order or wall clock, so replaying a scenario
+// reproduces byte-identical publishes — which is what makes ingest-driven
+// workloads usable in regression tests and benchmarks.
+type Scenario struct {
+	Kind Kind
+	// Seed derives every step's pseudo-random choices. Two scenarios with
+	// equal (Kind, Seed, ...) fields emit identical streams.
+	Seed int64
+	// Edges is how many edges each step touches (default 8).
+	Edges int
+	// Severity scales the effect: the worst-case slowdown factor for
+	// RushHour (default 3: speeds bottom out at 1/3 of free flow), the
+	// noise amplitude for SensorNoise (default 1.05: speeds within ±5% of
+	// free flow). Unused by IncidentStorm.
+	Severity float64
+	// Period is the RushHour cycle length in steps (default 12, matching
+	// traffic.DefaultPeriod).
+	Period int
+	// CloseFor is how many steps an IncidentStorm closure lasts before
+	// the matching reopen is emitted (default 3).
+	CloseFor int
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Edges <= 0 {
+		sc.Edges = 8
+	}
+	if sc.Severity <= 1 {
+		switch sc.Kind {
+		case SensorNoise:
+			sc.Severity = 1.05
+		default:
+			sc.Severity = 3
+		}
+	}
+	if sc.Period <= 0 {
+		sc.Period = 12
+	}
+	if sc.CloseFor <= 0 {
+		sc.CloseFor = 3
+	}
+	return sc
+}
+
+// rng derives the pseudo-random source of one step. Keying the source by
+// (seed, step) — not by a shared mutable stream — is what makes a step's
+// observations independent of how many other steps were generated first.
+func (sc Scenario) rng(step int) *rand.Rand {
+	return rand.New(rand.NewSource(sc.Seed*1000003 + int64(step)))
+}
+
+// Observations generates step's observation batch for g. Steps count
+// from 1 (step 0 is the baseline and emits nothing). The batch is in a
+// deterministic order.
+func (sc Scenario) Observations(g *graph.Graph, step int) []Observation {
+	sc = sc.withDefaults()
+	if step <= 0 || g.NumEdges() == 0 {
+		return nil
+	}
+	switch sc.Kind {
+	case IncidentStorm:
+		return sc.stormAt(g, step)
+	case SensorNoise:
+		return sc.noiseAt(g, step)
+	default:
+		return sc.rushAt(g, step)
+	}
+}
+
+// rushAt: the hotspot set is drawn once from the seed (step-independent,
+// like traffic.Model's fixed hotspot positions) and every edge in it
+// reports the same cycle-dependent speed.
+func (sc Scenario) rushAt(g *graph.Graph, step int) []Observation {
+	hot := sc.rng(0)
+	edges := pickEdges(hot, g.NumEdges(), sc.Edges)
+	// Severity profile: free flow at the cycle trough, 1/Severity at the
+	// peak. sin ranges [-1,1]; map it to [0,1] before scaling.
+	p := (1 + math.Sin(2*math.Pi*float64(step)/float64(sc.Period))) / 2
+	speed := 1 / (1 + (sc.Severity-1)*p)
+	obs := make([]Observation, len(edges))
+	for i, e := range edges {
+		obs[i] = Observation{Edge: e, Speed: speed}
+	}
+	return obs
+}
+
+// stormAt: each step closes a fresh pseudo-random batch and reopens the
+// batch closed CloseFor steps earlier, re-derived from that step's rng —
+// no state is carried between calls.
+func (sc Scenario) stormAt(g *graph.Graph, step int) []Observation {
+	var obs []Observation
+	if old := step - sc.CloseFor; old >= 1 {
+		for _, e := range pickEdges(sc.rng(old), g.NumEdges(), sc.Edges) {
+			obs = append(obs, Observation{Edge: e, Reopen: true})
+		}
+	}
+	for _, e := range pickEdges(sc.rng(step), g.NumEdges(), sc.Edges) {
+		obs = append(obs, Observation{Edge: e, Closed: true})
+	}
+	return obs
+}
+
+// noiseAt: random edges report speeds uniformly within
+// [1/Severity, Severity] of free flow — most land inside the snap
+// threshold and must decay away to nothing.
+func (sc Scenario) noiseAt(g *graph.Graph, step int) []Observation {
+	r := sc.rng(step)
+	edges := pickEdges(r, g.NumEdges(), sc.Edges)
+	obs := make([]Observation, len(edges))
+	for i, e := range edges {
+		// log-uniform in [-ln S, +ln S]
+		m := (2*r.Float64() - 1) * math.Log(sc.Severity)
+		obs[i] = Observation{Edge: e, Speed: math.Exp(m)}
+	}
+	return obs
+}
+
+// pickEdges draws n distinct edge IDs from [0, numEdges), in draw order.
+func pickEdges(r *rand.Rand, numEdges, n int) []graph.EdgeID {
+	if n > numEdges {
+		n = numEdges
+	}
+	seen := make(map[graph.EdgeID]struct{}, n)
+	out := make([]graph.EdgeID, 0, n)
+	for len(out) < n {
+		e := graph.EdgeID(r.Intn(numEdges))
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package telemetry turns streamed per-edge observations into versioned
+// weight publishes — the ingest half of the serving stack's
+// observability story. Where traffic.Sequence synthesizes whole rush-hour
+// vectors from a model, the Ingestor here works the way a real probe
+// feed does: individual measurements arrive (observed speeds, incident
+// closures, reopenings), perturb the edge's weight away from a fixed
+// baseline, and decay exponentially back toward it on a configurable
+// half-life once the observations stop. Everything is deterministic in
+// the observation stream, which is what makes rush-hour, incident-storm
+// and sensor-noise scenarios (scenario.go) reproducible first-class
+// workloads alongside the model-driven sequence.
+//
+// State model: per edge, the ingestor holds a log-space multiplier m
+// (weight = baseline × e^m; an observed relative speed s sets
+// m = ln(1/s)) and a closed flag (weight = +Inf while set). Decay scales
+// every multiplier by 0.5^(steps/HalfLife) and *snaps* it to zero once
+// its magnitude falls below SnapEpsilon — so a fully decayed ingestor
+// publishes weights byte-identical to its baseline, not merely close
+// (the regression tests pin this, and route sets computed downstream are
+// bit-equal to the static configuration again).
+//
+// Every publish goes through weights.Store.Update, so the ingestor's
+// internal state advances in lock-step with the version sequence even
+// while other producers (the traffic sequence, closure republishes)
+// share the store: versions stay gapless and each returned snapshot
+// carries exactly the weights the ingestor computed for it.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/weights"
+)
+
+// Config tunes an Ingestor. The zero value selects the defaults.
+type Config struct {
+	// HalfLife is the decay half-life in ticks: after HalfLife worth of
+	// Decay steps, an edge's log-space deviation from baseline has halved.
+	// Default 4.
+	HalfLife float64
+	// SnapEpsilon is the log-space magnitude below which a decaying
+	// multiplier snaps to exactly zero (baseline). Default 1e-3 (≈0.1%
+	// weight deviation).
+	SnapEpsilon float64
+}
+
+// DefaultHalfLife is the decay half-life (in ticks) of a zero Config.
+const DefaultHalfLife = 4.0
+
+// DefaultSnapEpsilon is the baseline-snap threshold of a zero Config.
+const DefaultSnapEpsilon = 1e-3
+
+func (c Config) withDefaults() Config {
+	if c.HalfLife <= 0 {
+		c.HalfLife = DefaultHalfLife
+	}
+	if c.SnapEpsilon <= 0 {
+		c.SnapEpsilon = DefaultSnapEpsilon
+	}
+	return c
+}
+
+// Observation is one per-edge measurement of the ingest stream.
+type Observation struct {
+	Edge graph.EdgeID `json:"edge"`
+	// Speed is the observed relative speed as a fraction of free flow:
+	// 0.5 means traffic moves at half the baseline speed (the weight
+	// doubles), 1 means free flow (deviation cleared), values above 1 are
+	// allowed (faster than baseline). Ignored when Closed or Reopen is
+	// set; otherwise must be positive and finite.
+	Speed float64 `json:"speed,omitempty"`
+	// Closed reports an incident closure: the edge is impassable (+Inf)
+	// until a Reopen observation arrives. Unlike weights.Store.Ban, a
+	// closure is ingest state, not a permanent mask — it reopens.
+	Closed bool `json:"closed,omitempty"`
+	// Reopen clears a closure. The edge's speed deviation (if any)
+	// resumes decaying from where it stood.
+	Reopen bool `json:"reopen,omitempty"`
+}
+
+// Stats are the ingestor's cumulative counters (monotone; safe to read
+// concurrently with ingest).
+type Stats struct {
+	// Observations counts measurements applied (closures and reopenings
+	// included); Closures counts closure observations among them.
+	Observations uint64
+	Closures     uint64
+	// Publishes counts snapshots this ingestor published into its store.
+	Publishes uint64
+}
+
+// Ingestor folds an observation stream into versioned weight publishes
+// against a fixed baseline. It is safe for concurrent use; observations
+// and decay ticks serialize on an internal mutex, and each publish is
+// atomic with the state transition that produced it.
+type Ingestor struct {
+	store *weights.Store
+	base  []float64
+	cfg   Config
+
+	mu     sync.Mutex
+	logm   map[graph.EdgeID]float64
+	closed map[graph.EdgeID]struct{}
+
+	observations atomic.Uint64
+	closures     atomic.Uint64
+	publishes    atomic.Uint64
+}
+
+// NewIngestor returns an ingestor publishing into store, decaying toward
+// base (copied; typically the store's initial snapshot or the graph's
+// base weights). The baseline length must match the store's edge count.
+func NewIngestor(store *weights.Store, base []float64, cfg Config) *Ingestor {
+	if store.Latest().Len() != len(base) {
+		panic(fmt.Sprintf("telemetry: baseline has %d weights, store %d", len(base), store.Latest().Len()))
+	}
+	return &Ingestor{
+		store:  store,
+		base:   append([]float64(nil), base...),
+		cfg:    cfg.withDefaults(),
+		logm:   make(map[graph.EdgeID]float64),
+		closed: make(map[graph.EdgeID]struct{}),
+	}
+}
+
+// Store returns the store this ingestor publishes into.
+func (in *Ingestor) Store() *weights.Store { return in.store }
+
+// Baseline returns the decay target (shared storage; do not modify).
+func (in *Ingestor) Baseline() []float64 { return in.base }
+
+// Advance is the combined stream step: decay the standing state by
+// decaySteps ticks, apply obs on top, and publish the result as one
+// snapshot. Either part may be empty (decaySteps <= 0 skips decay, an
+// empty obs list applies nothing); the publish happens regardless, so a
+// quiet tick still yields a numbered snapshot downstream consumers can
+// key on. Invalid observations (edge out of range, non-positive speed)
+// reject the whole batch before any state changes.
+func (in *Ingestor) Advance(obs []Observation, decaySteps float64) (*weights.Snapshot, error) {
+	for _, o := range obs {
+		if int(o.Edge) < 0 || int(o.Edge) >= len(in.base) {
+			return nil, fmt.Errorf("telemetry: observation edge %d out of range [0,%d)", o.Edge, len(in.base))
+		}
+		if !o.Closed && !o.Reopen && (!(o.Speed > 0) || math.IsInf(o.Speed, 1)) {
+			return nil, fmt.Errorf("telemetry: observation on edge %d has non-positive speed %v", o.Edge, o.Speed)
+		}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if decaySteps > 0 {
+		in.decayLocked(decaySteps)
+	}
+	for _, o := range obs {
+		in.applyLocked(o)
+	}
+	snap := in.store.Update(func(*weights.Snapshot) []float64 { return in.weightsLocked() })
+	in.publishes.Add(1)
+	return snap, nil
+}
+
+// Observe applies a batch of observations and publishes — Advance with
+// no decay.
+func (in *Ingestor) Observe(obs ...Observation) (*weights.Snapshot, error) {
+	return in.Advance(obs, 0)
+}
+
+// Decay ages the standing deviations by the given number of ticks and
+// publishes — Advance with no observations. Deviations below the snap
+// threshold clear exactly, so a long-enough decayed ingestor publishes
+// its baseline byte-identically.
+func (in *Ingestor) Decay(steps float64) *weights.Snapshot {
+	snap, _ := in.Advance(nil, steps)
+	return snap
+}
+
+func (in *Ingestor) applyLocked(o Observation) {
+	in.observations.Add(1)
+	switch {
+	case o.Closed:
+		in.closures.Add(1)
+		in.closed[o.Edge] = struct{}{}
+	case o.Reopen:
+		delete(in.closed, o.Edge)
+	default:
+		m := -math.Log(o.Speed)
+		if math.Abs(m) < in.cfg.SnapEpsilon {
+			delete(in.logm, o.Edge) // free-flow report clears the deviation
+		} else {
+			in.logm[o.Edge] = m
+		}
+	}
+}
+
+func (in *Ingestor) decayLocked(steps float64) {
+	f := math.Pow(0.5, steps/in.cfg.HalfLife)
+	for e, m := range in.logm {
+		m *= f
+		if math.Abs(m) < in.cfg.SnapEpsilon {
+			delete(in.logm, e)
+		} else {
+			in.logm[e] = m
+		}
+	}
+}
+
+// weightsLocked materializes the current vector: baseline copied, then
+// the (typically few) perturbed edges patched. Untouched edges carry the
+// baseline value bit-for-bit — no multiplication is applied to them.
+func (in *Ingestor) weightsLocked() []float64 {
+	w := make([]float64, len(in.base))
+	copy(w, in.base)
+	for e, m := range in.logm {
+		w[e] = in.base[e] * math.Exp(m)
+	}
+	inf := math.Inf(1)
+	for e := range in.closed {
+		w[e] = inf
+	}
+	return w
+}
+
+// Perturbed returns how many edges currently deviate from baseline
+// (closures not counted).
+func (in *Ingestor) Perturbed() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.logm)
+}
+
+// ClosedEdges returns the currently closed edges, ascending.
+func (in *Ingestor) ClosedEdges() []graph.EdgeID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]graph.EdgeID, 0, len(in.closed))
+	for e := range in.closed {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns the cumulative counters.
+func (in *Ingestor) Stats() Stats {
+	return Stats{
+		Observations: in.observations.Load(),
+		Closures:     in.closures.Load(),
+		Publishes:    in.publishes.Load(),
+	}
+}

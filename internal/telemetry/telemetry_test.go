@@ -1,0 +1,344 @@
+package telemetry_test
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+	"repro/internal/weights"
+)
+
+// gridTown builds the same 12×12 grid-with-bypass town the core tests
+// use: enough structure for alternative routes to differ when an
+// arterial closes.
+func gridTown(t testing.TB) *graph.Graph {
+	t.Helper()
+	const n = 12
+	b := graph.NewBuilder(n*n+2, 0)
+	o := geo.Point{Lat: -37.84, Lon: 144.93}
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*n + c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			b.AddNode(geo.Offset(o, float64(r)*200, float64(c)*200))
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			class := graph.Residential
+			if r == 4 || r == 8 {
+				class = graph.Primary
+			}
+			if c == 6 {
+				class = graph.Secondary
+			}
+			if c+1 < n {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r, c+1), Class: class, TwoWay: true})
+			}
+			if r+1 < n {
+				b.AddEdge(graph.EdgeSpec{From: id(r, c), To: id(r+1, c), Class: graph.Residential, TwoWay: true})
+			}
+		}
+	}
+	w := b.AddNode(geo.Offset(o, -400, -200))
+	e := b.AddNode(geo.Offset(o, -400, float64(n)*200))
+	b.AddEdge(graph.EdgeSpec{From: id(0, 0), To: w, Class: graph.MotorwayLink, TwoWay: true})
+	b.AddEdge(graph.EdgeSpec{From: w, To: e, Class: graph.Motorway, TwoWay: true})
+	b.AddEdge(graph.EdgeSpec{From: e, To: id(0, n-1), Class: graph.MotorwayLink, TwoWay: true})
+	return b.Build()
+}
+
+func baseOf(g *graph.Graph) []float64 {
+	return append([]float64(nil), g.BaseWeights()...)
+}
+
+// TestDecayConvergesByteIdentical pins the snap contract: after enough
+// decay, the published vector equals the baseline bit for bit — every
+// float64, compared by bits, not within a tolerance.
+func TestDecayConvergesByteIdentical(t *testing.T) {
+	g := gridTown(t)
+	base := baseOf(g)
+	st := weights.NewStore(base)
+	in := telemetry.NewIngestor(st, base, telemetry.Config{HalfLife: 2})
+
+	if _, err := in.Observe(
+		telemetry.Observation{Edge: 3, Speed: 0.25},
+		telemetry.Observation{Edge: 17, Speed: 0.5},
+		telemetry.Observation{Edge: 40, Speed: 1.8},
+	); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if got := in.Perturbed(); got != 3 {
+		t.Fatalf("Perturbed = %d, want 3", got)
+	}
+	perturbed := st.Latest().Weights()
+	if perturbed[3] == base[3] || perturbed[17] == base[17] || perturbed[40] == base[40] {
+		t.Fatalf("observed edges did not move off baseline")
+	}
+	// Untouched edges must carry baseline bits even before decay.
+	for e := range base {
+		if e == 3 || e == 17 || e == 40 {
+			continue
+		}
+		if math.Float64bits(perturbed[e]) != math.Float64bits(base[e]) {
+			t.Fatalf("untouched edge %d perturbed: %v != %v", e, perturbed[e], base[e])
+		}
+	}
+
+	// ln(4) ≈ 1.39 halves below 1e-3 within ~11 half-lives; 30 ticks at
+	// HalfLife=2 is 15 half-lives — comfortably past the snap threshold.
+	var last *weights.Snapshot
+	for i := 0; i < 30; i++ {
+		last = in.Decay(1)
+	}
+	if got := in.Perturbed(); got != 0 {
+		t.Fatalf("Perturbed after decay = %d, want 0", got)
+	}
+	w := last.Weights()
+	for e := range base {
+		if math.Float64bits(w[e]) != math.Float64bits(base[e]) {
+			t.Fatalf("edge %d not byte-identical after decay: %v vs baseline %v", e, w[e], base[e])
+		}
+	}
+}
+
+// TestIngestRoutesMatchPinnedSnapshot is the acceptance scenario: an
+// ingest-driven incident (closure observations → publish → decay of an
+// unrelated slowdown) must yield routes byte-identical to a planner
+// pinned on the equivalent hand-built weight vector.
+func TestIngestRoutesMatchPinnedSnapshot(t *testing.T) {
+	g := gridTown(t)
+	base := baseOf(g)
+	st := weights.NewStore(base)
+	in := telemetry.NewIngestor(st, base, telemetry.Config{HalfLife: 2})
+
+	// Close two arterial edges and report a slowdown elsewhere, then let
+	// the slowdown decay fully away: the surviving state is exactly "two
+	// edges at +Inf, everything else baseline".
+	closed := []graph.EdgeID{10, 55}
+	if _, err := in.Observe(
+		telemetry.Observation{Edge: closed[0], Closed: true},
+		telemetry.Observation{Edge: closed[1], Closed: true},
+		telemetry.Observation{Edge: 100, Speed: 0.5},
+	); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		in.Decay(1)
+	}
+	if got := in.ClosedEdges(); !reflect.DeepEqual(got, closed) {
+		t.Fatalf("ClosedEdges = %v, want %v", got, closed)
+	}
+
+	hand := append([]float64(nil), base...)
+	for _, e := range closed {
+		hand[e] = math.Inf(1)
+	}
+	live := core.NewPlateaus(g, core.Options{Weights: st})
+	pinned := core.NewPlateaus(g, core.Options{Weights: weights.Pin(hand)})
+
+	pairs := [][2]graph.NodeID{{0, 143}, {13, 130}, {5, 138}, {60, 83}}
+	for _, p := range pairs {
+		got, errG := live.Alternatives(p[0], p[1])
+		want, errW := pinned.Alternatives(p[0], p[1])
+		if (errG == nil) != (errW == nil) {
+			t.Fatalf("pair %v: error mismatch: live %v, pinned %v", p, errG, errW)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pair %v: %d routes live, %d pinned", p, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Edges, want[i].Edges) {
+				t.Fatalf("pair %v route %d: edges differ\nlive:   %v\npinned: %v", p, i, got[i].Edges, want[i].Edges)
+			}
+			if math.Float64bits(got[i].TimeS) != math.Float64bits(want[i].TimeS) {
+				t.Fatalf("pair %v route %d: time %v vs %v", p, i, got[i].TimeS, want[i].TimeS)
+			}
+		}
+	}
+
+	// Reopen both and re-converge: routes must match the pure baseline.
+	if _, err := in.Observe(
+		telemetry.Observation{Edge: closed[0], Reopen: true},
+		telemetry.Observation{Edge: closed[1], Reopen: true},
+	); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	basePinned := core.NewPlateaus(g, core.Options{Weights: weights.Pin(base)})
+	for _, p := range pairs {
+		got, _ := live.Alternatives(p[0], p[1])
+		want, _ := basePinned.Alternatives(p[0], p[1])
+		if len(got) != len(want) {
+			t.Fatalf("post-reopen pair %v: %d routes live, %d pinned", p, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Edges, want[i].Edges) {
+				t.Fatalf("post-reopen pair %v route %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	g := gridTown(t)
+	base := baseOf(g)
+	in := telemetry.NewIngestor(weights.NewStore(base), base, telemetry.Config{})
+
+	v0 := in.Store().Version()
+	if _, err := in.Observe(telemetry.Observation{Edge: graph.EdgeID(len(base)), Speed: 1}); err == nil {
+		t.Fatalf("out-of-range edge accepted")
+	}
+	if _, err := in.Observe(telemetry.Observation{Edge: 0, Speed: 0}); err == nil {
+		t.Fatalf("zero speed accepted")
+	}
+	if _, err := in.Observe(telemetry.Observation{Edge: 0, Speed: math.Inf(1)}); err == nil {
+		t.Fatalf("+Inf speed accepted")
+	}
+	if in.Store().Version() != v0 {
+		t.Fatalf("rejected batch still published")
+	}
+	if s := in.Stats(); s.Observations != 0 || s.Publishes != 0 {
+		t.Fatalf("rejected batch counted: %+v", s)
+	}
+}
+
+// TestScenarioDeterministic pins the replay contract: Observations is a
+// pure function of (scenario, graph, step).
+func TestScenarioDeterministic(t *testing.T) {
+	g := gridTown(t)
+	for _, kind := range []telemetry.Kind{telemetry.RushHour, telemetry.IncidentStorm, telemetry.SensorNoise} {
+		sc := telemetry.Scenario{Kind: kind, Seed: 42}
+		a := sc.Observations(g, 5)
+		// Generate other steps in between: step 5 must not care.
+		sc.Observations(g, 1)
+		sc.Observations(g, 9)
+		b := sc.Observations(g, 5)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: step 5 not reproducible:\n%v\n%v", kind, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: step 5 empty", kind)
+		}
+		if other := (telemetry.Scenario{Kind: kind, Seed: 43}).Observations(g, 5); reflect.DeepEqual(a, other) {
+			t.Fatalf("%s: different seeds produced identical observations", kind)
+		}
+		if sc.Observations(g, 0) != nil {
+			t.Fatalf("%s: step 0 must be empty (baseline)", kind)
+		}
+	}
+}
+
+// TestIncidentStormReopens drives the storm scenario through an ingestor
+// and checks closures drain: once the storm stops, every closed edge is
+// reopened within CloseFor steps and the weights return to baseline
+// byte-identically.
+func TestIncidentStormReopens(t *testing.T) {
+	g := gridTown(t)
+	base := baseOf(g)
+	st := weights.NewStore(base)
+	in := telemetry.NewIngestor(st, base, telemetry.Config{})
+	sc := telemetry.Scenario{Kind: telemetry.IncidentStorm, Seed: 7, Edges: 5, CloseFor: 2}
+
+	for step := 1; step <= 10; step++ {
+		if _, err := in.Advance(sc.Observations(g, step), 1); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if got := len(in.ClosedEdges()); got > sc.Edges*sc.CloseFor {
+			t.Fatalf("step %d: %d closures standing, want ≤ %d", step, got, sc.Edges*sc.CloseFor)
+		}
+	}
+	// Storm over: feed only the trailing reopens.
+	for step := 11; step <= 10+sc.CloseFor; step++ {
+		var reopens []telemetry.Observation
+		for _, o := range sc.Observations(g, step) {
+			if o.Reopen {
+				reopens = append(reopens, o)
+			}
+		}
+		if _, err := in.Advance(reopens, 1); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if got := in.ClosedEdges(); len(got) != 0 {
+		t.Fatalf("closures left standing after storm: %v", got)
+	}
+	w := st.Latest().Weights()
+	for e := range base {
+		if math.Float64bits(w[e]) != math.Float64bits(base[e]) {
+			t.Fatalf("edge %d not back to baseline: %v vs %v", e, w[e], base[e])
+		}
+	}
+}
+
+// TestConcurrentProducersShareStore is the satellite-3 pin at the
+// integration level: a traffic.Sequence auto-advance and a telemetry
+// ingestor racing on ONE store must never tear the version sequence —
+// every subscriber-observed version is gapless and strictly monotone,
+// and each snapshot is wholly one producer's vector. Run under -race.
+func TestConcurrentProducersShareStore(t *testing.T) {
+	g := gridTown(t)
+	base := baseOf(g)
+	st := weights.NewStore(base)
+
+	var mu sync.Mutex
+	var seen []weights.Version
+	st.Subscribe(func(s *weights.Snapshot) {
+		mu.Lock()
+		seen = append(seen, s.Version())
+		mu.Unlock()
+	})
+
+	seq := traffic.NewSequence(g, traffic.DefaultModel(1), 0)
+	in := telemetry.NewIngestor(st, base, telemetry.Config{})
+	sc := telemetry.Scenario{Kind: telemetry.RushHour, Seed: 3, Edges: 4}
+
+	const steps = 40
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < steps; i++ {
+			seq.Advance(st)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= steps; i++ {
+			if _, err := in.Advance(sc.Observations(g, i), 1); err != nil {
+				t.Errorf("ingest step %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2*steps {
+		t.Fatalf("saw %d publishes, want %d", len(seen), 2*steps)
+	}
+	for i, v := range seen {
+		if want := weights.Version(i + 2); v != want { // store's NewStore publish is version 1
+			t.Fatalf("publish %d has version %d, want %d (gapless monotone)", i, v, want)
+		}
+	}
+	if got := st.Version(); got != weights.Version(2*steps+1) {
+		t.Fatalf("final version %d, want %d", got, 2*steps+1)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, s := range []string{"rush-hour", "incident-storm", "sensor-noise"} {
+		if _, err := telemetry.ParseKind(s); err != nil {
+			t.Fatalf("ParseKind(%q): %v", s, err)
+		}
+	}
+	if _, err := telemetry.ParseKind("blizzard"); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}

@@ -79,10 +79,15 @@ func (s *Sequence) WeightsAt(i int) []float64 {
 // Advance produces the next step's weight vector and publishes it to
 // store, returning the published snapshot (with the store's ban mask
 // applied). It is safe for concurrent use: callers advance distinct
-// steps and publish them in step order.
+// steps and publish them in step order. The publish itself goes through
+// store.Update, so no other producer of the same store (a telemetry
+// ingestor, a closure republish) can interleave between the step take and
+// its publish — the returned snapshot always carries exactly this step's
+// weights.
 func (s *Sequence) Advance(store *weights.Store) *weights.Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.step++
-	return store.Publish(s.WeightsAt(s.step))
+	w := s.WeightsAt(s.step)
+	return store.Update(func(*weights.Snapshot) []float64 { return w })
 }

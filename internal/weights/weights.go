@@ -136,9 +136,37 @@ func (st *Store) Version() Version { return st.Latest().Version() }
 // as the next-numbered snapshot. Subscribers run synchronously, in
 // subscription order, before Publish returns; they see the new snapshot as
 // Latest. The caller keeps ownership of w.
+//
+// Producer model: any number of producers may publish into one store —
+// the publisher mutex serializes them, so versions are always gapless and
+// strictly monotone, and subscribers observe every snapshot in version
+// order. What the mutex cannot arbitrate is *semantic* ownership: two
+// producers publishing whole vectors (a traffic sequence and a telemetry
+// ingestor, say) overwrite each other last-writer-wins. A producer that
+// derives its next vector from the current snapshot must use Update, or a
+// concurrent publish can land between its read and its write.
 func (st *Store) Publish(w []float64) *Snapshot {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.publishLocked(w)
+}
+
+// Update runs fn under the publisher lock and publishes its result — the
+// atomic read-modify-write a producer needs when its next vector depends
+// on the store's current state (or when its internal state must stay in
+// lock-step with the version sequence: the returned snapshot is
+// guaranteed to carry exactly the weights fn produced, with no other
+// publish interleaved). fn receives the current snapshot (never nil) and
+// returns the next weight vector; returning nil skips the publish and
+// returns the current snapshot unchanged. fn must not call back into the
+// store.
+func (st *Store) Update(fn func(prev *Snapshot) []float64) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w := fn(st.latest.Load())
+	if w == nil {
+		return st.latest.Load()
+	}
 	return st.publishLocked(w)
 }
 

@@ -199,3 +199,80 @@ func TestPinHasNoDelta(t *testing.T) {
 		t.Fatal("pinned snapshots must carry no delta")
 	}
 }
+
+// TestUpdateAtomicReadModifyWrite pins Update's contract: fn sees the
+// snapshot its publish immediately supersedes, nothing interleaves, a nil
+// return skips the publish, and the ban mask still applies.
+func TestUpdateAtomicReadModifyWrite(t *testing.T) {
+	st := NewStore([]float64{1, 2})
+	snap := st.Update(func(prev *Snapshot) []float64 {
+		w := append([]float64(nil), prev.Weights()...)
+		w[0] += 10
+		return w
+	})
+	if snap.Version() != 2 || snap.Weights()[0] != 11 {
+		t.Fatalf("update published v%d %v, want v2 [11 2]", snap.Version(), snap.Weights())
+	}
+	if got := st.Update(func(*Snapshot) []float64 { return nil }); got != snap {
+		t.Fatalf("nil-returning Update must return the current snapshot unchanged")
+	}
+	if st.Version() != 2 {
+		t.Fatalf("nil-returning Update must not publish (version %d)", st.Version())
+	}
+	st.Ban(0)
+	snap = st.Update(func(prev *Snapshot) []float64 {
+		w := append([]float64(nil), prev.Weights()...)
+		w[1] = 7
+		return w
+	})
+	if !math.IsInf(snap.Weights()[0], 1) || snap.Weights()[1] != 7 {
+		t.Fatalf("Update must apply the ban mask: %v", snap.Weights())
+	}
+}
+
+// TestConcurrentProducersGaplessVersions is the multi-producer pin: two
+// producer families hammering one store through Publish and Update never
+// tear the version sequence — every subscriber delivery is exactly the
+// predecessor's version plus one, and read-modify-write updates never
+// lose increments.
+func TestConcurrentProducersGaplessVersions(t *testing.T) {
+	st := NewStore([]float64{0})
+	var mu sync.Mutex
+	var seen []Version
+	st.Subscribe(func(s *Snapshot) {
+		mu.Lock()
+		seen = append(seen, s.Version())
+		mu.Unlock()
+	})
+	const producers, each = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if p%2 == 0 {
+					st.Publish([]float64{float64(p)})
+				} else {
+					st.Update(func(prev *Snapshot) []float64 {
+						return []float64{prev.Weights()[0] + 1}
+					})
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != producers*each {
+		t.Fatalf("subscriber saw %d publishes, want %d", len(seen), producers*each)
+	}
+	for i, v := range seen {
+		if v != Version(i+2) { // NewStore published v1 before subscription
+			t.Fatalf("version sequence has a gap at %d: %v...", i, seen[:i+1])
+		}
+	}
+	if got := st.Version(); got != Version(producers*each+1) {
+		t.Fatalf("final version %d, want %d", got, producers*each+1)
+	}
+}
